@@ -1,0 +1,272 @@
+package coconut
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§5), each regenerating the figure's rows at a laptop scale
+// via internal/experiments, plus micro-benchmarks for the core primitives.
+//
+// Run everything:   go test -bench=. -benchmem
+// One figure:       go test -bench=BenchmarkFig8a -v
+// Full-scale rows:  go run ./cmd/benchrunner -scale full
+//
+// The -v output of each figure bench includes the regenerated table.
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/bptree"
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/experiments"
+	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+func benchScale() experiments.Scale {
+	sc := experiments.DefaultScale()
+	// Keep each figure in the seconds range under `go test -bench=.`.
+	sc.BaseCount = 4000
+	sc.Queries = 10
+	return sc
+}
+
+func runFigure(b *testing.B, fn func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, err := fn(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			tb.Print(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig7Histograms(b *testing.B) { runFigure(b, experiments.Fig7Histograms) }
+
+func BenchmarkFig8aConstructionMaterialized(b *testing.B) {
+	runFigure(b, experiments.Fig8aConstructionMaterialized)
+}
+
+func BenchmarkFig8bConstructionNonMaterialized(b *testing.B) {
+	runFigure(b, experiments.Fig8bConstructionNonMaterialized)
+}
+
+func BenchmarkFig8cSpace(b *testing.B) { runFigure(b, experiments.Fig8cSpace) }
+
+func BenchmarkFig8dScaleMaterialized(b *testing.B) {
+	runFigure(b, experiments.Fig8dScaleMaterialized)
+}
+
+func BenchmarkFig8eScaleNonMaterialized(b *testing.B) {
+	runFigure(b, experiments.Fig8eScaleNonMaterialized)
+}
+
+func BenchmarkFig8fVariableLength(b *testing.B) {
+	runFigure(b, experiments.Fig8fVariableLength)
+}
+
+func BenchmarkFig9aExact(b *testing.B) { runFigure(b, experiments.Fig9aExact) }
+
+func BenchmarkFig9bApprox(b *testing.B) { runFigure(b, experiments.Fig9bApprox) }
+
+func BenchmarkFig9cApprox40G(b *testing.B) { runFigure(b, experiments.Fig9cApproxLargest) }
+
+func BenchmarkFig9dApproxQuality(b *testing.B) { runFigure(b, experiments.Fig9dApproxQuality) }
+
+func BenchmarkFig9eExact40G(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		te, _, err := experiments.Fig9ef(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			te.Print(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig9fVisitedRecords(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		_, tf, err := experiments.Fig9ef(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			tf.Print(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig10aMixedWorkload(b *testing.B) {
+	runFigure(b, experiments.Fig10aMixedWorkload)
+}
+
+func BenchmarkFig10bAstronomy(b *testing.B) { runFigure(b, experiments.Fig10bAstronomy) }
+
+func BenchmarkFig10cSeismic(b *testing.B) { runFigure(b, experiments.Fig10cSeismic) }
+
+func BenchmarkIndexSizeTable(b *testing.B) { runFigure(b, experiments.IndexSizeTable) }
+
+// --- micro-benchmarks ------------------------------------------------------
+
+func BenchmarkInterleave(b *testing.B) {
+	sax := make(summary.SAX, 16)
+	rng := rand.New(rand.NewSource(1))
+	for j := range sax {
+		sax[j] = uint8(rng.Intn(256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = summary.Interleave(sax, 8)
+	}
+}
+
+func BenchmarkDeinterleave(b *testing.B) {
+	sax := make(summary.SAX, 16)
+	for j := range sax {
+		sax[j] = uint8(j * 17)
+	}
+	k := summary.Interleave(sax, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = summary.Deinterleave(k, 16, 8)
+	}
+}
+
+func BenchmarkSummarizeSeries(b *testing.B) {
+	s, err := summary.NewSummarizer(summary.DefaultParams(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(2))
+	ser := make(series.Series, 256)
+	gen.Generate(rng, ser)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.KeyOf(ser); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinDist(b *testing.B) {
+	s, err := summary.NewSummarizer(summary.DefaultParams(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(3))
+	q := make(series.Series, 256)
+	x := make(series.Series, 256)
+	gen.Generate(rng, q)
+	gen.Generate(rng, x)
+	qPAA, _ := s.PAA(q, nil)
+	xSAX, _ := s.SAXOf(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.MinDistPAAToSAX(qPAA, xSAX)
+	}
+}
+
+func BenchmarkEuclidean(b *testing.B) {
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(4))
+	q := make(series.Series, 256)
+	x := make(series.Series, 256)
+	gen.Generate(rng, q)
+	gen.Generate(rng, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := series.SquaredED(q, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExternalSort(b *testing.B) {
+	const n = 20000
+	const recSize = 24
+	data := make([]byte, n*recSize)
+	rand.New(rand.NewSource(5)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := storage.NewMemFS()
+		cfg := extsort.Config{
+			FS:         fs,
+			RecordSize: recSize,
+			Compare:    extsort.CompareKeyPrefix(16),
+			MemBudget:  64 << 10,
+		}
+		if _, err := extsort.Sort(cfg, bytes.NewReader(data), "out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBPTreeBulkLoad(b *testing.B) {
+	const n = 50000
+	recs := make([][]byte, n)
+	for i := range recs {
+		rec := make([]byte, 24)
+		for j := 0; j < 16; j++ {
+			rec[j] = byte(i >> (j % 3 * 8))
+		}
+		recs[i] = rec
+	}
+	// Records must be sorted for bulk loading.
+	extRecs := make([]byte, 0, n*24)
+	for _, r := range recs {
+		extRecs = append(extRecs, r...)
+	}
+	extsort.SortInMemory(extRecs, 24, extsort.CompareKeyPrefix(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := storage.NewMemFS()
+		src := &recordsSource{data: extRecs, size: 24}
+		t, err := bptree.BulkLoad(bptree.Config{
+			FS: fs, Name: "b", RecordSize: 24, KeyLen: 16, LeafCap: 256,
+		}, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Close()
+	}
+}
+
+type recordsSource struct {
+	data []byte
+	size int
+	off  int
+}
+
+func (s *recordsSource) Next() ([]byte, error) {
+	if s.off >= len(s.data) {
+		return nil, io.EOF
+	}
+	rec := s.data[s.off : s.off+s.size]
+	s.off += s.size
+	return rec, nil
+}
+
+// --- ablation benchmarks (design choices beyond the paper's figures) ------
+
+func BenchmarkAblationSortable(b *testing.B) { runFigure(b, experiments.AblationSortable) }
+
+func BenchmarkAblationFillFactor(b *testing.B) { runFigure(b, experiments.AblationFillFactor) }
+
+func BenchmarkAblationDevice(b *testing.B) { runFigure(b, experiments.AblationDevice) }
+
+func BenchmarkAblationLSMUpdates(b *testing.B) { runFigure(b, experiments.AblationLSMUpdates) }
+
+func BenchmarkAblationLeafSize(b *testing.B) { runFigure(b, experiments.AblationLeafSize) }

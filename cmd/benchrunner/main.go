@@ -1,0 +1,96 @@
+// Command benchrunner regenerates the paper's evaluation tables and
+// figures (§5) on the simulated HDD at a chosen scale, printing the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]]
+//
+// With no -figure it runs the complete evaluation in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "experiment scale: tiny, default, or full")
+	figFlag := flag.String("figure", "", "comma-separated figure ids (default: all)")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "tiny":
+		sc = experiments.DefaultScale()
+		sc.BaseCount = 1000
+		sc.Queries = 5
+	case "default":
+		sc = experiments.DefaultScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	type figure struct {
+		id  string
+		run func(experiments.Scale) (*experiments.Table, error)
+	}
+	figures := []figure{
+		{"Fig7", experiments.Fig7Histograms},
+		{"Fig8a", experiments.Fig8aConstructionMaterialized},
+		{"Fig8b", experiments.Fig8bConstructionNonMaterialized},
+		{"Fig8c", experiments.Fig8cSpace},
+		{"Fig8d", experiments.Fig8dScaleMaterialized},
+		{"Fig8e", experiments.Fig8eScaleNonMaterialized},
+		{"Fig8f", experiments.Fig8fVariableLength},
+		{"Fig9a", experiments.Fig9aExact},
+		{"Fig9b", experiments.Fig9bApprox},
+		{"Fig9c", experiments.Fig9cApproxLargest},
+		{"Fig9d", experiments.Fig9dApproxQuality},
+		{"Fig9e", func(sc experiments.Scale) (*experiments.Table, error) {
+			te, _, err := experiments.Fig9ef(sc)
+			return te, err
+		}},
+		{"Fig9f", func(sc experiments.Scale) (*experiments.Table, error) {
+			_, tf, err := experiments.Fig9ef(sc)
+			return tf, err
+		}},
+		{"Fig10a", experiments.Fig10aMixedWorkload},
+		{"Fig10b", experiments.Fig10bAstronomy},
+		{"Fig10c", experiments.Fig10cSeismic},
+		{"SizeTable", experiments.IndexSizeTable},
+	}
+
+	want := map[string]bool{}
+	if *figFlag != "" {
+		for _, id := range strings.Split(*figFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d)\n",
+		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries)
+	start := time.Now()
+	for _, f := range figures {
+		if len(want) > 0 && !want[f.id] {
+			continue
+		}
+		t0 := time.Now()
+		tb, err := f.run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		tb.Print(os.Stdout)
+		fmt.Printf("  (%s regenerated in %v)\n", f.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("\nAll done in %v\n", time.Since(start).Round(time.Millisecond))
+}

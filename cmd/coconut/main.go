@@ -1,0 +1,213 @@
+// Command coconut builds and queries Coconut indexes over raw data series
+// files on disk.
+//
+// Build a Coconut-Tree over a dataset (see cmd/datagen for producing one):
+//
+//	coconut build -dir ./data -data walk.bin -name myidx -len 256
+//
+// Query it (the query file holds one or more series in the raw format):
+//
+//	coconut query -dir ./data -data walk.bin -name myidx -len 256 -queries q.bin
+//
+// Show index statistics:
+//
+//	coconut info -dir ./data -data walk.bin -name myidx -len 256
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+type config struct {
+	fs       *storage.OSFS
+	opt      core.Options
+	dataFile string
+	queries  string
+	radius   int
+	approx   bool
+	k        int
+}
+
+func parseFlags(args []string) (*config, error) {
+	fl := flag.NewFlagSet("coconut", flag.ContinueOnError)
+	dir := fl.String("dir", ".", "directory holding the dataset and index files")
+	data := fl.String("data", "", "raw dataset file name (required)")
+	name := fl.String("name", "coconut", "index name prefix")
+	length := fl.Int("len", 256, "series length")
+	segments := fl.Int("segments", 16, "SAX segments")
+	cardBits := fl.Int("cardbits", 8, "bits per SAX symbol")
+	leaf := fl.Int("leaf", 2000, "leaf capacity in records")
+	mat := fl.Bool("materialized", false, "store raw series inside the index")
+	mem := fl.Int64("mem", 256<<20, "memory budget in bytes")
+	queries := fl.String("queries", "", "query series file (raw format)")
+	radius := fl.Int("radius", 1, "approximate-search leaf radius")
+	approx := fl.Bool("approx", false, "run approximate instead of exact search")
+	k := fl.Int("k", 1, "number of nearest neighbors to return")
+	if err := fl.Parse(args); err != nil {
+		return nil, err
+	}
+	if *data == "" {
+		return nil, errors.New("-data is required")
+	}
+	fs, err := storage.NewOSFS(*dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := summary.NewSummarizer(summary.Params{
+		SeriesLen: *length, Segments: *segments, CardBits: *cardBits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &config{
+		fs: fs,
+		opt: core.Options{
+			FS:             fs,
+			Name:           *name,
+			S:              s,
+			RawName:        *data,
+			Materialized:   *mat,
+			LeafCap:        *leaf,
+			MemBudgetBytes: *mem,
+		},
+		dataFile: *data,
+		queries:  *queries,
+		radius:   *radius,
+		approx:   *approx,
+		k:        *k,
+	}, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info> [flags]")
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	cfg, err := parseFlags(os.Args[2:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch cmd {
+	case "build":
+		err = runBuild(cfg)
+	case "query":
+		err = runQuery(cfg)
+	case "info":
+		err = runInfo(cfg)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runBuild(cfg *config) error {
+	start := time.Now()
+	ix, err := core.BuildTree(cfg.opt)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	fmt.Printf("built Coconut-Tree %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
+		cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
+		byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runInfo(cfg *config) error {
+	ix, err := core.OpenTree(cfg.opt)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	fmt.Printf("index %q\n  series:    %d\n  leaves:    %d\n  leaf fill: %.0f%%\n  height:    %d\n  size:      %s\n",
+		cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100, ix.Height(), byteSize(ix.SizeBytes()))
+	return nil
+}
+
+func runQuery(cfg *config) error {
+	if cfg.queries == "" {
+		return errors.New("-queries is required for query")
+	}
+	ix, err := core.OpenTree(cfg.opt)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	qf, err := cfg.fs.Open(cfg.queries)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	r := series.NewReader(storage.NewSequentialReader(qf, 0, -1, 0), cfg.opt.S.Params().SeriesLen)
+	qnum := 0
+	for {
+		q, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		q.ZNormalize()
+		start := time.Now()
+		if cfg.k > 1 {
+			ns, stats, err := ix.ExactSearchKNN(q, cfg.k, cfg.radius)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("query %d (%d-NN, visited %d series in %v):\n",
+				qnum, cfg.k, stats.VisitedRecords, time.Since(start).Round(time.Microsecond))
+			for rank, n := range ns {
+				fmt.Printf("  %2d. #%d dist=%.4f\n", rank+1, n.Pos, n.Dist)
+			}
+			qnum++
+			continue
+		}
+		var res core.Result
+		if cfg.approx {
+			res, err = ix.ApproxSearch(q, cfg.radius)
+		} else {
+			res, err = ix.ExactSearch(q, cfg.radius)
+		}
+		if err != nil {
+			return err
+		}
+		mode := "exact"
+		if cfg.approx {
+			mode = "approx"
+		}
+		fmt.Printf("query %d (%s): nearest=#%d dist=%.4f visited=%d series, %d leaves, %v\n",
+			qnum, mode, res.Pos, res.Dist, res.VisitedRecords, res.VisitedLeaves,
+			time.Since(start).Round(time.Microsecond))
+		qnum++
+	}
+	return nil
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

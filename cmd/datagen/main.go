@@ -1,0 +1,44 @@
+// Command datagen writes a data series collection in the raw binary format
+// (headerless little-endian float64s) to a directory on disk.
+//
+// Usage:
+//
+//	datagen -dir ./data -file walk.bin -kind randomwalk -count 100000 -len 256 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "output directory")
+	file := flag.String("file", "data.bin", "output file name")
+	kind := flag.String("kind", "randomwalk", "dataset family: randomwalk, seismic, astronomy")
+	count := flag.Int("count", 100000, "number of series")
+	length := flag.Int("len", 256, "series length")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	gen, err := dataset.ByName(*kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fs, err := storage.NewOSFS(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n, err := dataset.WriteFile(fs, *file, gen, *count, *length, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s series of length %d (%d bytes) to %s/%s\n",
+		*count, *kind, *length, n, *dir, *file)
+}

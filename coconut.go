@@ -1,0 +1,370 @@
+// Package coconut is the public API of the Coconut data series indexing
+// library — a from-scratch reproduction of "Coconut: A Scalable Bottom-Up
+// Approach for Building Data Series Indexes" (VLDB 2018).
+//
+// Coconut indexes fixed-length, z-normalized data series for fast nearest
+// neighbor search under Euclidean distance. Its key idea is a SORTABLE
+// summarization: the bits of a SAX word are interleaved (z-order) so that
+// sorting the summaries keeps similar series adjacent, which unlocks
+// bottom-up bulk loading — a few sequential passes instead of per-series
+// random I/O — and median-based splitting, which packs leaves densely.
+//
+// # Quick start
+//
+//	fs := coconut.NewMemStorage()           // or NewDiskStorage(dir)
+//	coconut.GenerateDataset(fs, "data.bin", coconut.RandomWalk, 100000, 256, 1)
+//	idx, err := coconut.BuildTreeIndex(coconut.Config{
+//	    Storage:   fs,
+//	    Name:      "myindex",
+//	    DataFile:  "data.bin",
+//	    SeriesLen: 256,
+//	})
+//	...
+//	res, err := idx.Search(query)        // exact 1-NN
+//	res, err = idx.SearchApprox(query, 1) // fast approximate, radius 1
+//
+// The library also ships every baseline the paper compares against (iSAX
+// 2.0, ADS+/ADSFull, R-tree/STR, Vertical/DHWT, DSTree) under internal/,
+// plus the full benchmark harness that regenerates each figure of the
+// paper's evaluation (cmd/benchrunner, bench_test.go).
+//
+// # Concurrency
+//
+// Index handles are NOT safe for concurrent use: queries share internal
+// page caches and the adaptive/SIMS state. Guard a handle with a mutex or
+// give each goroutine its own handle (multiple read-only handles over the
+// same files are fine via OpenTree). Within a single query, the library
+// itself parallelizes the lower-bound computation across cores.
+package coconut
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Series is one data series: an ordered sequence of float64 values. Inputs
+// are z-normalized automatically where the paper's pipeline requires it.
+type Series = series.Series
+
+// Storage abstracts the device the index lives on. Use NewMemStorage for
+// an instrumented in-memory device (experiments, tests) or NewDiskStorage
+// for real files.
+type Storage = storage.FS
+
+// IOStats is a snapshot of device I/O counters (sequential vs random reads
+// and writes, bytes moved).
+type IOStats = storage.Snapshot
+
+// NewMemStorage returns an in-memory storage device with I/O accounting —
+// the simulated disk used throughout the experiments.
+func NewMemStorage() *storage.MemFS { return storage.NewMemFS() }
+
+// NewDiskStorage returns a storage device backed by directory dir.
+func NewDiskStorage(dir string) (Storage, error) { return storage.NewOSFS(dir) }
+
+// DatasetKind names a built-in dataset generator.
+type DatasetKind string
+
+// Built-in dataset families (see internal/dataset for the definitions and
+// the substitutions DESIGN.md documents for the paper's real datasets).
+const (
+	RandomWalk DatasetKind = "randomwalk"
+	Seismic    DatasetKind = "seismic"
+	Astronomy  DatasetKind = "astronomy"
+)
+
+// GenerateDataset writes count z-normalized series of length seriesLen to
+// file name on fs, deterministically from seed.
+func GenerateDataset(fs Storage, name string, kind DatasetKind, count, seriesLen int, seed int64) error {
+	gen, err := dataset.ByName(string(kind))
+	if err != nil {
+		return err
+	}
+	_, err = dataset.WriteFile(fs, name, gen, count, seriesLen, seed)
+	return err
+}
+
+// GenerateQueries draws count query series from the same family.
+func GenerateQueries(kind DatasetKind, count, seriesLen int, seed int64) ([]Series, error) {
+	gen, err := dataset.ByName(string(kind))
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Queries(gen, count, seriesLen, seed), nil
+}
+
+// Config configures an index build.
+type Config struct {
+	// Storage hosts the dataset and index files.
+	Storage Storage
+	// Name prefixes the index files.
+	Name string
+	// DataFile is the raw dataset (headerless little-endian float64s).
+	DataFile string
+	// SeriesLen is the length of every series in the dataset.
+	SeriesLen int
+	// Segments is the SAX segment count (default 16, the paper's setting).
+	Segments int
+	// CardinalityBits is the bits per SAX symbol (default 8 → cardinality
+	// 256).
+	CardinalityBits int
+	// LeafSize is the records-per-leaf capacity (default 2000).
+	LeafSize int
+	// Materialized stores raw series inside the index (the paper's "-Full"
+	// variants): bigger index, but queries never touch the dataset file.
+	Materialized bool
+	// MemoryBudget bounds construction memory in bytes (default 64 MiB).
+	MemoryBudget int64
+	// FillFactor packs Coconut-Tree leaves to this fraction on bulk load
+	// (default 1.0). Leave headroom (< 1.0) for update-heavy workloads.
+	FillFactor float64
+}
+
+func (c *Config) toCore() (core.Options, error) {
+	if c.Storage == nil {
+		return core.Options{}, errors.New("coconut: nil Storage")
+	}
+	if c.SeriesLen <= 0 {
+		return core.Options{}, errors.New("coconut: SeriesLen must be positive")
+	}
+	p := summary.Params{SeriesLen: c.SeriesLen, Segments: c.Segments, CardBits: c.CardinalityBits}
+	if p.Segments == 0 {
+		p.Segments = 16
+	}
+	if p.CardBits == 0 {
+		p.CardBits = 8
+	}
+	if p.Segments > c.SeriesLen {
+		p.Segments = c.SeriesLen
+	}
+	s, err := summary.NewSummarizer(p)
+	if err != nil {
+		return core.Options{}, fmt.Errorf("coconut: %w", err)
+	}
+	leaf := c.LeafSize
+	if leaf == 0 {
+		leaf = 2000
+	}
+	return core.Options{
+		FS:             c.Storage,
+		Name:           c.Name,
+		S:              s,
+		RawName:        c.DataFile,
+		Materialized:   c.Materialized,
+		LeafCap:        leaf,
+		MemBudgetBytes: c.MemoryBudget,
+		FillFactor:     c.FillFactor,
+	}, nil
+}
+
+// Result is a search answer.
+type Result struct {
+	// Position is the ordinal of the nearest series in the dataset file.
+	Position int64
+	// Distance is its Euclidean distance to the query.
+	Distance float64
+	// VisitedSeries counts how many raw series were examined.
+	VisitedSeries int64
+	// VisitedLeaves counts index leaf pages read.
+	VisitedLeaves int64
+}
+
+func fromCore(r core.Result) Result {
+	return Result{
+		Position:      r.Pos,
+		Distance:      r.Dist,
+		VisitedSeries: r.VisitedRecords,
+		VisitedLeaves: r.VisitedLeaves,
+	}
+}
+
+// TreeIndex is a Coconut-Tree index: balanced, contiguous, densely packed —
+// the paper's recommended design.
+type TreeIndex struct {
+	ix *core.TreeIndex
+}
+
+// BuildTreeIndex bulk-loads a Coconut-Tree over the dataset.
+func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildTree(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeIndex{ix: ix}, nil
+}
+
+// Search returns the exact nearest neighbor of q (CoconutTreeSIMS).
+func (t *TreeIndex) Search(q Series) (Result, error) {
+	r, err := t.ix.ExactSearch(q, 1)
+	return fromCore(r), err
+}
+
+// SearchApprox returns a fast approximate nearest neighbor, examining the
+// target leaf plus radius neighbors on each side (Algorithm 4).
+func (t *TreeIndex) SearchApprox(q Series, radius int) (Result, error) {
+	r, err := t.ix.ApproxSearch(q, radius)
+	return fromCore(r), err
+}
+
+// Insert adds new series to the index and dataset (batched; sorting the
+// batch internally concentrates leaf touches).
+func (t *TreeIndex) Insert(batch []Series) error { return t.ix.InsertBatch(batch) }
+
+// Count returns the number of indexed series.
+func (t *TreeIndex) Count() int64 { return t.ix.Count() }
+
+// NumLeaves returns the number of leaf pages.
+func (t *TreeIndex) NumLeaves() int { return t.ix.NumLeaves() }
+
+// LeafFill returns the mean leaf occupancy in [0,1].
+func (t *TreeIndex) LeafFill() float64 { return t.ix.AvgLeafFill() }
+
+// SizeBytes returns the on-device index size.
+func (t *TreeIndex) SizeBytes() int64 { return t.ix.SizeBytes() }
+
+// Close releases the index's file handles.
+func (t *TreeIndex) Close() error { return t.ix.Close() }
+
+// TrieIndex is a Coconut-Trie index: prefix-split, bottom-up bulk-loaded,
+// contiguous leaves. Mostly of interest for studying the design space; use
+// TreeIndex for applications.
+type TrieIndex struct {
+	ix *core.TrieIndex
+}
+
+// BuildTrieIndex bulk-loads a Coconut-Trie over the dataset.
+func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.BuildTrie(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TrieIndex{ix: ix}, nil
+}
+
+// Search returns the exact nearest neighbor of q.
+func (t *TrieIndex) Search(q Series) (Result, error) {
+	r, err := t.ix.ExactSearch(q, 0)
+	return fromCore(r), err
+}
+
+// SearchApprox returns a fast approximate nearest neighbor.
+func (t *TrieIndex) SearchApprox(q Series, radius int) (Result, error) {
+	r, err := t.ix.ApproxSearch(q, radius)
+	return fromCore(r), err
+}
+
+// Count returns the number of indexed series.
+func (t *TrieIndex) Count() int64 { return t.ix.Count() }
+
+// NumLeaves returns the number of leaves.
+func (t *TrieIndex) NumLeaves() int { return t.ix.NumLeaves() }
+
+// LeafFill returns the mean leaf occupancy in [0,1].
+func (t *TrieIndex) LeafFill() float64 { return t.ix.AvgLeafFill() }
+
+// SizeBytes returns the on-device index size.
+func (t *TrieIndex) SizeBytes() int64 { return t.ix.SizeBytes() }
+
+// Close releases the index's file handles.
+func (t *TrieIndex) Close() error { return t.ix.Close() }
+
+// Neighbor is one k-NN answer.
+type Neighbor struct {
+	// Position is the series' ordinal in the dataset file.
+	Position int64
+	// Distance is its Euclidean distance to the query.
+	Distance float64
+}
+
+// SearchKNN returns the k exact nearest neighbors of q in ascending
+// distance order.
+func (t *TreeIndex) SearchKNN(q Series, k int) ([]Neighbor, error) {
+	ns, _, err := t.ix.ExactSearchKNN(q, k, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(ns))
+	for i, n := range ns {
+		out[i] = Neighbor{Position: n.Pos, Distance: n.Dist}
+	}
+	return out, nil
+}
+
+// LSMIndex is Coconut-LSM: the paper's future-work design for update-heavy
+// workloads. Inserts land in a memtable and flush as immutable sorted runs
+// (append-only sequential I/O); tiers compact by merge-sorting. Queries see
+// the memtable and all runs.
+type LSMIndex struct {
+	ix *lsm.Index
+}
+
+// BuildLSMIndex bulk-loads the initial run over the dataset.
+func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := lsm.Build(lsm.Options{
+		FS:             opt.FS,
+		Name:           opt.Name,
+		S:              opt.S,
+		RawName:        opt.RawName,
+		MemBudgetBytes: opt.MemBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LSMIndex{ix: ix}, nil
+}
+
+// Search returns the exact nearest neighbor of q.
+func (l *LSMIndex) Search(q Series) (Result, error) {
+	r, err := l.ix.ExactSearch(q)
+	return Result{Position: r.Pos, Distance: r.Dist, VisitedSeries: r.VisitedRecords}, err
+}
+
+// SearchApprox returns a fast approximate nearest neighbor.
+func (l *LSMIndex) SearchApprox(q Series) (Result, error) {
+	r, err := l.ix.ApproxSearch(q)
+	return Result{Position: r.Pos, Distance: r.Dist, VisitedSeries: r.VisitedRecords}, err
+}
+
+// Insert appends new series; full memtables flush to new sorted runs.
+func (l *LSMIndex) Insert(batch []Series) error { return l.ix.Append(batch) }
+
+// Flush forces the memtable to disk.
+func (l *LSMIndex) Flush() error { return l.ix.Flush() }
+
+// Count returns the number of indexed series.
+func (l *LSMIndex) Count() int64 { return l.ix.Count() }
+
+// NumRuns returns the number of on-disk sorted runs.
+func (l *LSMIndex) NumRuns() int { return l.ix.NumRuns() }
+
+// SizeBytes returns the total size of all runs.
+func (l *LSMIndex) SizeBytes() int64 { return l.ix.SizeBytes() }
+
+// Close releases file handles.
+func (l *LSMIndex) Close() error { return l.ix.Close() }
+
+// ZNormalize z-normalizes s in place and returns it. Queries against the
+// built-in generators' datasets should be z-normalized.
+func ZNormalize(s Series) Series { return s.ZNormalize() }
+
+// Distance returns the Euclidean distance between two equal-length series.
+func Distance(a, b Series) (float64, error) { return series.ED(a, b) }

@@ -1,0 +1,211 @@
+package coconut
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPITreeRoundTrip(t *testing.T) {
+	fs := NewMemStorage()
+	if err := GenerateDataset(fs, "data.bin", RandomWalk, 500, 128, 1); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildTreeIndex(Config{
+		Storage:   fs,
+		Name:      "ix",
+		DataFile:  "data.bin",
+		SeriesLen: 128,
+		LeafSize:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Count() != 500 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	qs, err := GenerateQueries(RandomWalk, 5, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		exact, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := idx.SearchApprox(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Distance > approx.Distance+1e-12 {
+			t.Fatalf("exact %v worse than approximate %v", exact.Distance, approx.Distance)
+		}
+		if exact.Position < 0 || exact.Position >= 500 {
+			t.Fatalf("position %d out of range", exact.Position)
+		}
+	}
+	if idx.LeafFill() < 0.9 {
+		t.Fatalf("tree fill %v", idx.LeafFill())
+	}
+}
+
+func TestPublicAPITrie(t *testing.T) {
+	fs := NewMemStorage()
+	if err := GenerateDataset(fs, "data.bin", Seismic, 300, 64, 3); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildTrieIndex(Config{
+		Storage:   fs,
+		Name:      "trie",
+		DataFile:  "data.bin",
+		SeriesLen: 64,
+		Segments:  8,
+		LeafSize:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	qs, _ := GenerateQueries(Seismic, 3, 64, 4)
+	for _, q := range qs {
+		res, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(res.Distance, 1) {
+			t.Fatal("no answer")
+		}
+	}
+}
+
+func TestPublicAPIInsert(t *testing.T) {
+	fs := NewMemStorage()
+	GenerateDataset(fs, "data.bin", RandomWalk, 200, 64, 5)
+	idx, err := BuildTreeIndex(Config{
+		Storage: fs, Name: "u", DataFile: "data.bin",
+		SeriesLen: 64, Segments: 8, LeafSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	batch, _ := GenerateQueries(Astronomy, 20, 64, 6)
+	if err := idx.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(batch[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance > 1e-9 {
+		t.Fatalf("inserted series not found: %v", res.Distance)
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := BuildTreeIndex(Config{}); err == nil {
+		t.Fatal("expected error for empty config")
+	}
+	fs := NewMemStorage()
+	if _, err := BuildTreeIndex(Config{Storage: fs, Name: "x", DataFile: "nope", SeriesLen: 64}); err == nil {
+		t.Fatal("expected error for missing dataset")
+	}
+	if err := GenerateDataset(fs, "d", DatasetKind("bogus"), 1, 8, 1); err == nil {
+		t.Fatal("expected error for unknown dataset kind")
+	}
+}
+
+func TestDistanceAndZNormalize(t *testing.T) {
+	a := Series{3, 4, 5, 6}
+	ZNormalize(a)
+	if math.Abs(a.Mean()) > 1e-9 {
+		t.Fatal("not normalized")
+	}
+	d, err := Distance(Series{0, 0}, Series{3, 4})
+	if err != nil || d != 5 {
+		t.Fatalf("Distance = %v, %v", d, err)
+	}
+}
+
+func TestPublicAPISearchKNN(t *testing.T) {
+	fs := NewMemStorage()
+	GenerateDataset(fs, "data.bin", RandomWalk, 400, 64, 8)
+	idx, err := BuildTreeIndex(Config{
+		Storage: fs, Name: "k", DataFile: "data.bin",
+		SeriesLen: 64, Segments: 8, LeafSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	qs, _ := GenerateQueries(RandomWalk, 3, 64, 9)
+	for _, q := range qs {
+		ns, err := idx.SearchKNN(q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) != 7 {
+			t.Fatalf("got %d neighbors", len(ns))
+		}
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1].Distance > ns[i].Distance {
+				t.Fatal("neighbors not sorted")
+			}
+		}
+		// First neighbor must agree with 1-NN search.
+		one, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(one.Distance-ns[0].Distance) > 1e-9 {
+			t.Fatalf("kNN head %v != 1-NN %v", ns[0].Distance, one.Distance)
+		}
+	}
+}
+
+func TestPublicAPILSM(t *testing.T) {
+	fs := NewMemStorage()
+	GenerateDataset(fs, "data.bin", RandomWalk, 300, 64, 10)
+	idx, err := BuildLSMIndex(Config{
+		Storage: fs, Name: "l", DataFile: "data.bin",
+		SeriesLen: 64, Segments: 8,
+		MemoryBudget: 64 * 24, // tiny memtable: force flushes + compaction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if idx.Count() != 300 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	batch, _ := GenerateQueries(Seismic, 200, 64, 11)
+	if err := idx.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Count() != 500 {
+		t.Fatalf("Count after insert = %d", idx.Count())
+	}
+	if idx.NumRuns() < 2 {
+		t.Fatalf("expected multiple runs, got %d", idx.NumRuns())
+	}
+	res, err := idx.Search(batch[42])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance > 1e-9 {
+		t.Fatalf("inserted series not found: %v", res.Distance)
+	}
+	approx, err := idx.SearchApprox(batch[42])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Distance > 1e-9 {
+		t.Fatalf("approximate search should find the exact member: %v", approx.Distance)
+	}
+	if idx.SizeBytes() == 0 {
+		t.Fatal("runs should occupy space")
+	}
+}

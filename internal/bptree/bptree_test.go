@@ -1,0 +1,533 @@
+package bptree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+const (
+	testRecSize = 16
+	testKeyLen  = 8
+)
+
+func testConfig(fs storage.FS) Config {
+	return Config{
+		FS:         fs,
+		Name:       "t",
+		RecordSize: testRecSize,
+		KeyLen:     testKeyLen,
+		LeafCap:    8,
+		Fanout:     4,
+	}
+}
+
+func mkRecord(key uint64, payload uint64) []byte {
+	rec := make([]byte, testRecSize)
+	binary.BigEndian.PutUint64(rec[:8], key)
+	binary.LittleEndian.PutUint64(rec[8:], payload)
+	return rec
+}
+
+func recKey(rec []byte) uint64 { return binary.BigEndian.Uint64(rec[:8]) }
+
+// sliceSource adapts a [][]byte to RecordSource.
+type sliceSource struct {
+	recs [][]byte
+	i    int
+}
+
+func (s *sliceSource) Next() ([]byte, error) {
+	if s.i >= len(s.recs) {
+		return nil, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+func sortedRecords(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Int63n(int64(n) * 10))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	recs := make([][]byte, n)
+	for i, k := range keys {
+		recs[i] = mkRecord(k, uint64(i))
+	}
+	return recs
+}
+
+func buildTree(t *testing.T, fs storage.FS, recs [][]byte, cfgMut func(*Config)) *Tree {
+	t.Helper()
+	cfg := testConfig(fs)
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	tree, err := BulkLoad(cfg, &sliceSource{recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestBulkLoadBasics(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(100, 1)
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+
+	if tree.Count() != 100 {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	if got := tree.NumLeaves(); got != 13 { // ceil(100/8)
+		t.Fatalf("NumLeaves = %d, want 13", got)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full pack: every leaf but the last is 100% full.
+	if fill := tree.AvgLeafFill(); fill < 0.9 {
+		t.Fatalf("bulk load fill %v too low", fill)
+	}
+}
+
+func TestBulkLoadEmptyAndSingle(t *testing.T) {
+	fs := storage.NewMemFS()
+	empty := buildTree(t, fs, nil, func(c *Config) { c.Name = "e" })
+	defer empty.Close()
+	if empty.Count() != 0 || empty.NumLeaves() != 0 {
+		t.Fatal("empty tree should have no leaves")
+	}
+	c, err := empty.Seek(make([]byte, testKeyLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("cursor on empty tree should be invalid")
+	}
+
+	one := buildTree(t, fs, [][]byte{mkRecord(5, 0)}, func(c *Config) { c.Name = "s" })
+	defer one.Close()
+	if one.Count() != 1 || one.NumLeaves() != 1 {
+		t.Fatal("single-record tree shape wrong")
+	}
+	if err := one.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := [][]byte{mkRecord(5, 0), mkRecord(3, 1)}
+	if _, err := BulkLoad(testConfig(fs), &sliceSource{recs: recs}); err == nil {
+		t.Fatal("expected error for unsorted input")
+	}
+}
+
+func TestBulkLoadRejectsBadRecordSize(t *testing.T) {
+	fs := storage.NewMemFS()
+	if _, err := BulkLoad(testConfig(fs), &sliceSource{recs: [][]byte{make([]byte, 3)}}); err == nil {
+		t.Fatal("expected error for wrong record size")
+	}
+}
+
+func TestBulkLoadIsSequential(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(5000, 2)
+	tree := buildTree(t, fs, recs, func(c *Config) { c.LeafCap = 64 })
+	defer tree.Close()
+	snap := fs.Stats().Snapshot()
+	// Bottom-up loading writes leaves once, sequentially. The final
+	// next-pointer fix-up adds a couple of random ops at most.
+	if snap.RandWrites > 3 {
+		t.Fatalf("bulk load should be sequential: %+v", snap)
+	}
+}
+
+func TestSeekExactAndMissing(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := make([][]byte, 0, 50)
+	for i := 0; i < 50; i++ {
+		recs = append(recs, mkRecord(uint64(i*2), uint64(i))) // even keys 0..98
+	}
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+
+	// Exact hit.
+	c, err := tree.Seek(mkRecord(40, 0)[:testKeyLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || recKey(c.Record()) != 40 {
+		t.Fatalf("Seek(40) landed on %d", recKey(c.Record()))
+	}
+	// Between keys: lands on the next greater.
+	c, err = tree.Seek(mkRecord(41, 0)[:testKeyLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || recKey(c.Record()) != 42 {
+		t.Fatalf("Seek(41) landed wrong")
+	}
+	// Before the first.
+	c, _ = tree.Seek(make([]byte, testKeyLen))
+	if !c.Valid() || recKey(c.Record()) != 0 {
+		t.Fatal("Seek(min) should land on the first record")
+	}
+	// After the last.
+	c, _ = tree.Seek(mkRecord(1000, 0)[:testKeyLen])
+	if c.Valid() {
+		t.Fatal("Seek past the end should be invalid")
+	}
+}
+
+func TestCursorBidirectional(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(200, 3)
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+
+	c, err := tree.SeekFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forward []uint64
+	for c.Valid() {
+		forward = append(forward, recKey(c.Record()))
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(forward) != 200 {
+		t.Fatalf("forward scan saw %d records", len(forward))
+	}
+	for i := 1; i < len(forward); i++ {
+		if forward[i-1] > forward[i] {
+			t.Fatal("forward scan out of order")
+		}
+	}
+
+	// Walk backwards from the last record.
+	c, _ = tree.SeekFirst()
+	for i := 0; i < 199; i++ {
+		c.Next()
+	}
+	var backward []uint64
+	for c.Valid() {
+		backward = append(backward, recKey(c.Record()))
+		if err := c.Prev(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(backward) != 200 {
+		t.Fatalf("backward scan saw %d records", len(backward))
+	}
+	for i := range backward {
+		if backward[i] != forward[len(forward)-1-i] {
+			t.Fatal("backward scan mismatch")
+		}
+	}
+}
+
+func TestScanAll(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(333, 4)
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+	var seen int
+	prev := int64(-1)
+	err := tree.ScanAll(func(rec []byte) error {
+		k := int64(recKey(rec))
+		if k < prev {
+			t.Fatal("ScanAll out of order")
+		}
+		prev = k
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 333 {
+		t.Fatalf("ScanAll saw %d", seen)
+	}
+}
+
+func TestInsertIntoEmptyAndGrow(t *testing.T) {
+	fs := storage.NewMemFS()
+	tree := buildTree(t, fs, nil, nil)
+	defer tree.Close()
+	rng := rand.New(rand.NewSource(5))
+	keys := rng.Perm(500)
+	for _, k := range keys {
+		if err := tree.Insert(mkRecord(uint64(k), uint64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Count() != 500 {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All leaves at least half full (median splits guarantee it).
+	for _, id := range tree.LeafDir() {
+		if n := tree.LeafRecordCount(id); n < tree.cfg.LeafCap/2 && len(tree.LeafDir()) > 1 {
+			t.Fatalf("leaf %d only %d/%d full", id, n, tree.cfg.LeafCap)
+		}
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := make([][]byte, 0, 100)
+	for i := 0; i < 100; i++ {
+		recs = append(recs, mkRecord(uint64(i*3), uint64(i)))
+	}
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		if err := tree.Insert(mkRecord(uint64(rng.Intn(400)), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Count() != 300 {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicateKeys(t *testing.T) {
+	fs := storage.NewMemFS()
+	tree := buildTree(t, fs, nil, nil)
+	defer tree.Close()
+	for i := 0; i < 100; i++ {
+		if err := tree.Insert(mkRecord(7, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Count() != 100 {
+		t.Fatalf("Count = %d", tree.Count())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tree.Seek(mkRecord(7, 0)[:testKeyLen])
+	seen := 0
+	for c.Valid() {
+		seen++
+		c.Next()
+	}
+	if seen != 100 {
+		t.Fatalf("found %d duplicates", seen)
+	}
+}
+
+func TestPropertyInsertMatchesReference(t *testing.T) {
+	f := func(seed int64, nOps uint16) bool {
+		n := int(nOps%400) + 1
+		fs := storage.NewMemFS()
+		cfg := testConfig(fs)
+		cfg.LeafCap = 4 + int((seed%5+5)%5)
+		tree, err := BulkLoad(cfg, &sliceSource{})
+		if err != nil {
+			return false
+		}
+		defer tree.Close()
+		rng := rand.New(rand.NewSource(seed))
+		var ref []uint64
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Intn(1000))
+			if err := tree.Insert(mkRecord(k, uint64(i))); err != nil {
+				return false
+			}
+			ref = append(ref, k)
+		}
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		var got []uint64
+		if err := tree.ScanAll(func(rec []byte) error {
+			got = append(got, recKey(rec))
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return tree.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(250, 7)
+	tree := buildTree(t, fs, recs, nil)
+	// Mutate after load so persistence covers the insert path too.
+	for i := 0; i < 50; i++ {
+		tree.Insert(mkRecord(uint64(i*13%500), uint64(i)))
+	}
+	if err := tree.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(Config{FS: fs, Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Count() != 300 {
+		t.Fatalf("reopened Count = %d", re.Count())
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Same content.
+	var a, b []uint64
+	tree2 := buildTree(t, storage.NewMemFS(), recs, nil)
+	defer tree2.Close()
+	for i := 0; i < 50; i++ {
+		tree2.Insert(mkRecord(uint64(i*13%500), uint64(i)))
+	}
+	tree2.ScanAll(func(rec []byte) error { a = append(a, recKey(rec)); return nil })
+	re.ScanAll(func(rec []byte) error { b = append(b, recKey(rec)); return nil })
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("reopened tree content differs")
+		}
+	}
+	if re.MetaSizeBytes() == 0 {
+		t.Fatal("meta file should have size")
+	}
+}
+
+func TestOpenMissingMeta(t *testing.T) {
+	fs := storage.NewMemFS()
+	if _, err := Open(Config{FS: fs, Name: "absent"}); err == nil {
+		t.Fatal("expected error opening missing tree")
+	}
+}
+
+func TestFillFactor(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(100, 8)
+	tree := buildTree(t, fs, recs, func(c *Config) { c.FillFactor = 0.5 })
+	defer tree.Close()
+	// Fill 0.5 with LeafCap 8 → 4 records per leaf → 25 leaves.
+	if got := tree.NumLeaves(); got != 25 {
+		t.Fatalf("NumLeaves = %d, want 25", got)
+	}
+	fill := tree.AvgLeafFill()
+	if fill < 0.45 || fill > 0.55 {
+		t.Fatalf("AvgLeafFill = %v, want ~0.5", fill)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadLeafAndDir(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(64, 9)
+	tree := buildTree(t, fs, recs, nil)
+	defer tree.Close()
+	total := 0
+	buf := make([]byte, tree.cfg.LeafCap*testRecSize)
+	var prev int64 = -1
+	for _, id := range tree.LeafDir() {
+		n, err := tree.ReadLeaf(id, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != tree.LeafRecordCount(id) {
+			t.Fatalf("leaf %d count mismatch", id)
+		}
+		for i := 0; i < n; i++ {
+			k := int64(recKey(buf[i*testRecSize:]))
+			if k < prev {
+				t.Fatal("leaf records out of global order")
+			}
+			prev = k
+		}
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("leaves hold %d records", total)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fs := storage.NewMemFS()
+	bad := []Config{
+		{},
+		{FS: fs},
+		{FS: fs, Name: "x"},
+		{FS: fs, Name: "x", RecordSize: 8},
+		{FS: fs, Name: "x", RecordSize: 8, KeyLen: 9},
+		{FS: fs, Name: "x", RecordSize: 8, KeyLen: 8, LeafCap: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := BulkLoad(cfg, &sliceSource{}); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	fs := storage.NewMemFS()
+	recs := sortedRecords(4096, 10)
+	tree := buildTree(t, fs, recs, func(c *Config) { c.LeafCap = 8; c.Fanout = 8 })
+	defer tree.Close()
+	// 4096/8 = 512 leaves; fanout 8 → 512→64→8→1: height = 1 (leaves) + 4.
+	if h := tree.Height(); h < 4 || h > 6 {
+		t.Fatalf("Height = %d", h)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekKeyOrderAgreesWithBytesCompare(t *testing.T) {
+	// Keys are big-endian so numeric order == bytes.Compare order; verify
+	// the tree preserves it under random workloads.
+	fs := storage.NewMemFS()
+	tree := buildTree(t, fs, nil, nil)
+	defer tree.Close()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		tree.Insert(mkRecord(rng.Uint64()%10000, uint64(i)))
+	}
+	var prevKey []byte
+	tree.ScanAll(func(rec []byte) error {
+		if prevKey != nil && bytes.Compare(prevKey, rec[:testKeyLen]) > 0 {
+			t.Fatal("byte order violated")
+		}
+		prevKey = append(prevKey[:0], rec[:testKeyLen]...)
+		return nil
+	})
+}

@@ -1,0 +1,222 @@
+// Package core implements Coconut, the paper's contribution: data series
+// indexes built bottom-up over SORTABLE summarizations (invSAX — z-order
+// interleaved SAX bits).
+//
+// Both variants share the same pipeline (§4): one sequential pass over the
+// raw file computes each series' invSAX key, the (key, position[, raw])
+// records are externally sorted under the memory budget, and the index is
+// bulk-loaded from the sorted stream:
+//
+//   - Coconut-Trie (Algorithm 2) groups the sorted records into an
+//     iSAX-style prefix trie whose leaves are written contiguously
+//     (insertBottomUp + CompactSubtree — realized here as the equivalent
+//     recursive partitioning of the sorted key range along interleaved
+//     bits, which yields exactly the maximal prefix-aligned leaf groups).
+//   - Coconut-Tree (Algorithm 3) feeds the sorted stream into the
+//     UB-tree-style B+-tree bulk loader: a balanced, contiguous index whose
+//     leaves are packed to the configured fill factor.
+//
+// The "-Full" (materialized) variants carry the raw series through the sort
+// and into the leaves; the plain variants store only (key, position) and
+// fetch raw data from the dataset file at query time.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Variant selects the bottom-up index layout.
+type Variant int
+
+// Variants.
+const (
+	// Tree is Coconut-Tree: median-split balanced B+-tree (the paper's
+	// recommended design).
+	Tree Variant = iota
+	// Trie is Coconut-Trie: prefix-split bottom-up trie.
+	Trie
+)
+
+func (v Variant) String() string {
+	if v == Trie {
+		return "Coconut-Trie"
+	}
+	return "Coconut-Tree"
+}
+
+// Options configures a build.
+type Options struct {
+	// FS hosts the index files and the raw dataset file.
+	FS storage.FS
+	// Name is the base name for index files.
+	Name string
+	// S fixes the summarization scheme.
+	S *summary.Summarizer
+	// RawName is the dataset file in raw binary format.
+	RawName string
+	// Variant picks Coconut-Tree or Coconut-Trie.
+	Variant Variant
+	// Materialized stores raw series inside the index ("-Full" variants).
+	Materialized bool
+	// LeafCap is the records-per-leaf capacity (paper: 2000).
+	LeafCap int
+	// FillFactor packs bulk-loaded Tree leaves to this fraction (default 1:
+	// "as compactly as possible"; lower it to leave room for updates).
+	FillFactor float64
+	// MemBudgetBytes is the memory budget M for sorting and buffering.
+	MemBudgetBytes int64
+	// Fanout is the B+-tree internal fan-out (Tree variant, default 64).
+	Fanout int
+	// ApproxWindow caps how many records around the query's sort position
+	// a NON-materialized approximate search fetches from the raw file
+	// (scaled by radius+1) — the paper's "all data series in a specific
+	// radius from this specific point ... usually a disk page" (§4.3).
+	// Materialized indexes scan whole leaves instead (the raw data is
+	// already there). Default 32.
+	ApproxWindow int
+}
+
+func (o *Options) validate() error {
+	switch {
+	case o.FS == nil:
+		return errors.New("core: nil FS")
+	case o.Name == "":
+		return errors.New("core: empty name")
+	case o.S == nil:
+		return errors.New("core: nil summarizer")
+	case o.RawName == "":
+		return errors.New("core: empty raw file name")
+	case o.LeafCap < 2:
+		return errors.New("core: leaf capacity must be at least 2")
+	}
+	if o.MemBudgetBytes <= 0 {
+		o.MemBudgetBytes = 64 << 20
+	}
+	if o.FillFactor <= 0 || o.FillFactor > 1 {
+		o.FillFactor = 1
+	}
+	if o.Fanout < 2 {
+		o.Fanout = 64
+	}
+	if o.ApproxWindow <= 0 {
+		o.ApproxWindow = 32
+	}
+	return nil
+}
+
+// recordSize returns the sort/leaf record size for the configuration.
+func (o *Options) recordSize() int {
+	n := summary.KeySize + 8
+	if o.Materialized {
+		n += series.EncodedSize(o.S.Params().SeriesLen)
+	}
+	return n
+}
+
+// Result is a search answer.
+type Result struct {
+	// Pos is the ordinal of the answer in the raw file (-1 when empty).
+	Pos int64
+	// Dist is the Euclidean distance to the query.
+	Dist float64
+	// VisitedRecords counts series whose true distance was computed
+	// (Figure 9f).
+	VisitedRecords int64
+	// VisitedLeaves counts leaf pages read.
+	VisitedLeaves int64
+}
+
+// encodeRecord packs (key, pos[, raw series]) into dst.
+func encodeRecord(dst []byte, key summary.Key, pos int64, raw []byte) {
+	copy(dst, key[:])
+	binary.LittleEndian.PutUint64(dst[summary.KeySize:], uint64(pos))
+	if raw != nil {
+		copy(dst[summary.KeySize+8:], raw)
+	}
+}
+
+// decodeRecord unpacks a record; raw aliases rec's storage when present.
+func decodeRecord(rec []byte, materialized bool) (key summary.Key, pos int64, raw []byte) {
+	copy(key[:], rec[:summary.KeySize])
+	pos = int64(binary.LittleEndian.Uint64(rec[summary.KeySize:]))
+	if materialized {
+		raw = rec[summary.KeySize+8:]
+	}
+	return key, pos, raw
+}
+
+// summarizeStream adapts the raw dataset file into a stream of sort records
+// — phase one of Algorithms 2 and 3 (lines 2-8): read each series, compute
+// invSAX, emit (invSAX, position[, raw]).
+type summarizeStream struct {
+	opt   *Options
+	r     *series.Reader
+	buf   series.Series
+	rec   []byte
+	avail []byte // unread tail of rec
+	pos   int64
+	done  bool
+}
+
+func newSummarizeStream(opt *Options, raw storage.File) *summarizeStream {
+	p := opt.S.Params()
+	return &summarizeStream{
+		opt: opt,
+		r:   series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), p.SeriesLen),
+		buf: make(series.Series, p.SeriesLen),
+		rec: make([]byte, opt.recordSize()),
+	}
+}
+
+func (s *summarizeStream) Read(p []byte) (int, error) {
+	if len(s.avail) == 0 {
+		if s.done {
+			return 0, io.EOF
+		}
+		if err := s.r.NextInto(s.buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				s.done = true
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		key, err := s.opt.S.KeyOf(s.buf)
+		if err != nil {
+			return 0, err
+		}
+		var raw []byte
+		if s.opt.Materialized {
+			raw = series.AppendEncode(nil, s.buf)
+		}
+		encodeRecord(s.rec, key, s.pos, raw)
+		s.pos++
+		s.avail = s.rec
+	}
+	n := copy(p, s.avail)
+	s.avail = s.avail[n:]
+	return n, nil
+}
+
+// errEmptyIndex is returned when searching an index with no records.
+var errEmptyIndex = errors.New("core: index is empty")
+
+// readRawAt fetches the series at ordinal pos from a raw dataset file.
+func readRawAt(f storage.File, seriesLen int, pos int64, dst series.Series) error {
+	sz := series.EncodedSize(seriesLen)
+	buf := make([]byte, sz)
+	if n, err := f.ReadAt(buf, pos*int64(sz)); n != sz {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("core: raw series %d: %w", pos, err)
+	}
+	series.DecodeInto(buf, dst)
+	return nil
+}

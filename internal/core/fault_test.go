@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// TestBuildSurvivesInjectedFaults verifies that device failures during any
+// construction phase surface as errors (no panics, no partial silence).
+func TestBuildSurvivesInjectedFaults(t *testing.T) {
+	boom := errors.New("injected device failure")
+	// Fail the Nth write, for a spread of N covering the sort, bulk-load,
+	// and metadata phases.
+	for _, failAt := range []int{1, 3, 10, 30, 100} {
+		for _, variant := range []string{"tree", "trie"} {
+			fs, _ := fixtureFS(t)
+			var writes int
+			fs.SetFault(func(op storage.Op, name string, off int64, n int) error {
+				if op == storage.OpWrite {
+					writes++
+					if writes == failAt {
+						return boom
+					}
+				}
+				return nil
+			})
+			opt := baseOptions(t, fs, false)
+			var err error
+			if variant == "tree" {
+				_, err = BuildTree(opt)
+			} else {
+				_, err = BuildTrie(opt)
+			}
+			// Depending on failAt the build may succeed (fault landed after
+			// the last write) or fail; it must never fail silently.
+			if writes >= failAt && err == nil {
+				t.Fatalf("%s failAt=%d: fault consumed but build reported success", variant, failAt)
+			}
+			if err != nil && !errors.Is(err, boom) {
+				t.Fatalf("%s failAt=%d: error lost its cause: %v", variant, failAt, err)
+			}
+		}
+	}
+}
+
+func TestQuerySurvivesInjectedReadFaults(t *testing.T) {
+	boom := errors.New("injected read failure")
+	fs, _ := fixtureFS(t)
+	ix, err := BuildTree(baseOptions(t, fs, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := mustQuery(t)
+	// Sanity: works before the fault.
+	if _, err := ix.ExactSearch(q, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fail every device read; with the page cache dropped, the approximate
+	// phase's first leaf read must hit the device and fail.
+	if err := ix.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFault(func(op storage.Op, name string, off int64, n int) error {
+		if op == storage.OpRead {
+			return boom
+		}
+		return nil
+	})
+	if _, err := ix.ExactSearch(q, 0); err == nil {
+		t.Fatal("expected read fault to propagate")
+	} else if !errors.Is(err, boom) {
+		t.Fatalf("error lost its cause: %v", err)
+	}
+	fs.SetFault(nil)
+	// Index usable again once the device recovers.
+	if _, err := ix.ExactSearch(q, 0); err != nil {
+		t.Fatalf("index unusable after fault cleared: %v", err)
+	}
+}
+
+func mustQuery(t *testing.T) series.Series {
+	t.Helper()
+	_, data := fixtureFS(t)
+	return data[0].Clone()
+}

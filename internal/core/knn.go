@@ -1,0 +1,231 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Neighbor is one k-NN answer.
+type Neighbor struct {
+	// Pos is the series' ordinal in the raw file.
+	Pos int64
+	// Dist is its Euclidean distance to the query.
+	Dist float64
+}
+
+// knnHeap is a max-heap over distance, holding the k best candidates so
+// far; the root is the current pruning bound. Positions are deduplicated:
+// the seeding phase and the main scan may both encounter the same record.
+type knnHeap struct {
+	items []Neighbor
+	k     int
+	seen  map[int64]bool
+}
+
+func (h *knnHeap) Len() int           { return len(h.items) }
+func (h *knnHeap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
+func (h *knnHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *knnHeap) Push(x any)         { h.items = append(h.items, x.(Neighbor)) }
+func (h *knnHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// bound returns the pruning distance: the k-th best so far, or +Inf while
+// fewer than k candidates exist.
+func (h *knnHeap) bound() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// offer considers a candidate, ignoring positions already offered.
+func (h *knnHeap) offer(n Neighbor) {
+	if h.seen == nil {
+		h.seen = make(map[int64]bool)
+	}
+	if h.seen[n.Pos] {
+		return
+	}
+	h.seen[n.Pos] = true
+	if len(h.items) < h.k {
+		heap.Push(h, n)
+		return
+	}
+	if n.Dist < h.items[0].Dist {
+		h.items[0] = n
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into ascending-distance order.
+func (h *knnHeap) sorted() []Neighbor {
+	out := append([]Neighbor(nil), h.items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}
+
+// ExactSearchKNN returns the k exact nearest neighbors of q, using the same
+// SIMS machinery as ExactSearch with the k-th-best distance as the pruning
+// bound. radius controls the approximate seeding phase.
+func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
+	stats := Result{Pos: -1, Dist: math.Inf(1)}
+	if k < 1 {
+		k = 1
+	}
+	if ix.count == 0 {
+		return nil, stats, errEmptyIndex
+	}
+	h := &knnHeap{k: k}
+
+	// Seed: scan the target neighborhood, collecting up to k candidates.
+	if err := ix.knnSeed(q, radius, h, &stats); err != nil {
+		return nil, stats, err
+	}
+	if err := ix.refreshSIMS(); err != nil {
+		return nil, stats, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	mindists := ix.parallelMinDists(qPAA)
+
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	if ix.opt.Materialized {
+		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+		base := 0
+		for _, id := range ix.bt.LeafDir() {
+			cnt := ix.bt.LeafRecordCount(id)
+			bound := h.bound()
+			any := false
+			for i := base; i < base+cnt && i < len(mindists); i++ {
+				if mindists[i] < bound {
+					any = true
+					break
+				}
+			}
+			if !any {
+				base += cnt
+				continue
+			}
+			n, err := ix.bt.ReadLeaf(id, buf)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.VisitedLeaves++
+			for i := 0; i < n; i++ {
+				if base+i >= len(mindists) || mindists[base+i] >= h.bound() {
+					continue
+				}
+				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return nil, stats, err
+				}
+				stats.VisitedRecords++
+				h.offer(Neighbor{Pos: pos, Dist: d})
+			}
+			base += cnt
+		}
+	} else {
+		type cand struct {
+			pos int64
+			lb  float64
+		}
+		bound := h.bound()
+		cands := make([]cand, 0, 256)
+		for i, lb := range mindists {
+			if lb < bound {
+				cands = append(cands, cand{ix.positions[i], lb})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
+		for _, c := range cands {
+			if c.lb >= h.bound() {
+				continue
+			}
+			if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
+				return nil, stats, err
+			}
+			stats.VisitedRecords++
+			limit := h.bound()
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, limit*limit)
+			if !ok {
+				continue
+			}
+			h.offer(Neighbor{Pos: c.pos, Dist: math.Sqrt(sq)})
+		}
+	}
+	out := h.sorted()
+	if len(out) > 0 {
+		stats.Pos = out[0].Pos
+		stats.Dist = out[0].Dist
+	}
+	return out, stats, nil
+}
+
+// knnSeed scans the query's target leaf (±radius) into the heap.
+func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Result) error {
+	key, err := ix.opt.S.KeyOf(q)
+	if err != nil {
+		return err
+	}
+	cur, err := ix.bt.Seek(key[:])
+	if err != nil {
+		return err
+	}
+	dir := ix.bt.LeafDir()
+	var center int
+	if cur.Valid() {
+		center = ix.leafIndexOf(cur.LeafID())
+	} else {
+		center = len(dir) - 1
+	}
+	lo, hi := center-radius, center+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(dir) {
+		hi = len(dir) - 1
+	}
+	p := ix.opt.S.Params()
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return err
+	}
+	scratch := make(series.Series, p.SeriesLen)
+	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+	for li := lo; li <= hi; li++ {
+		n, err := ix.bt.ReadLeaf(dir[li], buf)
+		if err != nil {
+			return err
+		}
+		stats.VisitedLeaves++
+		for i := 0; i < n; i++ {
+			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+			if !ix.opt.Materialized {
+				k, _, _ := decodeRecord(rec, false)
+				sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+				if ix.opt.S.MinDistPAAToSAX(qPAA, sax) >= h.bound() {
+					continue
+				}
+			}
+			pos, d, err := ix.recordDistance(q, rec, scratch)
+			if err != nil {
+				return err
+			}
+			stats.VisitedRecords++
+			h.offer(Neighbor{Pos: pos, Dist: d})
+		}
+	}
+	return nil
+}

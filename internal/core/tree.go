@@ -1,0 +1,531 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/bptree"
+	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// TreeIndex is Coconut-Tree (Algorithm 3): a balanced B+-tree bulk-loaded
+// bottom-up over sorted invSAX keys. Leaves are contiguous, chained, and
+// packed to the fill factor; approximate search lands on the leaf where the
+// query's key would live, and exact search is CoconutTreeSIMS (Algorithm 5).
+type TreeIndex struct {
+	opt     Options
+	bt      *bptree.Tree
+	rawFile storage.File
+	count   int64
+	// keys/positions hold the in-memory sorted summary array aligned with
+	// the tree's leaf order (the paper: summaries are orders of magnitude
+	// smaller than the data and stay in memory).
+	keys      []summary.Key
+	positions []int64
+	// simsDirty marks the summary array stale after inserts.
+	simsDirty bool
+	// leafIdx maps a leaf page id to its chain position (lazily rebuilt).
+	leafIdx map[int64]int
+}
+
+// teeSource forwards a sorted record stream into the bulk loader while
+// capturing the (key, position) pairs for the in-memory summary array.
+type teeSource struct {
+	rr        *extsort.RecordReader
+	keys      *[]summary.Key
+	positions *[]int64
+}
+
+func (t *teeSource) Next() ([]byte, error) {
+	rec, err := t.rr.Next()
+	if err != nil {
+		return nil, err
+	}
+	key, pos, _ := decodeRecord(rec, false)
+	*t.keys = append(*t.keys, key)
+	*t.positions = append(*t.positions, pos)
+	return rec, nil
+}
+
+// BuildTree runs the full Coconut-Tree pipeline: summarize -> external sort
+// -> UB-tree bulk load.
+func BuildTree(opt Options) (*TreeIndex, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+
+	sortedName := opt.Name + ".sorted"
+	_, err = extsort.Sort(extsort.Config{
+		FS:         opt.FS,
+		RecordSize: opt.recordSize(),
+		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
+		MemBudget:  opt.MemBudgetBytes,
+		TempPrefix: opt.Name + ".sort",
+	}, newSummarizeStream(&opt, raw), sortedName)
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("core: sorting summarizations: %w", err)
+	}
+
+	rr, err := extsort.OpenRecords(opt.FS, sortedName, opt.recordSize(), 0)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	ix := &TreeIndex{opt: opt, rawFile: raw}
+	src := &teeSource{rr: rr, keys: &ix.keys, positions: &ix.positions}
+	bt, err := bptree.BulkLoad(bptree.Config{
+		FS:         opt.FS,
+		Name:       opt.Name + ".bt",
+		RecordSize: opt.recordSize(),
+		KeyLen:     summary.KeySize,
+		LeafCap:    opt.LeafCap,
+		FillFactor: opt.FillFactor,
+		Fanout:     opt.Fanout,
+	}, src)
+	rr.Close()
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("core: bulk loading: %w", err)
+	}
+	_ = opt.FS.Remove(sortedName)
+	if err := bt.Save(); err != nil {
+		bt.Close()
+		raw.Close()
+		return nil, err
+	}
+	ix.bt = bt
+	ix.count = bt.Count()
+	return ix, nil
+}
+
+// OpenTree reopens a previously built (and Saved) Coconut-Tree. The options
+// must name the same FS, Name, RawName, summarizer configuration, and
+// materialization as the build; the tree geometry is restored from the
+// persisted metadata and the in-memory summary array is rebuilt lazily on
+// the first exact query.
+func OpenTree(opt Options) (*TreeIndex, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	bt, err := bptree.Open(bptree.Config{FS: opt.FS, Name: opt.Name + ".bt"})
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	ix := &TreeIndex{opt: opt, bt: bt, rawFile: raw, count: bt.Count(), simsDirty: true}
+	return ix, nil
+}
+
+// Count returns the number of indexed series.
+func (ix *TreeIndex) Count() int64 { return ix.count }
+
+// NumLeaves returns the number of leaf pages.
+func (ix *TreeIndex) NumLeaves() int { return ix.bt.NumLeaves() }
+
+// AvgLeafFill returns mean leaf occupancy (the paper's ~97%).
+func (ix *TreeIndex) AvgLeafFill() float64 { return ix.bt.AvgLeafFill() }
+
+// Height returns the B+-tree height (leaves included).
+func (ix *TreeIndex) Height() int { return ix.bt.Height() }
+
+// SizeBytes returns the on-device index footprint.
+func (ix *TreeIndex) SizeBytes() int64 { return ix.bt.SizeBytes() + ix.bt.MetaSizeBytes() }
+
+// Close releases file handles.
+func (ix *TreeIndex) Close() error {
+	err1 := ix.bt.Close()
+	err2 := ix.rawFile.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// DropCaches flushes the tree's page cache (cold-start experiments).
+func (ix *TreeIndex) DropCaches() error { return ix.bt.DropCache() }
+
+func (ix *TreeIndex) leafIndexOf(id int64) int {
+	if ix.leafIdx == nil || len(ix.leafIdx) != ix.bt.NumLeaves() {
+		ix.leafIdx = make(map[int64]int, ix.bt.NumLeaves())
+		for i, lid := range ix.bt.LeafDir() {
+			ix.leafIdx[lid] = i
+		}
+	}
+	return ix.leafIdx[id]
+}
+
+// recordDistance computes the true distance from q to a leaf record.
+func (ix *TreeIndex) recordDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
+	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
+	if raw != nil {
+		series.DecodeInto(raw, scratch)
+	} else if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
+		return 0, 0, err
+	}
+	sq, err := series.SquaredED(q, scratch)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pos, math.Sqrt(sq), nil
+}
+
+// ApproxSearch implements Algorithm 4: locate the leaf where the query's
+// invSAX key would reside and examine all leaves within `radius` of it
+// (radius 0 = just the target leaf). Neighboring leaves are physically
+// adjacent thanks to contiguous bulk loading, so the extra reads are
+// sequential.
+func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if ix.count == 0 {
+		return res, errEmptyIndex
+	}
+	key, err := ix.opt.S.KeyOf(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	cur, err := ix.bt.Seek(key[:])
+	if err != nil {
+		return res, err
+	}
+	dir := ix.bt.LeafDir()
+	var center int
+	if cur.Valid() {
+		center = ix.leafIndexOf(cur.LeafID())
+	} else {
+		center = len(dir) - 1 // key past the end: examine the last leaf
+	}
+	lo, hi := center-radius, center+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(dir) {
+		hi = len(dir) - 1
+	}
+	p := ix.opt.S.Params()
+	scratch := make(series.Series, p.SeriesLen)
+	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+
+	if ix.opt.Materialized {
+		// Raw series live in the leaves: scan them directly.
+		for li := lo; li <= hi; li++ {
+			n, err := ix.bt.ReadLeaf(dir[li], buf)
+			if err != nil {
+				return res, err
+			}
+			res.VisitedLeaves++
+			for i := 0; i < n; i++ {
+				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return res, err
+				}
+				res.VisitedRecords++
+				if d < res.Dist {
+					res.Dist, res.Pos = d, pos
+				}
+			}
+		}
+		return res, nil
+	}
+
+	// Non-materialized: every raw fetch is a random I/O into the dataset
+	// file. Per the paper (§4.3), examine the records within a bounded
+	// window of the query's sort position ("usually a disk page" per
+	// radius step), fetching them in lower-bound order with early stop.
+	type cand struct {
+		pos int64
+		lb  float64
+		seq int
+	}
+	var cands []cand
+	insIdx := 0
+	seq := 0
+	for li := lo; li <= hi; li++ {
+		n, err := ix.bt.ReadLeaf(dir[li], buf)
+		if err != nil {
+			return res, err
+		}
+		res.VisitedLeaves++
+		for i := 0; i < n; i++ {
+			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+			k, pos, _ := decodeRecord(rec, false)
+			if k.Less(key) {
+				insIdx = seq + 1
+			}
+			sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+			cands = append(cands, cand{pos, ix.opt.S.MinDistPAAToSAX(qPAA, sax), seq})
+			seq++
+		}
+	}
+	window := ix.opt.ApproxWindow * (radius + 1)
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.seq-insIdx < window/2 && insIdx-c.seq < window/2 {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool { return kept[a].lb < kept[b].lb })
+	for _, c := range kept {
+		if c.lb >= res.Dist {
+			break
+		}
+		if err := readRawAt(ix.rawFile, p.SeriesLen, c.pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, c.pos
+		}
+	}
+	return res, nil
+}
+
+// refreshSIMS rebuilds the in-memory sorted summary array after updates by
+// one sequential pass over the chained leaves.
+func (ix *TreeIndex) refreshSIMS() error {
+	if !ix.simsDirty {
+		return nil
+	}
+	ix.keys = ix.keys[:0]
+	ix.positions = ix.positions[:0]
+	err := ix.bt.ScanAll(func(rec []byte) error {
+		key, pos, _ := decodeRecord(rec, false)
+		ix.keys = append(ix.keys, key)
+		ix.positions = append(ix.positions, pos)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ix.simsDirty = false
+	return nil
+}
+
+// parallelMinDists computes lower bounds for every indexed series from the
+// in-memory sorted summary array (Algorithm 5, line 10).
+func (ix *TreeIndex) parallelMinDists(qPAA []float64) []float64 {
+	out := make([]float64, len(ix.keys))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ix.keys) {
+		workers = 1
+	}
+	p := ix.opt.S.Params()
+	var wg sync.WaitGroup
+	chunk := (len(ix.keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ix.keys) {
+			hi = len(ix.keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sax := summary.Deinterleave(ix.keys[i], p.Segments, p.CardBits)
+				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, sax)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExactSearch runs CoconutTreeSIMS (Algorithm 5): approximate search seeds
+// the best-so-far, lower bounds are computed for all series in parallel
+// from the in-memory sorted summaries, and unpruned candidates are fetched
+// with a skip-sequential scan — over the tree's own leaves when
+// materialized, over the raw file in position order otherwise.
+func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
+	res, err := ix.ApproxSearch(q, radius)
+	if err != nil {
+		return res, err
+	}
+	if err := ix.refreshSIMS(); err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	mindists := ix.parallelMinDists(qPAA)
+
+	if ix.opt.Materialized {
+		return ix.simsOverLeaves(q, mindists, res)
+	}
+	return ix.simsOverRawFile(q, mindists, res)
+}
+
+// simsOverLeaves is the materialized scan: walk the leaf directory in
+// order, skipping leaves with no unpruned candidate.
+func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+	base := 0
+	for _, id := range ix.bt.LeafDir() {
+		cnt := ix.bt.LeafRecordCount(id)
+		any := false
+		for i := base; i < base+cnt && i < len(mindists); i++ {
+			if mindists[i] < res.Dist {
+				any = true
+				break
+			}
+		}
+		if !any {
+			base += cnt
+			continue
+		}
+		n, err := ix.bt.ReadLeaf(id, buf)
+		if err != nil {
+			return res, err
+		}
+		res.VisitedLeaves++
+		for i := 0; i < n; i++ {
+			if base+i >= len(mindists) || mindists[base+i] >= res.Dist {
+				continue
+			}
+			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+			pos, d, err := ix.recordDistance(q, rec, scratch)
+			if err != nil {
+				return res, err
+			}
+			res.VisitedRecords++
+			if d < res.Dist {
+				res.Dist, res.Pos = d, pos
+			}
+		}
+		base += cnt
+	}
+	return res, nil
+}
+
+// simsOverRawFile is the non-materialized scan: candidates are remapped to
+// raw-file position order so the dataset is read strictly forward.
+func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Result) (Result, error) {
+	type cand struct {
+		pos int64
+		lb  float64
+	}
+	cands := make([]cand, 0, 256)
+	for i, lb := range mindists {
+		if lb < res.Dist {
+			cands = append(cands, cand{ix.positions[i], lb})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	for _, c := range cands {
+		if c.lb >= res.Dist {
+			continue // pruned by a bsf improvement since collection
+		}
+		if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, c.pos
+		}
+	}
+	return res, nil
+}
+
+// InsertBatch appends new series to the dataset and inserts them into the
+// tree top-down with median splits (the update path of Figure 10a).
+// Sorting the batch by key first concentrates the leaf touches — larger
+// batches approach bulk-load locality, which is why Coconut wins when
+// updates arrive in volume.
+func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
+	p := ix.opt.S.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	end, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if end%sz != 0 {
+		return fmt.Errorf("core: raw file size %d not aligned", end)
+	}
+	pos := end / sz
+
+	type pending struct {
+		key summary.Key
+		pos int64
+		raw []byte
+	}
+	pend := make([]pending, 0, len(batch))
+	encoded := make([]byte, 0, sz)
+	for _, s := range batch {
+		if len(s) != p.SeriesLen {
+			return fmt.Errorf("core: inserted series has length %d, want %d", len(s), p.SeriesLen)
+		}
+		encoded = series.AppendEncode(encoded[:0], s)
+		if _, err := ix.rawFile.WriteAt(encoded, pos*sz); err != nil {
+			return err
+		}
+		key, err := ix.opt.S.KeyOf(s)
+		if err != nil {
+			return err
+		}
+		pd := pending{key: key, pos: pos}
+		if ix.opt.Materialized {
+			pd.raw = append([]byte(nil), encoded...)
+		}
+		pend = append(pend, pd)
+		pos++
+	}
+	sort.Slice(pend, func(a, b int) bool { return pend[a].key.Less(pend[b].key) })
+	rec := make([]byte, ix.opt.recordSize())
+	for _, pd := range pend {
+		encodeRecord(rec, pd.key, pd.pos, pd.raw)
+		if err := ix.bt.Insert(rec); err != nil {
+			return err
+		}
+	}
+	ix.count += int64(len(batch))
+	ix.simsDirty = true
+	ix.leafIdx = nil
+	return nil
+}
+
+// ScanAllPositions streams every indexed position in key order (testing and
+// verification helper).
+func (ix *TreeIndex) ScanAllPositions() ([]int64, error) {
+	var out []int64
+	err := ix.bt.ScanAll(func(rec []byte) error {
+		_, pos, _ := decodeRecord(rec, false)
+		out = append(out, pos)
+		return nil
+	})
+	return out, err
+}
+
+var _ io.Closer = (*TreeIndex)(nil)

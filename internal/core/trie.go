@@ -1,0 +1,555 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+	"github.com/coconut-db/coconut/internal/trie"
+)
+
+// TrieIndex is Coconut-Trie (Algorithm 2): an iSAX-style prefix trie built
+// bottom-up from sorted invSAX keys, with contiguous leaves.
+//
+// The construction realizes insertBottomUp + CompactSubtree as a recursive
+// partition of the sorted key range along interleaved bit positions: a
+// range that fits in a leaf becomes a (maximal, prefix-aligned) leaf —
+// exactly the groups compaction would produce — and larger ranges split on
+// the next interleaved bit, which extends one segment's prefix by one bit.
+type TrieIndex struct {
+	opt      Options
+	tr       *trie.Trie
+	leaves   []*trie.Node // leaf nodes in sorted (z-)order
+	leafOrd  map[*trie.Node]int
+	leafFile storage.File
+	rawFile  storage.File
+	count    int64
+	// keys/positions: in-memory sorted summary array (SIMS state).
+	keys      []summary.Key
+	positions []int64
+	// leafStart[i] is the index into keys of leaf i's first record.
+	leafStart []int
+	nextPage  int64
+}
+
+func bitAt(k summary.Key, i int) int {
+	return int(k[i>>3]>>(7-uint(i&7))) & 1
+}
+
+// prefixAt converts the first L interleaved bits of key into per-segment
+// (Syms, Bits) prefixes: bit position p belongs to segment p mod w.
+func prefixAt(s *summary.Summarizer, key summary.Key, L int) (summary.SAX, []uint8) {
+	p := s.Params()
+	w, b := p.Segments, p.CardBits
+	bits := make([]uint8, w)
+	for j := 0; j < w; j++ {
+		n := L / w
+		if L%w > j {
+			n++
+		}
+		if n > b {
+			n = b
+		}
+		bits[j] = uint8(n)
+	}
+	sax := summary.Deinterleave(key, w, b)
+	syms := make(summary.SAX, w)
+	for j := 0; j < w; j++ {
+		shift := uint(b) - uint(bits[j])
+		syms[j] = (sax[j] >> shift) << shift
+	}
+	return syms, bits
+}
+
+// BuildTrie runs the Coconut-Trie pipeline: summarize -> external sort ->
+// bottom-up trie construction -> contiguous leaf write-out.
+func BuildTrie(opt Options) (*TrieIndex, error) {
+	opt.Variant = Trie
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+
+	sortedName := opt.Name + ".sorted"
+	_, err = extsort.Sort(extsort.Config{
+		FS:         opt.FS,
+		RecordSize: opt.recordSize(),
+		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
+		MemBudget:  opt.MemBudgetBytes,
+		TempPrefix: opt.Name + ".sort",
+	}, newSummarizeStream(&opt, raw), sortedName)
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("core: sorting summarizations: %w", err)
+	}
+
+	tr, err := trie.New(opt.S, opt.LeafCap)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	lf, err := opt.FS.Create(opt.Name + ".leaves")
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	ix := &TrieIndex{opt: opt, tr: tr, leafFile: lf, rawFile: raw, leafOrd: make(map[*trie.Node]int)}
+
+	// Pass over the sorted stream: load the sorted summary array.
+	rr, err := extsort.OpenRecords(opt.FS, sortedName, opt.recordSize(), 0)
+	if err != nil {
+		ix.closeAll()
+		return nil, err
+	}
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rr.Close()
+			ix.closeAll()
+			return nil, err
+		}
+		key, pos, _ := decodeRecord(rec, false)
+		ix.keys = append(ix.keys, key)
+		ix.positions = append(ix.positions, pos)
+	}
+	rr.Close()
+	ix.count = int64(len(ix.keys))
+
+	// insertBottomUp + CompactSubtree: group by the first w bits (the iSAX
+	// root fan-out), then recursively partition.
+	p := opt.S.Params()
+	totalBits := p.Segments * p.CardBits
+	lo := 0
+	for lo < len(ix.keys) {
+		hi := lo
+		rootPrefix := ix.keys[lo]
+		for hi < len(ix.keys) && summary.CommonPrefixBits(rootPrefix, ix.keys[hi], p.Segments) == p.Segments {
+			hi++
+		}
+		n := ix.buildNode(lo, hi, p.Segments, totalBits)
+		ix.tr.Root[ix.tr.RootKey(summary.Deinterleave(rootPrefix, p.Segments, p.CardBits))] = n
+		lo = hi
+	}
+
+	// Contiguous leaf write-out: one sequential pass over the sorted file.
+	if err := ix.writeLeaves(sortedName); err != nil {
+		ix.closeAll()
+		return nil, err
+	}
+	_ = opt.FS.Remove(sortedName)
+	return ix, nil
+}
+
+func (ix *TrieIndex) closeAll() {
+	ix.leafFile.Close()
+	ix.rawFile.Close()
+}
+
+// buildNode recursively builds the subtree for keys[lo:hi], whose members
+// share at least `depth` interleaved prefix bits.
+func (ix *TrieIndex) buildNode(lo, hi, depth, totalBits int) *trie.Node {
+	s := ix.opt.S
+	if hi-lo <= ix.opt.LeafCap || depth >= totalBits {
+		// Maximal leaf: tighten the prefix to the members' true common
+		// prefix (what CompactSubtree ends up with).
+		common := summary.CommonPrefixBits(ix.keys[lo], ix.keys[hi-1], totalBits)
+		if common < depth {
+			common = depth
+		}
+		syms, bits := prefixAt(s, ix.keys[lo], common)
+		leaf := &trie.Node{Syms: syms, Bits: bits, Leaf: true, Count: int64(hi - lo)}
+		pages := int64((hi - lo + ix.opt.LeafCap - 1) / ix.opt.LeafCap)
+		if pages == 0 {
+			pages = 1
+		}
+		leaf.PageStart = ix.nextPage
+		leaf.PageNum = pages
+		ix.nextPage += pages
+		ix.leafOrd[leaf] = len(ix.leaves)
+		ix.leafStart = append(ix.leafStart, lo)
+		ix.leaves = append(ix.leaves, leaf)
+		return leaf
+	}
+	// Advance to the first bit position that actually divides the range
+	// (path compression — chains of single-child nodes merge away).
+	d := depth
+	for d < totalBits {
+		mid := lo + sort.Search(hi-lo, func(i int) bool { return bitAt(ix.keys[lo+i], d) == 1 })
+		if mid > lo && mid < hi {
+			syms, bits := prefixAt(s, ix.keys[lo], depth)
+			n := &trie.Node{Syms: syms, Bits: bits, Count: int64(hi - lo)}
+			n.Children = []*trie.Node{
+				ix.buildNode(lo, mid, d+1, totalBits),
+				ix.buildNode(mid, hi, d+1, totalBits),
+			}
+			return n
+		}
+		d++
+	}
+	// All remaining bits identical: one oversized leaf.
+	return ix.buildNode(lo, hi, totalBits, totalBits)
+}
+
+func (ix *TrieIndex) pageSize() int64 {
+	return int64(4 + ix.opt.recordSize()*ix.opt.LeafCap)
+}
+
+// writeLeaves streams the sorted record file into page-framed, contiguous
+// leaves — the large sequential write that replaces the state of the art's
+// scattered allocations.
+func (ix *TrieIndex) writeLeaves(sortedName string) error {
+	rr, err := extsort.OpenRecords(ix.opt.FS, sortedName, ix.opt.recordSize(), 0)
+	if err != nil {
+		return err
+	}
+	defer rr.Close()
+	w := storage.NewSequentialWriter(ix.leafFile, 0, 0)
+	recSize := ix.opt.recordSize()
+	pageBytes := int(ix.pageSize())
+	for _, leaf := range ix.leaves {
+		buf := make([]byte, leaf.PageNum*ix.pageSize())
+		cnt := int(leaf.Count)
+		buf[0] = byte(cnt)
+		buf[1] = byte(cnt >> 8)
+		buf[2] = byte(cnt >> 16)
+		buf[3] = byte(cnt >> 24)
+		off := 4
+		inPage, page := 0, 0
+		for i := 0; i < cnt; i++ {
+			rec, err := rr.Next()
+			if err != nil {
+				return fmt.Errorf("core: sorted stream ended early: %w", err)
+			}
+			if inPage == ix.opt.LeafCap {
+				page++
+				off = page*pageBytes + 4
+				inPage = 0
+			}
+			copy(buf[off:], rec)
+			off += recSize
+			inPage++
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readLeafRecords loads one leaf's raw record bytes.
+func (ix *TrieIndex) readLeafRecords(leaf *trie.Node) ([][]byte, error) {
+	buf := make([]byte, leaf.PageNum*ix.pageSize())
+	if n, err := ix.leafFile.ReadAt(buf, leaf.PageStart*ix.pageSize()); n != len(buf) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("core: read trie leaf: %w", err)
+	}
+	cnt := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	recSize := ix.opt.recordSize()
+	pageBytes := int(ix.pageSize())
+	out := make([][]byte, 0, cnt)
+	off := 4
+	inPage, page := 0, 0
+	for i := 0; i < cnt; i++ {
+		if inPage == ix.opt.LeafCap {
+			page++
+			off = page*pageBytes + 4
+			inPage = 0
+		}
+		out = append(out, buf[off:off+recSize])
+		off += recSize
+		inPage++
+	}
+	return out, nil
+}
+
+// Count returns the number of indexed series.
+func (ix *TrieIndex) Count() int64 { return ix.count }
+
+// NumLeaves returns the number of trie leaves.
+func (ix *TrieIndex) NumLeaves() int { return len(ix.leaves) }
+
+// AvgLeafFill returns mean leaf occupancy.
+func (ix *TrieIndex) AvgLeafFill() float64 {
+	if len(ix.leaves) == 0 {
+		return 0
+	}
+	var total int64
+	for _, l := range ix.leaves {
+		total += l.Count
+	}
+	return float64(total) / float64(int64(len(ix.leaves))*int64(ix.opt.LeafCap))
+}
+
+// SizeBytes returns the on-device index footprint.
+func (ix *TrieIndex) SizeBytes() int64 {
+	size, err := ix.leafFile.Size()
+	if err != nil {
+		return 0
+	}
+	return size
+}
+
+// Trie exposes the underlying structure (read-only).
+func (ix *TrieIndex) Trie() *trie.Trie { return ix.tr }
+
+// Close releases file handles.
+func (ix *TrieIndex) Close() error {
+	err1 := ix.leafFile.Close()
+	err2 := ix.rawFile.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (ix *TrieIndex) recordDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
+	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
+	if raw != nil {
+		series.DecodeInto(raw, scratch)
+	} else if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
+		return 0, 0, err
+	}
+	sq, err := series.SquaredED(q, scratch)
+	if err != nil {
+		return 0, 0, err
+	}
+	return pos, math.Sqrt(sq), nil
+}
+
+// ApproxSearch descends to the most promising leaf and examines it plus
+// `radius` neighbors on each side (neighbors are physically adjacent —
+// contiguity is Coconut-Trie's improvement over the state of the art).
+func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if ix.count == 0 {
+		return res, errEmptyIndex
+	}
+	word, err := ix.opt.S.SAXOf(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	leaf := ix.tr.Descend(word)
+	if leaf == nil || !leaf.Leaf {
+		leaf = ix.tr.BestLeaf(qPAA)
+	}
+	if leaf == nil {
+		return res, errors.New("core: no leaf found")
+	}
+	center := ix.leafOrd[leaf]
+	lo, hi := center-radius, center+radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(ix.leaves) {
+		hi = len(ix.leaves) - 1
+	}
+	p := ix.opt.S.Params()
+	scratch := make(series.Series, p.SeriesLen)
+
+	if ix.opt.Materialized {
+		for li := lo; li <= hi; li++ {
+			recs, err := ix.readLeafRecords(ix.leaves[li])
+			if err != nil {
+				return res, err
+			}
+			res.VisitedLeaves++
+			for _, rec := range recs {
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return res, err
+				}
+				res.VisitedRecords++
+				if d < res.Dist {
+					res.Dist, res.Pos = d, pos
+				}
+			}
+		}
+		return res, nil
+	}
+
+	// Non-materialized: bounded window around the query's sort position,
+	// fetched in lower-bound order with early stop (see
+	// TreeIndex.ApproxSearch).
+	qKey := ix.opt.S.KeyFromSAX(word)
+	type cand struct {
+		pos int64
+		lb  float64
+		seq int
+	}
+	var cands []cand
+	insIdx := 0
+	seq := 0
+	for li := lo; li <= hi; li++ {
+		recs, err := ix.readLeafRecords(ix.leaves[li])
+		if err != nil {
+			return res, err
+		}
+		res.VisitedLeaves++
+		for _, rec := range recs {
+			k, pos, _ := decodeRecord(rec, false)
+			if k.Less(qKey) {
+				insIdx = seq + 1
+			}
+			sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+			cands = append(cands, cand{pos, ix.opt.S.MinDistPAAToSAX(qPAA, sax), seq})
+			seq++
+		}
+	}
+	window := ix.opt.ApproxWindow * (radius + 1)
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.seq-insIdx < window/2 && insIdx-c.seq < window/2 {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool { return kept[a].lb < kept[b].lb })
+	for _, c := range kept {
+		if c.lb >= res.Dist {
+			break
+		}
+		if err := readRawAt(ix.rawFile, p.SeriesLen, c.pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, c.pos
+		}
+	}
+	return res, nil
+}
+
+// ExactSearch runs the SIMS algorithm over the trie: approximate seed,
+// parallel lower bounds from the in-memory sorted summaries, then a
+// skip-sequential candidate scan (leaves when materialized, raw file in
+// position order otherwise).
+func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
+	res, err := ix.ApproxSearch(q, radius)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	mindists := ix.parallelMinDists(qPAA)
+
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	if ix.opt.Materialized {
+		for li, leaf := range ix.leaves {
+			start := ix.leafStart[li]
+			end := start + int(leaf.Count)
+			any := false
+			for i := start; i < end; i++ {
+				if mindists[i] < res.Dist {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			recs, err := ix.readLeafRecords(leaf)
+			if err != nil {
+				return res, err
+			}
+			res.VisitedLeaves++
+			for ri, rec := range recs {
+				if mindists[start+ri] >= res.Dist {
+					continue
+				}
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return res, err
+				}
+				res.VisitedRecords++
+				if d < res.Dist {
+					res.Dist, res.Pos = d, pos
+				}
+			}
+		}
+		return res, nil
+	}
+
+	type cand struct {
+		pos int64
+		lb  float64
+	}
+	cands := make([]cand, 0, 256)
+	for i, lb := range mindists {
+		if lb < res.Dist {
+			cands = append(cands, cand{ix.positions[i], lb})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
+	for _, c := range cands {
+		if c.lb >= res.Dist {
+			continue
+		}
+		if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, c.pos
+		}
+	}
+	return res, nil
+}
+
+func (ix *TrieIndex) parallelMinDists(qPAA []float64) []float64 {
+	out := make([]float64, len(ix.keys))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ix.keys) {
+		workers = 1
+	}
+	p := ix.opt.S.Params()
+	var wg sync.WaitGroup
+	chunk := (len(ix.keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(ix.keys) {
+			hi = len(ix.keys)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sax := summary.Deinterleave(ix.keys[i], p.Segments, p.CardBits)
+				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, sax)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+func TestGeneratorsProduceZNormalizedSeries(t *testing.T) {
+	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy()} {
+		t.Run(gen.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			s := make(series.Series, 256)
+			for trial := 0; trial < 20; trial++ {
+				gen.Generate(rng, s)
+				if !s.IsZNormalized(1e-6) {
+					t.Fatalf("trial %d: series not z-normalized (mean=%v std=%v)", trial, s.Mean(), s.Stddev())
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy()} {
+		a := Generate(gen, 5, 64, 42)
+		b := Generate(gen, 5, 64, 42)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: not deterministic at series %d point %d", gen.Name(), i, j)
+				}
+			}
+		}
+		c := Generate(gen, 5, 64, 43)
+		same := true
+		for j := range a[0] {
+			if a[0][j] != c[0][j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical output", gen.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"randomwalk", "seismic", "astronomy"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, g.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	fs := storage.NewMemFS()
+	const count, n = 50, 32
+	written, err := WriteFile(fs, "data.bin", NewRandomWalk(), count, n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(count*n*series.PointSize) {
+		t.Fatalf("wrote %d bytes, want %d", written, count*n*series.PointSize)
+	}
+	want := Generate(NewRandomWalk(), count, n, 7)
+
+	f, err := fs.Open("data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := series.NewReader(storage.NewSequentialReader(f, 0, -1, 0), n)
+	for i := 0; i < count; i++ {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("series %d: %v", i, err)
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("series %d differs from in-memory generation", i)
+			}
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriteFileIsSequential(t *testing.T) {
+	fs := storage.NewMemFS()
+	if _, err := WriteFile(fs, "seq.bin", NewSeismic(), 2000, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Stats().Snapshot()
+	if snap.RandWrites > 1 {
+		t.Fatalf("dataset write should be one sequential stream, got %+v", snap)
+	}
+}
+
+func TestQueriesIndependentOfData(t *testing.T) {
+	gen := NewRandomWalk()
+	data := Generate(gen, 10, 32, 1)
+	qs := Queries(gen, 10, 32, 2)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	// Different seed should give different values.
+	if data[0][0] == qs[0][0] && data[0][1] == qs[0][1] {
+		t.Fatal("queries look identical to data")
+	}
+}
+
+func TestNoisyMemberQueries(t *testing.T) {
+	gen := NewSeismic()
+	data := Generate(gen, 20, 64, 3)
+	qs := NoisyMemberQueries(data, 5, 0.01, 4)
+	if len(qs) != 5 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if !q.IsZNormalized(1e-6) {
+			t.Fatal("noisy query must be re-normalized")
+		}
+		// Should be close to some member of the dataset.
+		best := math.Inf(1)
+		for _, d := range data {
+			dist, _ := series.ED(q, d)
+			if dist < best {
+				best = dist
+			}
+		}
+		if best > 3 {
+			t.Fatalf("noisy member query too far from all members: %v", best)
+		}
+	}
+	if got := NoisyMemberQueries(nil, 5, 0.01, 4); len(got) != 0 {
+		t.Fatal("no data should yield no queries")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	for _, v := range []float64{-0.9, -0.1, 0.1, 0.9, -5, 5} {
+		h.Add(v)
+	}
+	if h.Total != 6 {
+		t.Fatalf("total %d", h.Total)
+	}
+	// Clamped extremes land in edge bins.
+	if h.Counts[0] != 2 || h.Counts[3] != 2 {
+		t.Fatalf("edge clamping wrong: %v", h.Counts)
+	}
+	if p := h.Probability(0); math.Abs(p-2.0/6) > 1e-12 {
+		t.Fatalf("Probability(0) = %v", p)
+	}
+	if c := h.BinCenter(0); math.Abs(c-(-0.75)) > 1e-12 {
+		t.Fatalf("BinCenter(0) = %v", c)
+	}
+}
+
+func TestValueHistogramShapes(t *testing.T) {
+	// All three histograms should be unimodal-ish and centered near zero
+	// (the data is z-normalized); Figure 7.
+	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy()} {
+		h := ValueHistogram(gen, 200, 128, 40, -5, 5, 9)
+		if h.Total != 200*128 {
+			t.Fatalf("%s: total %d", gen.Name(), h.Total)
+		}
+		// Mass near the center should dominate mass at the edges.
+		center := h.Probability(19) + h.Probability(20)
+		edges := h.Probability(0) + h.Probability(39)
+		if center <= edges {
+			t.Fatalf("%s: histogram not centered (center=%v edges=%v)", gen.Name(), center, edges)
+		}
+	}
+}
+
+func TestAstronomyIsMoreSkewed(t *testing.T) {
+	// Figure 7: randomwalk and seismic are roughly symmetric, astronomy is
+	// skewed. Compare |skewness|.
+	rw := math.Abs(Skewness(NewRandomWalk(), 300, 128, 11))
+	astro := math.Abs(Skewness(NewAstronomy(), 300, 128, 11))
+	if astro <= rw {
+		t.Fatalf("astronomy skew %v should exceed randomwalk %v", astro, rw)
+	}
+}

@@ -1,0 +1,591 @@
+// Package dstree implements the DSTree baseline (Wang et al., "A
+// data-adaptive and dynamic segmentation index for whole matching on time
+// series"): a binary tree whose nodes carry an adaptive segmentation of the
+// series and, per segment, the min/max of the segment means and standard
+// deviations of all resident series (an EAPCA synopsis). Those statistics
+// give a lower bound on the distance from a query to anything in the node.
+//
+// Series are inserted ONE BY ONE, top-down — no buffering, no bulk loading.
+// Every insert rewrites its leaf on disk, which is why the paper reports
+// DSTree needing >24h on large datasets (§5.1): construction is O(N) random
+// I/Os with a large constant.
+package dstree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// Options configures a build.
+type Options struct {
+	// FS hosts the index and the raw dataset file.
+	FS storage.FS
+	// Name is the base file name.
+	Name string
+	// RawName is the dataset file.
+	RawName string
+	// SeriesLen is the series length.
+	SeriesLen int
+	// LeafCap is the number of series per leaf before splitting.
+	LeafCap int
+	// InitSegments is the starting segmentation granularity (default 4).
+	InitSegments int
+}
+
+func (o *Options) validate() error {
+	switch {
+	case o.FS == nil:
+		return errors.New("dstree: nil FS")
+	case o.Name == "":
+		return errors.New("dstree: empty name")
+	case o.RawName == "":
+		return errors.New("dstree: empty raw name")
+	case o.SeriesLen <= 0:
+		return errors.New("dstree: series length must be positive")
+	case o.LeafCap < 2:
+		return errors.New("dstree: leaf capacity must be at least 2")
+	}
+	if o.InitSegments <= 0 || o.InitSegments > o.SeriesLen {
+		o.InitSegments = 4
+	}
+	return nil
+}
+
+// Result mirrors the other indexes' search answer.
+type Result struct {
+	Pos            int64
+	Dist           float64
+	VisitedRecords int64
+	VisitedLeaves  int64
+}
+
+// segStat is the synopsis of one segment of one node.
+type segStat struct {
+	minMean, maxMean float64
+	minStd, maxStd   float64
+}
+
+// node is a DSTree node. Segmentation is expressed as segment end indices
+// (exclusive); children refine the parent's segmentation when a vertical
+// split occurred.
+type node struct {
+	segEnds []int
+	stats   []segStat
+	count   int64
+	// split description (internal nodes): children partition residents by
+	// whether the mean of segment splitSeg is below/above splitVal (hsplit)
+	// or, for vsplit, the same test on a refined segment.
+	splitSeg int
+	splitVal float64
+	useStd   bool // split on stddev instead of mean
+	left     *node
+	right    *node
+	// leafPage/leafPages locate the leaf's records; degenerate leaves
+	// (identical series that no predicate divides) may span several pages.
+	leafPage  int64
+	leafPages int64
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a built DSTree.
+type Tree struct {
+	opt      Options
+	root     *node
+	leafFile storage.File
+	rawFile  storage.File
+	count    int64
+	nextPage int64
+	nLeaves  int64
+	// deadPages counts orphaned leaf pages after splits.
+	deadPages int64
+}
+
+// entrySize: pos + raw series (DSTree is a materialized index).
+func (t *Tree) entrySize() int { return 8 + series.EncodedSize(t.opt.SeriesLen) }
+
+func (t *Tree) pageSize() int64 { return int64(4 + t.entrySize()*t.opt.LeafCap) }
+
+// Build inserts every series of the dataset one by one.
+func Build(opt Options) (*Tree, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	lf, err := opt.FS.Create(opt.Name + ".leaves")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		lf.Close()
+		return nil, err
+	}
+	t := &Tree{opt: opt, leafFile: lf, rawFile: raw}
+	t.root = t.newNode(uniformSegmentation(opt.SeriesLen, opt.InitSegments))
+	if err := t.writeLeafEntries(t.root, nil); err != nil {
+		lf.Close()
+		raw.Close()
+		return nil, err
+	}
+	t.nLeaves = 1
+
+	r := series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), opt.SeriesLen)
+	buf := make(series.Series, opt.SeriesLen)
+	var pos int64
+	for {
+		if err := r.NextInto(buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		if err := t.Insert(buf, pos); err != nil {
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		pos++
+	}
+	return t, nil
+}
+
+func uniformSegmentation(n, segs int) []int {
+	ends := make([]int, segs)
+	for i := 0; i < segs; i++ {
+		ends[i] = (i + 1) * n / segs
+	}
+	return ends
+}
+
+func (t *Tree) newNode(segEnds []int) *node {
+	n := &node{segEnds: segEnds, stats: make([]segStat, len(segEnds)), leafPage: -1}
+	for i := range n.stats {
+		n.stats[i] = segStat{
+			minMean: math.Inf(1), maxMean: math.Inf(-1),
+			minStd: math.Inf(1), maxStd: math.Inf(-1),
+		}
+	}
+	return n
+}
+
+func (t *Tree) allocPages(k int64) int64 {
+	id := t.nextPage
+	t.nextPage += k
+	return id
+}
+
+// segFeatures computes (mean, std) of s over [lo, hi).
+func segFeatures(s series.Series, lo, hi int) (mean, std float64) {
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += s[i]
+	}
+	mean = sum / float64(hi-lo)
+	acc := 0.0
+	for i := lo; i < hi; i++ {
+		d := s[i] - mean
+		acc += d * d
+	}
+	return mean, math.Sqrt(acc / float64(hi-lo))
+}
+
+// updateStats folds one series into a node's synopsis.
+func (n *node) updateStats(s series.Series) {
+	lo := 0
+	for i, hi := range n.segEnds {
+		mean, std := segFeatures(s, lo, hi)
+		st := &n.stats[i]
+		if mean < st.minMean {
+			st.minMean = mean
+		}
+		if mean > st.maxMean {
+			st.maxMean = mean
+		}
+		if std < st.minStd {
+			st.minStd = std
+		}
+		if std > st.maxStd {
+			st.maxStd = std
+		}
+		lo = hi
+	}
+}
+
+// Insert adds one series (top-down, no buffering).
+func (t *Tree) Insert(s series.Series, pos int64) error {
+	if len(s) != t.opt.SeriesLen {
+		return fmt.Errorf("dstree: series length %d, want %d", len(s), t.opt.SeriesLen)
+	}
+	n := t.root
+	for {
+		n.updateStats(s)
+		n.count++
+		if n.isLeaf() {
+			break
+		}
+		if t.routeRight(n, s) {
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	entries, err := t.readLeafEntries(n)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, leafEntry{pos: pos, raw: series.AppendEncode(nil, s)})
+	if len(entries) <= t.opt.LeafCap {
+		t.count++
+		return t.writeLeafEntries(n, entries)
+	}
+	if err := t.splitLeaf(n, entries); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// routeRight applies the node's split predicate to a series.
+func (t *Tree) routeRight(n *node, s series.Series) bool {
+	lo := 0
+	for i, hi := range n.segEnds {
+		if i == n.splitSeg {
+			mean, std := segFeatures(s, lo, hi)
+			v := mean
+			if n.useStd {
+				v = std
+			}
+			return v >= n.splitVal
+		}
+		lo = hi
+	}
+	return false
+}
+
+// splitLeaf turns a full leaf into an internal node with two children,
+// choosing the segment and feature (mean or stddev) whose midpoint split is
+// the most balanced — the h-split of the DSTree paper. Children inherit the
+// parent's segmentation with the split segment refined in two (v-split)
+// when it is wider than one point.
+func (t *Tree) splitLeaf(n *node, entries []leafEntry) error {
+	// Decode features per entry per segment.
+	type feats struct{ mean, std []float64 }
+	fs := make([]feats, len(entries))
+	scratch := make(series.Series, t.opt.SeriesLen)
+	for i, e := range entries {
+		series.DecodeInto(e.raw, scratch)
+		f := feats{mean: make([]float64, len(n.segEnds)), std: make([]float64, len(n.segEnds))}
+		lo := 0
+		for j, hi := range n.segEnds {
+			f.mean[j], f.std[j] = segFeatures(scratch, lo, hi)
+			lo = hi
+		}
+		fs[i] = f
+	}
+
+	bestSeg, bestStd, bestBalance := -1, false, int64(-1)
+	var bestVal float64
+	for j := range n.segEnds {
+		for _, useStd := range []bool{false, true} {
+			st := n.stats[j]
+			var mid float64
+			if useStd {
+				mid = (st.minStd + st.maxStd) / 2
+			} else {
+				mid = (st.minMean + st.maxMean) / 2
+			}
+			var right int64
+			for i := range fs {
+				v := fs[i].mean[j]
+				if useStd {
+					v = fs[i].std[j]
+				}
+				if v >= mid {
+					right++
+				}
+			}
+			left := int64(len(fs)) - right
+			bal := left
+			if right < left {
+				bal = right
+			}
+			if bal > bestBalance {
+				bestSeg, bestStd, bestBalance, bestVal = j, useStd, bal, mid
+			}
+		}
+	}
+	if bestSeg < 0 || bestBalance == 0 {
+		// Degenerate: no predicate divides the residents (identical
+		// series). Keep an oversized leaf spanning extra pages.
+		return t.writeLeafEntries(n, entries)
+	}
+
+	// Children refine the split segment when possible (v-split).
+	childSegs := n.segEnds
+	segLo := 0
+	if bestSeg > 0 {
+		segLo = n.segEnds[bestSeg-1]
+	}
+	segHi := n.segEnds[bestSeg]
+	if segHi-segLo >= 2 {
+		childSegs = make([]int, 0, len(n.segEnds)+1)
+		childSegs = append(childSegs, n.segEnds[:bestSeg]...)
+		childSegs = append(childSegs, (segLo+segHi)/2)
+		childSegs = append(childSegs, n.segEnds[bestSeg:]...)
+	}
+
+	n.splitSeg, n.splitVal, n.useStd = bestSeg, bestVal, bestStd
+	n.left = t.newNode(append([]int(nil), childSegs...))
+	n.right = t.newNode(append([]int(nil), childSegs...))
+	if n.leafPage >= 0 {
+		t.deadPages += n.leafPages
+		n.leafPage, n.leafPages = -1, 0
+	}
+	t.nLeaves++ // one leaf became two
+
+	var leftEntries, rightEntries []leafEntry
+	for i, e := range entries {
+		v := fs[i].mean[bestSeg]
+		if bestStd {
+			v = fs[i].std[bestSeg]
+		}
+		series.DecodeInto(e.raw, scratch)
+		if v >= bestVal {
+			n.right.updateStats(scratch)
+			n.right.count++
+			rightEntries = append(rightEntries, e)
+		} else {
+			n.left.updateStats(scratch)
+			n.left.count++
+			leftEntries = append(leftEntries, e)
+		}
+	}
+	if err := t.writeLeafEntries(n.left, leftEntries); err != nil {
+		return err
+	}
+	return t.writeLeafEntries(n.right, rightEntries)
+}
+
+type leafEntry struct {
+	pos int64
+	raw []byte
+}
+
+func (t *Tree) readLeafEntries(n *node) ([]leafEntry, error) {
+	if n.leafPage < 0 || n.leafPages == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n.leafPages*t.pageSize())
+	if nr, err := t.leafFile.ReadAt(buf, n.leafPage*t.pageSize()); nr != len(buf) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("dstree: read leaf %d: %w", n.leafPage, err)
+	}
+	cnt := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	es := t.entrySize()
+	pageBytes := int(t.pageSize())
+	out := make([]leafEntry, 0, cnt)
+	off := 4
+	inPage, page := 0, 0
+	for i := 0; i < cnt; i++ {
+		if inPage == t.opt.LeafCap {
+			page++
+			off = page*pageBytes + 4
+			inPage = 0
+		}
+		var e leafEntry
+		e.pos = int64(leU64(buf[off:]))
+		e.raw = append([]byte(nil), buf[off+8:off+es]...)
+		out = append(out, e)
+		off += es
+		inPage++
+	}
+	return out, nil
+}
+
+func (t *Tree) writeLeafEntries(n *node, entries []leafEntry) error {
+	pagesNeeded := int64((len(entries) + t.opt.LeafCap - 1) / t.opt.LeafCap)
+	if pagesNeeded == 0 {
+		pagesNeeded = 1
+	}
+	if n.leafPage < 0 || n.leafPages != pagesNeeded {
+		if n.leafPage >= 0 {
+			t.deadPages += n.leafPages
+		}
+		n.leafPage = t.allocPages(pagesNeeded)
+		n.leafPages = pagesNeeded
+	}
+	buf := make([]byte, pagesNeeded*t.pageSize())
+	buf[0] = byte(len(entries))
+	buf[1] = byte(len(entries) >> 8)
+	buf[2] = byte(len(entries) >> 16)
+	buf[3] = byte(len(entries) >> 24)
+	es := t.entrySize()
+	pageBytes := int(t.pageSize())
+	off := 4
+	inPage, page := 0, 0
+	for _, e := range entries {
+		if inPage == t.opt.LeafCap {
+			page++
+			off = page*pageBytes + 4
+			inPage = 0
+		}
+		putU64(buf[off:], uint64(e.pos))
+		copy(buf[off+8:], e.raw)
+		off += es
+		inPage++
+	}
+	_, err := t.leafFile.WriteAt(buf, n.leafPage*t.pageSize())
+	return err
+}
+
+// minDist lower-bounds the distance from q to any series in n using the
+// segment-mean envelope: within each segment the resident means lie in
+// [minMean, maxMean], and Σ width·(gap in means)² lower-bounds the true
+// squared distance (Cauchy-Schwarz on segment averages).
+func (t *Tree) minDist(q series.Series, n *node) float64 {
+	acc := 0.0
+	lo := 0
+	for i, hi := range n.segEnds {
+		qMean, _ := segFeatures(q, lo, hi)
+		st := n.stats[i]
+		var d float64
+		switch {
+		case qMean < st.minMean:
+			d = st.minMean - qMean
+		case qMean > st.maxMean:
+			d = qMean - st.maxMean
+		}
+		if d != 0 {
+			acc += float64(hi-lo) * d * d
+		}
+		lo = hi
+	}
+	return math.Sqrt(acc)
+}
+
+// Count returns the number of indexed series.
+func (t *Tree) Count() int64 { return t.count }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int64 { return t.nLeaves }
+
+// SizeBytes returns the on-device index size.
+func (t *Tree) SizeBytes() int64 {
+	size, err := t.leafFile.Size()
+	if err != nil {
+		return 0
+	}
+	return size
+}
+
+// Close releases file handles.
+func (t *Tree) Close() error {
+	err1 := t.leafFile.Close()
+	err2 := t.rawFile.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ApproxSearch descends to the most promising leaf.
+func (t *Tree) ApproxSearch(q series.Series) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if t.count == 0 {
+		return res, errors.New("dstree: index is empty")
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if t.minDist(q, n.left) <= t.minDist(q, n.right) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return res, t.scanLeaf(q, n, &res)
+}
+
+func (t *Tree) scanLeaf(q series.Series, n *node, res *Result) error {
+	entries, err := t.readLeafEntries(n)
+	if err != nil {
+		return err
+	}
+	res.VisitedLeaves++
+	scratch := make(series.Series, t.opt.SeriesLen)
+	for _, e := range entries {
+		series.DecodeInto(e.raw, scratch)
+		sq, err := series.SquaredED(q, scratch)
+		if err != nil {
+			return err
+		}
+		res.VisitedRecords++
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, e.pos
+		}
+	}
+	return nil
+}
+
+type pqItem struct {
+	n    *node
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ExactSearch is best-first branch-and-bound over the synopsis bounds.
+func (t *Tree) ExactSearch(q series.Series) (Result, error) {
+	res, err := t.ApproxSearch(q)
+	if err != nil {
+		return res, err
+	}
+	queue := &pq{{t.root, t.minDist(q, t.root)}}
+	for queue.Len() > 0 {
+		it := heap.Pop(queue).(pqItem)
+		if it.dist >= res.Dist {
+			break
+		}
+		if !it.n.isLeaf() {
+			for _, c := range []*node{it.n.left, it.n.right} {
+				if d := t.minDist(q, c); d < res.Dist {
+					heap.Push(queue, pqItem{c, d})
+				}
+			}
+			continue
+		}
+		if err := t.scanLeaf(q, it.n, &res); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

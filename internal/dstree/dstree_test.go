@@ -1,0 +1,205 @@
+package dstree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+const (
+	tLen   = 64
+	tCount = 400
+)
+
+func buildFixture(t *testing.T) (*Tree, []series.Series, *storage.MemFS) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	gen := dataset.NewRandomWalk()
+	if _, err := dataset.WriteFile(fs, "raw", gen, tCount, tLen, 42); err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.Generate(gen, tCount, tLen, 42)
+	tr, err := Build(Options{FS: fs, Name: "ds", RawName: "raw", SeriesLen: tLen, LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, data, fs
+}
+
+func bruteForce1NN(q series.Series, data []series.Series) float64 {
+	best := math.Inf(1)
+	for _, d := range data {
+		dist, _ := series.ED(q, d)
+		if dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+func TestBuild(t *testing.T) {
+	tr, _, _ := buildFixture(t)
+	defer tr.Close()
+	if tr.Count() != tCount {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	if tr.NumLeaves() < 2 {
+		t.Fatal("expected splits to have happened")
+	}
+	if tr.SizeBytes() == 0 {
+		t.Fatal("index empty on disk")
+	}
+}
+
+func TestLeafCountsConsistent(t *testing.T) {
+	tr, _, _ := buildFixture(t)
+	defer tr.Close()
+	var total int64
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.isLeaf() {
+			entries, err := tr.readLeafEntries(n)
+			if err != nil {
+				return err
+			}
+			if int64(len(entries)) != n.count {
+				t.Fatalf("leaf count %d != node count %d", len(entries), n.count)
+			}
+			total += n.count
+			return nil
+		}
+		if n.left.count+n.right.count != n.count {
+			t.Fatalf("internal count mismatch: %d + %d != %d", n.left.count, n.right.count, n.count)
+		}
+		if err := walk(n.left); err != nil {
+			return err
+		}
+		return walk(n.right)
+	}
+	if err := walk(tr.root); err != nil {
+		t.Fatal(err)
+	}
+	if total != tCount {
+		t.Fatalf("leaves hold %d records", total)
+	}
+}
+
+func TestMinDistLowerBoundsMembers(t *testing.T) {
+	tr, data, _ := buildFixture(t)
+	defer tr.Close()
+	qs := dataset.Queries(dataset.NewRandomWalk(), 5, tLen, 3)
+	var walk func(n *node, q series.Series)
+	for _, q := range qs {
+		walk = func(n *node, q series.Series) {
+			lb := tr.minDist(q, n)
+			if n.isLeaf() {
+				entries, _ := tr.readLeafEntries(n)
+				scratch := make(series.Series, tLen)
+				for _, e := range entries {
+					series.DecodeInto(e.raw, scratch)
+					ed, _ := series.ED(q, scratch)
+					if lb > ed+1e-9 {
+						t.Fatalf("node bound %v exceeds member distance %v", lb, ed)
+					}
+					_ = data
+				}
+				return
+			}
+			walk(n.left, q)
+			walk(n.right, q)
+		}
+		walk(tr.root, q)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	tr, data, _ := buildFixture(t)
+	defer tr.Close()
+	qs := dataset.Queries(dataset.NewRandomWalk(), 12, tLen, 5)
+	for qi, q := range qs {
+		want := bruteForce1NN(q, data)
+		res, err := tr.ExactSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Dist-want) > 1e-9 {
+			t.Fatalf("query %d: %v != brute force %v", qi, res.Dist, want)
+		}
+	}
+}
+
+func TestMemberFound(t *testing.T) {
+	tr, data, _ := buildFixture(t)
+	defer tr.Close()
+	res, err := tr.ExactSearch(data[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist > 1e-9 {
+		t.Fatalf("member not found: %v", res.Dist)
+	}
+}
+
+func TestTopDownConstructionIsRandomIOBound(t *testing.T) {
+	// DSTree's defining weakness: every insert re-reads and rewrites a
+	// leaf. Random writes should be on the order of N.
+	fs := storage.NewMemFS()
+	dataset.WriteFile(fs, "raw", dataset.NewRandomWalk(), 300, tLen, 2)
+	before := fs.Stats().Snapshot()
+	tr, err := Build(Options{FS: fs, Name: "ds", RawName: "raw", SeriesLen: tLen, LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	delta := fs.Stats().Snapshot().Sub(before)
+	if delta.RandWrites < 100 {
+		t.Fatalf("expected O(N) random writes, got %+v", delta)
+	}
+}
+
+func TestIdenticalSeriesDegenerateLeaf(t *testing.T) {
+	// All-identical series cannot be divided by any predicate; the index
+	// must chain them into an oversized leaf rather than loop forever.
+	fs := storage.NewMemFS()
+	f, _ := fs.Create("raw")
+	flat := make(series.Series, tLen)
+	for i := range flat {
+		flat[i] = math.Sin(float64(i)) // same series every time
+	}
+	flat.ZNormalize()
+	w := storage.NewSequentialWriter(f, 0, 0)
+	sw := series.NewWriter(w, tLen)
+	for i := 0; i < 50; i++ {
+		sw.Write(flat)
+	}
+	w.Flush()
+	f.Close()
+	tr, err := Build(Options{FS: fs, Name: "ds", RawName: "raw", SeriesLen: tLen, LeafCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Count() != 50 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+	res, err := tr.ExactSearch(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist > 1e-9 {
+		t.Fatalf("identical series not found: %v", res.Dist)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	fs := storage.NewMemFS()
+	if _, err := Build(Options{FS: fs, Name: "d", RawName: "missing", SeriesLen: 64, LeafCap: 8}); err == nil {
+		t.Fatal("expected error for missing raw file")
+	}
+}

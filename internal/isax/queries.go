@@ -1,0 +1,297 @@
+package isax
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/summary"
+	"github.com/coconut-db/coconut/internal/trie"
+)
+
+// ApproxSearch visits the single most promising leaf and returns the best
+// answer inside it (§4.2 "Queries"). For ADS+ this is also where adaptive
+// leaf splitting happens: a construction-time leaf bigger than the
+// query-time leaf size is refined (and its pieces rewritten) before it is
+// examined — queries pay part of the construction cost.
+func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if ix.count == 0 {
+		return res, errNoData
+	}
+	word, err := ix.opt.S.SAXOf(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	leaf := ix.tr.Descend(word)
+	if leaf == nil || !leaf.Leaf {
+		leaf = ix.tr.BestLeaf(qPAA)
+	}
+	if leaf == nil {
+		return res, errNoData
+	}
+	if ix.opt.Mode == ADSPlus {
+		leaf, err = ix.adaptiveSplit(leaf, word, qPAA)
+		if err != nil {
+			return res, err
+		}
+	}
+	if err := ix.scanLeaf(q, leaf, &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// scanLeaf computes true distances for the leaf's records, updating res
+// with the best. For non-materialized leaves, each record's stored SAX word
+// prunes hopeless raw-file fetches first.
+func (ix *Index) scanLeaf(q series.Series, leaf *trie.Node, res *Result) error {
+	recs, err := ix.readLeafRecords(leaf)
+	if err != nil {
+		return err
+	}
+	res.VisitedLeaves++
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return err
+	}
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	for _, r := range recs {
+		if r.Raw == nil && ix.opt.S.MinDistPAAToSAX(qPAA, r.Word) >= res.Dist {
+			continue
+		}
+		d, err := ix.recordDistance(q, r, scratch)
+		if err != nil {
+			return err
+		}
+		res.VisitedRecords++
+		if d < res.Dist {
+			res.Dist = d
+			res.Pos = r.Pos
+		}
+	}
+	return nil
+}
+
+// adaptiveSplit refines an oversized ADS+ leaf down to the query-time leaf
+// size along the query's path, returning the leaf the query word lands in.
+func (ix *Index) adaptiveSplit(leaf *trie.Node, word summary.SAX, qPAA []float64) (*trie.Node, error) {
+	cardBits := ix.opt.S.Params().CardBits
+	for leaf.Count > int64(ix.opt.LeafCap) {
+		recs, err := ix.readLeafRecords(leaf)
+		if err != nil {
+			return nil, err
+		}
+		seg := trie.ChooseSplitSegment(leaf, recs, cardBits)
+		if seg < 0 {
+			return leaf, nil
+		}
+		if leaf.PageNum > 0 {
+			ix.deadPages += leaf.PageNum
+			leaf.PageStart, leaf.PageNum = 0, 0
+		}
+		leaf.Buf = recs
+		zero, one := ix.tr.SplitLeaf(leaf, seg)
+		zrecs, orecs := zero.Buf, one.Buf
+		zero.Buf, one.Buf = nil, nil
+		zero.Count, one.Count = int64(len(zrecs)), int64(len(orecs))
+		if err := ix.writeLeafRecords(zero, zrecs); err != nil {
+			return nil, err
+		}
+		if err := ix.writeLeafRecords(one, orecs); err != nil {
+			return nil, err
+		}
+		if zero.Matches(word, cardBits) {
+			leaf = zero
+		} else if one.Matches(word, cardBits) {
+			leaf = one
+		} else if ix.tr.MinDist(qPAA, zero) <= ix.tr.MinDist(qPAA, one) {
+			leaf = zero
+		} else {
+			leaf = one
+		}
+	}
+	return leaf, nil
+}
+
+// nodeItem is a priority-queue entry for best-first exact search.
+type nodeItem struct {
+	n    *trie.Node
+	dist float64
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// ExactSearchTree is the classic best-first exact algorithm (Shieh &
+// Keogh): seed a best-so-far with approximate search, then traverse nodes
+// in MINDIST order, pruning every subtree whose bound exceeds the bsf.
+func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
+	res, err := ix.ApproxSearch(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	pq := &nodeQueue{}
+	for _, n := range ix.tr.Root {
+		heap.Push(pq, nodeItem{n, ix.tr.MinDist(qPAA, n)})
+	}
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.dist >= res.Dist {
+			break // everything left is at least this far
+		}
+		if !it.n.Leaf {
+			for _, c := range it.n.Children {
+				if d := ix.tr.MinDist(qPAA, c); d < res.Dist {
+					heap.Push(pq, nodeItem{c, d})
+				}
+			}
+			continue
+		}
+		recs, err := ix.readLeafRecords(it.n)
+		if err != nil {
+			return res, err
+		}
+		res.VisitedLeaves++
+		for _, r := range recs {
+			// Record-level lower bound before touching raw data.
+			if lb := ix.opt.S.MinDistPAAToSAX(qPAA, r.Word); lb >= res.Dist {
+				continue
+			}
+			d, err := ix.recordDistance(q, r, scratch)
+			if err != nil {
+				return res, err
+			}
+			res.VisitedRecords++
+			if d < res.Dist {
+				res.Dist = d
+				res.Pos = r.Pos
+			}
+		}
+	}
+	return res, nil
+}
+
+// ExactSearchSIMS is the ADS-style exact algorithm (§4.3, Algorithm 5
+// adapted to the prefix-split family): approximate search seeds the bsf,
+// lower bounds are computed for EVERY series from the in-memory summary
+// array (in parallel), and the raw file is scanned skip-sequentially,
+// fetching only unpruned series in file order.
+func (ix *Index) ExactSearchSIMS(q series.Series) (Result, error) {
+	res, err := ix.ApproxSearch(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	mindists := ix.parallelMinDists(qPAA)
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	for pos := int64(0); pos < int64(len(mindists)); pos++ {
+		if mindists[pos] >= res.Dist {
+			continue
+		}
+		if err := ix.readRaw(pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist = d
+			res.Pos = pos
+		}
+	}
+	return res, nil
+}
+
+// parallelMinDists computes the per-series lower bounds from the in-memory
+// summaries using all cores (the paper's parallelMinDists).
+func (ix *Index) parallelMinDists(qPAA []float64) []float64 {
+	out := make([]float64, len(ix.sums))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ix.sums) {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ix.sums) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ix.sums) {
+			hi = len(ix.sums)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, ix.sums[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Append indexes new series arriving after the initial build (Figure 10a):
+// the raw bytes are appended to the dataset file and the summaries are
+// inserted top-down through the FBL, exactly like construction.
+func (ix *Index) Append(batch []series.Series) error {
+	p := ix.opt.S.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	end, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if end%sz != 0 {
+		return fmt.Errorf("isax: raw file size %d not aligned to series size", end)
+	}
+	pos := end / sz
+	buf := make([]byte, 0, sz)
+	for _, s := range batch {
+		if len(s) != p.SeriesLen {
+			return fmt.Errorf("isax: appended series has length %d, want %d", len(s), p.SeriesLen)
+		}
+		buf = series.AppendEncode(buf[:0], s)
+		if _, err := ix.rawFile.WriteAt(buf, pos*sz); err != nil {
+			return err
+		}
+		word, err := ix.opt.S.SAXOf(s)
+		if err != nil {
+			return err
+		}
+		rec := trie.Record{Word: word, Pos: pos}
+		if ix.opt.Mode.Materialized() {
+			rec.Raw = append([]byte(nil), buf...)
+		}
+		if err := ix.bufferInsert(rec); err != nil {
+			return err
+		}
+		ix.sums = append(ix.sums, word)
+		pos++
+	}
+	return nil
+}

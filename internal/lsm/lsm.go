@@ -1,0 +1,583 @@
+// Package lsm implements Coconut-LSM, the extension the paper names as
+// future work (§6): "we would also like to explore how ideas from LSM
+// trees could be used to enable the efficient updates."
+//
+// Because invSAX keys are sortable, a Coconut index is just a sorted file —
+// which makes the LSM recipe apply directly:
+//
+//   - new series accumulate in an in-memory memtable;
+//   - a full memtable is sorted and flushed as an immutable sorted RUN
+//     (one sequential write — no read-modify-write of existing leaves);
+//   - runs are organized in tiers; when a tier collects Fanout runs they
+//     are merge-sorted into the next tier (sequential I/O only);
+//   - queries consult the memtable plus every run: each run keeps its
+//     sorted key array in memory (the standing "summaries fit in memory"
+//     assumption), so approximate search is a binary search per run and
+//     exact search is SIMS over the union of the key arrays.
+//
+// The index is non-materialized: records are (invSAX key, position) and
+// raw series live in the dataset file.
+package lsm
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// recordSize is the fixed run record size: key + position.
+const recordSize = summary.KeySize + 8
+
+// Options configures a Coconut-LSM index.
+type Options struct {
+	// FS hosts the runs and the raw dataset file.
+	FS storage.FS
+	// Name prefixes run files.
+	Name string
+	// S fixes the summarization scheme.
+	S *summary.Summarizer
+	// RawName is the dataset file (grows on Append).
+	RawName string
+	// MemBudgetBytes bounds the memtable (and the initial bulk sort).
+	MemBudgetBytes int64
+	// Fanout is the tiering factor: a tier holding Fanout runs compacts
+	// into one run of the next tier (default 4).
+	Fanout int
+	// Window is the number of records examined around the query key in
+	// each run during approximate search (default 100).
+	Window int
+}
+
+func (o *Options) validate() error {
+	switch {
+	case o.FS == nil:
+		return errors.New("lsm: nil FS")
+	case o.Name == "":
+		return errors.New("lsm: empty name")
+	case o.S == nil:
+		return errors.New("lsm: nil summarizer")
+	case o.RawName == "":
+		return errors.New("lsm: empty raw name")
+	}
+	if o.MemBudgetBytes <= 0 {
+		o.MemBudgetBytes = 16 << 20
+	}
+	if o.Fanout < 2 {
+		o.Fanout = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 100
+	}
+	return nil
+}
+
+// Result mirrors core.Result.
+type Result struct {
+	Pos            int64
+	Dist           float64
+	VisitedRecords int64
+	VisitedRuns    int64
+}
+
+// run is one immutable sorted run.
+type run struct {
+	name      string
+	tier      int
+	count     int64
+	keys      []summary.Key
+	positions []int64
+}
+
+// memEntry is one memtable record.
+type memEntry struct {
+	key summary.Key
+	pos int64
+}
+
+// Index is a Coconut-LSM index.
+type Index struct {
+	opt     Options
+	rawFile storage.File
+	runs    []*run
+	mem     []memEntry
+	count   int64
+	nextRun int
+}
+
+// Build bulk-loads the initial run from the dataset (summarize + external
+// sort, exactly the Coconut pipeline) and returns the index.
+func Build(opt Options) (*Index, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{opt: opt, rawFile: raw}
+
+	// Summarize + sort the existing data into run 0 (tier determined by
+	// later compactions; the initial bulk run sits at a high tier).
+	name := ix.runName()
+	n, err := extsort.Sort(extsort.Config{
+		FS:         opt.FS,
+		RecordSize: recordSize,
+		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
+		MemBudget:  opt.MemBudgetBytes,
+		TempPrefix: opt.Name + ".sort",
+	}, &sumStream{s: opt.S, r: series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), opt.S.Params().SeriesLen),
+		buf: make(series.Series, opt.S.Params().SeriesLen), rec: make([]byte, recordSize)}, name)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if n > 0 {
+		r, err := ix.loadRun(name, 1<<30 /* effectively max tier */)
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+		ix.runs = append(ix.runs, r)
+	} else {
+		_ = opt.FS.Remove(name)
+	}
+	ix.count = n
+	return ix, nil
+}
+
+// sumStream adapts the raw file into sort records (like core's pipeline).
+type sumStream struct {
+	s     *summary.Summarizer
+	r     *series.Reader
+	buf   series.Series
+	rec   []byte
+	avail []byte
+	pos   int64
+	done  bool
+}
+
+func (s *sumStream) Read(p []byte) (int, error) {
+	if len(s.avail) == 0 {
+		if s.done {
+			return 0, io.EOF
+		}
+		if err := s.r.NextInto(s.buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				s.done = true
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		key, err := s.s.KeyOf(s.buf)
+		if err != nil {
+			return 0, err
+		}
+		copy(s.rec, key[:])
+		binary.LittleEndian.PutUint64(s.rec[summary.KeySize:], uint64(s.pos))
+		s.pos++
+		s.avail = s.rec
+	}
+	n := copy(p, s.avail)
+	s.avail = s.avail[n:]
+	return n, nil
+}
+
+func (ix *Index) runName() string {
+	name := fmt.Sprintf("%s.run.%06d", ix.opt.Name, ix.nextRun)
+	ix.nextRun++
+	return name
+}
+
+// loadRun reads a sorted run file's keys into memory.
+func (ix *Index) loadRun(name string, tier int) (*run, error) {
+	rr, err := extsort.OpenRecords(ix.opt.FS, name, recordSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer rr.Close()
+	r := &run{name: name, tier: tier}
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		var k summary.Key
+		copy(k[:], rec[:summary.KeySize])
+		r.keys = append(r.keys, k)
+		r.positions = append(r.positions, int64(binary.LittleEndian.Uint64(rec[summary.KeySize:])))
+	}
+	r.count = int64(len(r.keys))
+	return r, nil
+}
+
+// memCapacity returns the memtable capacity in records.
+func (ix *Index) memCapacity() int {
+	c := int(ix.opt.MemBudgetBytes / recordSize)
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// Append adds new series: raw bytes go to the dataset file, records to the
+// memtable; a full memtable flushes to a fresh tier-0 run.
+func (ix *Index) Append(batch []series.Series) error {
+	p := ix.opt.S.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	end, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if end%sz != 0 {
+		return fmt.Errorf("lsm: raw file size %d not aligned", end)
+	}
+	pos := end / sz
+	enc := make([]byte, 0, sz)
+	for _, s := range batch {
+		if len(s) != p.SeriesLen {
+			return fmt.Errorf("lsm: series length %d, want %d", len(s), p.SeriesLen)
+		}
+		enc = series.AppendEncode(enc[:0], s)
+		if _, err := ix.rawFile.WriteAt(enc, pos*sz); err != nil {
+			return err
+		}
+		key, err := ix.opt.S.KeyOf(s)
+		if err != nil {
+			return err
+		}
+		ix.mem = append(ix.mem, memEntry{key: key, pos: pos})
+		ix.count++
+		pos++
+		if len(ix.mem) >= ix.memCapacity() {
+			if err := ix.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush sorts the memtable and writes it as a new tier-0 run, triggering
+// compactions as tiers fill.
+func (ix *Index) Flush() error {
+	if len(ix.mem) == 0 {
+		return nil
+	}
+	sort.Slice(ix.mem, func(a, b int) bool { return ix.mem[a].key.Less(ix.mem[b].key) })
+	name := ix.runName()
+	f, err := ix.opt.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	w := storage.NewSequentialWriter(f, 0, 0)
+	rec := make([]byte, recordSize)
+	r := &run{name: name, tier: 0, count: int64(len(ix.mem))}
+	for _, e := range ix.mem {
+		copy(rec, e.key[:])
+		binary.LittleEndian.PutUint64(rec[summary.KeySize:], uint64(e.pos))
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return err
+		}
+		r.keys = append(r.keys, e.key)
+		r.positions = append(r.positions, e.pos)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ix.mem = ix.mem[:0]
+	ix.runs = append(ix.runs, r)
+	return ix.maybeCompact()
+}
+
+// maybeCompact merges tiers that reached the fanout.
+func (ix *Index) maybeCompact() error {
+	for {
+		byTier := map[int][]*run{}
+		for _, r := range ix.runs {
+			byTier[r.tier] = append(byTier[r.tier], r)
+		}
+		merged := false
+		for tier, rs := range byTier {
+			if len(rs) >= ix.opt.Fanout {
+				if err := ix.compact(rs, tier+1); err != nil {
+					return err
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			return nil
+		}
+	}
+}
+
+// mergeCursor streams one run during compaction.
+type mergeCursor struct {
+	rr  *extsort.RecordReader
+	rec []byte
+	ok  bool
+}
+
+func (c *mergeCursor) advance() error {
+	rec, err := c.rr.Next()
+	if err == io.EOF {
+		c.ok = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.rec = rec
+	c.ok = true
+	return nil
+}
+
+type mergePQ []*mergeCursor
+
+func (q mergePQ) Len() int { return len(q) }
+func (q mergePQ) Less(i, j int) bool {
+	return string(q[i].rec[:summary.KeySize]) < string(q[j].rec[:summary.KeySize])
+}
+func (q mergePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *mergePQ) Push(x any)   { *q = append(*q, x.(*mergeCursor)) }
+func (q *mergePQ) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// compact merge-sorts the given runs into one run at the target tier —
+// strictly sequential reads and one sequential write.
+func (ix *Index) compact(rs []*run, tier int) error {
+	name := ix.runName()
+	out, err := ix.opt.FS.Create(name)
+	if err != nil {
+		return err
+	}
+	w := storage.NewSequentialWriter(out, 0, 0)
+	pq := &mergePQ{}
+	var readers []*extsort.RecordReader
+	defer func() {
+		for _, rr := range readers {
+			rr.Close()
+		}
+	}()
+	for _, r := range rs {
+		rr, err := extsort.OpenRecords(ix.opt.FS, r.name, recordSize, 0)
+		if err != nil {
+			out.Close()
+			return err
+		}
+		readers = append(readers, rr)
+		c := &mergeCursor{rr: rr}
+		if err := c.advance(); err != nil {
+			out.Close()
+			return err
+		}
+		if c.ok {
+			*pq = append(*pq, c)
+		}
+	}
+	heap.Init(pq)
+	newRun := &run{name: name, tier: tier}
+	for pq.Len() > 0 {
+		c := (*pq)[0]
+		if _, err := w.Write(c.rec); err != nil {
+			out.Close()
+			return err
+		}
+		var k summary.Key
+		copy(k[:], c.rec[:summary.KeySize])
+		newRun.keys = append(newRun.keys, k)
+		newRun.positions = append(newRun.positions, int64(binary.LittleEndian.Uint64(c.rec[summary.KeySize:])))
+		if err := c.advance(); err != nil {
+			out.Close()
+			return err
+		}
+		if c.ok {
+			heap.Fix(pq, 0)
+		} else {
+			heap.Pop(pq)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	newRun.count = int64(len(newRun.keys))
+
+	// Swap in the new run, drop the old ones.
+	keep := ix.runs[:0]
+	dropped := map[*run]bool{}
+	for _, r := range rs {
+		dropped[r] = true
+	}
+	for _, r := range ix.runs {
+		if !dropped[r] {
+			keep = append(keep, r)
+		}
+	}
+	ix.runs = append(keep, newRun)
+	for _, r := range rs {
+		_ = ix.opt.FS.Remove(r.name)
+	}
+	return nil
+}
+
+// Count returns the number of indexed series.
+func (ix *Index) Count() int64 { return ix.count }
+
+// NumRuns returns the number of on-disk runs.
+func (ix *Index) NumRuns() int { return len(ix.runs) }
+
+// SizeBytes returns the total size of all run files.
+func (ix *Index) SizeBytes() int64 {
+	var total int64
+	for _, r := range ix.runs {
+		if f, err := ix.opt.FS.Open(r.name); err == nil {
+			if s, err := f.Size(); err == nil {
+				total += s
+			}
+			f.Close()
+		}
+	}
+	return total
+}
+
+// Close releases the raw file handle.
+func (ix *Index) Close() error { return ix.rawFile.Close() }
+
+func (ix *Index) readRaw(pos int64, dst series.Series) error {
+	p := ix.opt.S.Params()
+	sz := series.EncodedSize(p.SeriesLen)
+	buf := make([]byte, sz)
+	if n, err := ix.rawFile.ReadAt(buf, pos*int64(sz)); n != sz {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("lsm: raw series %d: %w", pos, err)
+	}
+	series.DecodeInto(buf, dst)
+	return nil
+}
+
+// ApproxSearch examines, in every run, a window of records around where the
+// query's key would sort (plus the whole memtable), and returns the best.
+func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if ix.count == 0 {
+		return res, errors.New("lsm: index is empty")
+	}
+	key, err := ix.opt.S.KeyOf(q)
+	if err != nil {
+		return res, err
+	}
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	try := func(pos int64) error {
+		if err := ix.readRaw(pos, scratch); err != nil {
+			return err
+		}
+		res.VisitedRecords++
+		sq, err := series.SquaredED(q, scratch)
+		if err != nil {
+			return err
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, pos
+		}
+		return nil
+	}
+	for _, r := range ix.runs {
+		idx := sort.Search(len(r.keys), func(i int) bool { return !r.keys[i].Less(key) })
+		lo, hi := idx-ix.opt.Window/2, idx+ix.opt.Window/2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(r.keys) {
+			hi = len(r.keys)
+		}
+		res.VisitedRuns++
+		for i := lo; i < hi; i++ {
+			if err := try(r.positions[i]); err != nil {
+				return res, err
+			}
+		}
+	}
+	for _, e := range ix.mem {
+		if err := try(e.pos); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// ExactSearch is SIMS over the union of all runs' in-memory key arrays and
+// the memtable: lower bounds for every record, then a position-ordered
+// skip-sequential scan of the raw file.
+func (ix *Index) ExactSearch(q series.Series) (Result, error) {
+	res, err := ix.ApproxSearch(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	p := ix.opt.S.Params()
+	type cand struct {
+		pos int64
+		lb  float64
+	}
+	var cands []cand
+	consider := func(k summary.Key, pos int64) {
+		sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+		lb := ix.opt.S.MinDistPAAToSAX(qPAA, sax)
+		if lb < res.Dist {
+			cands = append(cands, cand{pos, lb})
+		}
+	}
+	for _, r := range ix.runs {
+		for i := range r.keys {
+			consider(r.keys[i], r.positions[i])
+		}
+	}
+	for _, e := range ix.mem {
+		consider(e.key, e.pos)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
+	scratch := make(series.Series, p.SeriesLen)
+	for _, c := range cands {
+		if c.lb >= res.Dist {
+			continue
+		}
+		if err := ix.readRaw(c.pos, scratch); err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		if !ok {
+			continue
+		}
+		if d := math.Sqrt(sq); d < res.Dist {
+			res.Dist, res.Pos = d, c.pos
+		}
+	}
+	return res, nil
+}

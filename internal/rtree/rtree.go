@@ -1,0 +1,612 @@
+// Package rtree implements the R-tree baseline of the paper's evaluation:
+// data series are indexed as D-dimensional PAA points, bulk-loaded with the
+// Sort-Tile-Recursive (STR) algorithm of Leutenegger et al., and queried
+// with best-first nearest-neighbor search over minimum bounding rectangles.
+//
+// STR sorts the points once per dimension (recursively within slabs), so
+// construction performs O(N·D) work and O(D·N/B) I/O — the cost the paper
+// contrasts with Coconut's single sort over sortable summarizations (§5.1).
+// To keep that cost visible on the simulated device, the builder rewrites
+// the point file once per recursion level.
+//
+// R-tree stores raw series in its leaves (materialized); R-tree+ stores
+// file offsets instead (non-materialized), like the paper's variant.
+package rtree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Options configures a build.
+type Options struct {
+	// FS hosts the index files and the raw dataset file.
+	FS storage.FS
+	// Name is the base file name.
+	Name string
+	// S provides the PAA transform (dimensions = S.Params().Segments).
+	S *summary.Summarizer
+	// RawName is the dataset file.
+	RawName string
+	// LeafCap is the number of entries per leaf (paper: 2000).
+	LeafCap int
+	// Materialized stores raw series in leaves when true (R-tree),
+	// offsets only when false (R-tree+).
+	Materialized bool
+	// Fanout is the internal node fan-out (default 16).
+	Fanout int
+}
+
+func (o *Options) validate() error {
+	switch {
+	case o.FS == nil:
+		return errors.New("rtree: nil FS")
+	case o.Name == "":
+		return errors.New("rtree: empty name")
+	case o.S == nil:
+		return errors.New("rtree: nil summarizer")
+	case o.RawName == "":
+		return errors.New("rtree: empty raw name")
+	case o.LeafCap < 2:
+		return errors.New("rtree: leaf capacity must be at least 2")
+	}
+	if o.Fanout < 2 {
+		o.Fanout = 16
+	}
+	return nil
+}
+
+// Result mirrors the isax package's search answer.
+type Result struct {
+	Pos            int64
+	Dist           float64
+	VisitedRecords int64
+	VisitedLeaves  int64
+}
+
+// mbr is a minimum bounding rectangle in PAA space.
+type mbr struct {
+	lo, hi []float64
+}
+
+func newMBR(d int) mbr {
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	return mbr{lo, hi}
+}
+
+func (m *mbr) extendPoint(p []float64) {
+	for i, v := range p {
+		if v < m.lo[i] {
+			m.lo[i] = v
+		}
+		if v > m.hi[i] {
+			m.hi[i] = v
+		}
+	}
+}
+
+func (m *mbr) extend(o mbr) {
+	for i := range m.lo {
+		if o.lo[i] < m.lo[i] {
+			m.lo[i] = o.lo[i]
+		}
+		if o.hi[i] > m.hi[i] {
+			m.hi[i] = o.hi[i]
+		}
+	}
+}
+
+// node is an in-memory R-tree node; leaves reference on-disk pages.
+type node struct {
+	box      mbr
+	children []*node
+	leafPage int64 // valid when children == nil
+	count    int
+}
+
+// Tree is a built R-tree.
+type Tree struct {
+	opt      Options
+	root     *node
+	leafFile storage.File
+	rawFile  storage.File
+	count    int64
+	nLeaves  int64
+}
+
+// entrySize is the on-disk size of one leaf entry.
+func (t *Tree) entrySize() int {
+	n := 8 + 8*t.opt.S.Params().Segments // pos + PAA point
+	if t.opt.Materialized {
+		n += series.EncodedSize(t.opt.S.Params().SeriesLen)
+	}
+	return n
+}
+
+func (t *Tree) pageSize() int64 { return int64(4 + t.entrySize()*t.opt.LeafCap) }
+
+// Build bulk-loads an R-tree over the dataset with STR.
+func Build(opt Options) (*Tree, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	lf, err := opt.FS.Create(opt.Name + ".leaves")
+	if err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		lf.Close()
+		return nil, err
+	}
+	t := &Tree{opt: opt, leafFile: lf, rawFile: raw}
+
+	// Pass 1: scan the raw file and compute all PAA points.
+	p := opt.S.Params()
+	r := series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), p.SeriesLen)
+	buf := make(series.Series, p.SeriesLen)
+	var points [][]float64
+	for {
+		if err := r.NextInto(buf); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		paa, err := opt.S.PAA(buf, nil)
+		if err != nil {
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		pt := make([]float64, len(paa))
+		copy(pt, paa)
+		points = append(points, pt)
+	}
+	t.count = int64(len(points))
+	if t.count == 0 {
+		t.root = &node{box: newMBR(p.Segments)}
+		return t, nil
+	}
+
+	// STR ordering: recursively sort by each dimension into slabs. The
+	// order array carries series positions.
+	order := make([]int64, len(points))
+	for i := range order {
+		order[i] = int64(i)
+	}
+	t.strSort(points, order, 0)
+
+	// Model STR's external cost: one sequential rewrite of the point file
+	// per dimension level actually used.
+	levels := t.strLevels(len(points))
+	ptRec := 8 + 8*p.Segments
+	scratchName := opt.Name + ".strpass"
+	for l := 0; l < levels; l++ {
+		f, err := opt.FS.Create(scratchName)
+		if err != nil {
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		w := storage.NewSequentialWriter(f, 0, 0)
+		rec := make([]byte, ptRec)
+		for _, pos := range order {
+			putU64(rec, uint64(pos))
+			for d, v := range points[pos] {
+				putU64(rec[8+8*d:], math.Float64bits(v))
+			}
+			if _, err := w.Write(rec); err != nil {
+				f.Close()
+				lf.Close()
+				raw.Close()
+				return nil, err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			lf.Close()
+			raw.Close()
+			return nil, err
+		}
+		f.Close()
+	}
+	if opt.FS.Exists(scratchName) {
+		_ = opt.FS.Remove(scratchName)
+	}
+
+	// Write leaves in STR order (sequential), then build internal levels.
+	if err := t.writeLeaves(points, order); err != nil {
+		lf.Close()
+		raw.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// strLevels returns how many recursion levels STR needs.
+func (t *Tree) strLevels(n int) int {
+	d := t.opt.S.Params().Segments
+	leaves := (n + t.opt.LeafCap - 1) / t.opt.LeafCap
+	levels := 0
+	for leaves > 1 && levels < d {
+		levels++
+		slabs := int(math.Ceil(math.Pow(float64(leaves), 1.0/float64(d-levels+1))))
+		if slabs < 1 {
+			slabs = 1
+		}
+		leaves = (leaves + slabs - 1) / slabs
+	}
+	if levels == 0 {
+		levels = 1
+	}
+	return levels
+}
+
+// strSort orders points[order] with sort-tile-recursive starting at dim.
+func (t *Tree) strSort(points [][]float64, order []int64, dim int) {
+	d := t.opt.S.Params().Segments
+	leaves := (len(order) + t.opt.LeafCap - 1) / t.opt.LeafCap
+	if leaves <= 1 || dim >= d {
+		return
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return points[order[a]][dim] < points[order[b]][dim]
+	})
+	if dim == d-1 {
+		return
+	}
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1.0/float64(d-dim))))
+	if slabs <= 1 {
+		return
+	}
+	per := (len(order) + slabs - 1) / slabs
+	for lo := 0; lo < len(order); lo += per {
+		hi := lo + per
+		if hi > len(order) {
+			hi = len(order)
+		}
+		t.strSort(points, order[lo:hi], dim+1)
+	}
+}
+
+// writeLeaves packs entries in STR order into sequential leaf pages and
+// builds the in-memory internal levels bottom-up.
+func (t *Tree) writeLeaves(points [][]float64, order []int64) error {
+	p := t.opt.S.Params()
+	w := storage.NewSequentialWriter(t.leafFile, 0, 0)
+	page := make([]byte, t.pageSize())
+	scratch := make(series.Series, p.SeriesLen)
+	var leaves []*node
+	inPage := 0
+	box := newMBR(p.Segments)
+	var pageID int64
+
+	flush := func() error {
+		if inPage == 0 {
+			return nil
+		}
+		putU32(page, uint32(inPage))
+		if _, err := w.Write(page); err != nil {
+			return err
+		}
+		leaves = append(leaves, &node{box: box, leafPage: pageID, count: inPage})
+		pageID++
+		for i := range page {
+			page[i] = 0
+		}
+		box = newMBR(p.Segments)
+		inPage = 0
+		return nil
+	}
+
+	es := t.entrySize()
+	for _, pos := range order {
+		off := 4 + inPage*es
+		putU64(page[off:], uint64(pos))
+		off += 8
+		for d, v := range points[pos] {
+			putU64(page[off+8*d:], math.Float64bits(v))
+		}
+		off += 8 * p.Segments
+		if t.opt.Materialized {
+			if err := t.readRaw(pos, scratch); err != nil {
+				return err
+			}
+			series.Encode(page[off:off+series.EncodedSize(p.SeriesLen)], scratch)
+		}
+		box.extendPoint(points[pos])
+		inPage++
+		if inPage == t.opt.LeafCap {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	t.nLeaves = int64(len(leaves))
+
+	// Internal levels.
+	level := leaves
+	for len(level) > 1 {
+		var up []*node
+		for lo := 0; lo < len(level); lo += t.opt.Fanout {
+			hi := lo + t.opt.Fanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			n := &node{box: newMBR(p.Segments), children: level[lo:hi:hi]}
+			for _, c := range n.children {
+				n.box.extend(c.box)
+				n.count += c.count
+			}
+			up = append(up, n)
+		}
+		level = up
+	}
+	t.root = level[0]
+	return nil
+}
+
+func (t *Tree) readRaw(pos int64, dst series.Series) error {
+	p := t.opt.S.Params()
+	sz := series.EncodedSize(p.SeriesLen)
+	buf := make([]byte, sz)
+	if n, err := t.rawFile.ReadAt(buf, pos*int64(sz)); n != sz {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("rtree: raw series %d: %w", pos, err)
+	}
+	series.DecodeInto(buf, dst)
+	return nil
+}
+
+// minDist lower-bounds the Euclidean distance between the query and any
+// series whose PAA point lies in box, weighting each dimension by its
+// segment width (the PAA lower-bound construction).
+func (t *Tree) minDist(qPAA []float64, box mbr) float64 {
+	acc := 0.0
+	for j, q := range qPAA {
+		var d float64
+		switch {
+		case q < box.lo[j]:
+			d = box.lo[j] - q
+		case q > box.hi[j]:
+			d = q - box.hi[j]
+		}
+		if d != 0 {
+			acc += float64(t.opt.S.SegmentWidth(j)) * d * d
+		}
+	}
+	return math.Sqrt(acc)
+}
+
+// Count returns the number of indexed series.
+func (t *Tree) Count() int64 { return t.count }
+
+// NumLeaves returns the number of leaf pages.
+func (t *Tree) NumLeaves() int64 { return t.nLeaves }
+
+// SizeBytes returns the on-device index size.
+func (t *Tree) SizeBytes() int64 {
+	size, err := t.leafFile.Size()
+	if err != nil {
+		return 0
+	}
+	return size
+}
+
+// Close releases file handles.
+func (t *Tree) Close() error {
+	err1 := t.leafFile.Close()
+	err2 := t.rawFile.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// leafEntry is a decoded leaf entry.
+type leafEntry struct {
+	pos int64
+	paa []float64
+	raw []byte
+}
+
+func (t *Tree) readLeaf(id int64) ([]leafEntry, error) {
+	buf := make([]byte, t.pageSize())
+	if n, err := t.leafFile.ReadAt(buf, id*t.pageSize()); n != len(buf) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("rtree: read leaf %d: %w", id, err)
+	}
+	cnt := int(leU32(buf))
+	p := t.opt.S.Params()
+	es := t.entrySize()
+	out := make([]leafEntry, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		off := 4 + i*es
+		var e leafEntry
+		e.pos = int64(leU64(buf[off:]))
+		off += 8
+		e.paa = make([]float64, p.Segments)
+		for d := range e.paa {
+			e.paa[d] = math.Float64frombits(leU64(buf[off+8*d:]))
+		}
+		off += 8 * p.Segments
+		if t.opt.Materialized {
+			e.raw = buf[off : off+series.EncodedSize(p.SeriesLen)]
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// entryDistance computes the true distance to an entry.
+func (t *Tree) entryDistance(q series.Series, e leafEntry, scratch series.Series) (float64, error) {
+	if e.raw != nil {
+		series.DecodeInto(e.raw, scratch)
+	} else if err := t.readRaw(e.pos, scratch); err != nil {
+		return 0, err
+	}
+	sq, err := series.SquaredED(q, scratch)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(sq), nil
+}
+
+// ApproxSearch descends to the leaf with the smallest MBR distance and
+// returns its best member.
+func (t *Tree) ApproxSearch(q series.Series) (Result, error) {
+	res := Result{Pos: -1, Dist: math.Inf(1)}
+	if t.count == 0 {
+		return res, errors.New("rtree: index is empty")
+	}
+	qPAA, err := t.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	n := t.root
+	for n.children != nil {
+		var best *node
+		bestD := math.Inf(1)
+		for _, c := range n.children {
+			if d := t.minDist(qPAA, c.box); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		n = best
+	}
+	entries, err := t.readLeaf(n.leafPage)
+	if err != nil {
+		return res, err
+	}
+	res.VisitedLeaves++
+	scratch := make(series.Series, t.opt.S.Params().SeriesLen)
+	for _, e := range entries {
+		d, err := t.entryDistance(q, e, scratch)
+		if err != nil {
+			return res, err
+		}
+		res.VisitedRecords++
+		if d < res.Dist {
+			res.Dist, res.Pos = d, e.pos
+		}
+	}
+	return res, nil
+}
+
+type pqItem struct {
+	n    *node
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func heapPush(q *pq, it pqItem) { heap.Push(q, it) }
+func heapPop(q *pq) pqItem      { return heap.Pop(q).(pqItem) }
+
+// ExactSearch is branch-and-bound nearest neighbor over the MBR hierarchy,
+// seeded with the approximate answer.
+func (t *Tree) ExactSearch(q series.Series) (Result, error) {
+	res, err := t.ApproxSearch(q)
+	if err != nil {
+		return res, err
+	}
+	qPAA, err := t.opt.S.PAA(q, nil)
+	if err != nil {
+		return res, err
+	}
+	queue := &pq{{t.root, t.minDist(qPAA, t.root.box)}}
+	scratch := make(series.Series, t.opt.S.Params().SeriesLen)
+	for queue.Len() > 0 {
+		it := heapPop(queue)
+		if it.dist >= res.Dist {
+			break
+		}
+		if it.n.children != nil {
+			for _, c := range it.n.children {
+				if d := t.minDist(qPAA, c.box); d < res.Dist {
+					heapPush(queue, pqItem{c, d})
+				}
+			}
+			continue
+		}
+		entries, err := t.readLeaf(it.n.leafPage)
+		if err != nil {
+			return res, err
+		}
+		res.VisitedLeaves++
+		for _, e := range entries {
+			// Point-level PAA lower bound before touching raw data.
+			lb := 0.0
+			for j := range e.paa {
+				d := qPAA[j] - e.paa[j]
+				lb += float64(t.opt.S.SegmentWidth(j)) * d * d
+			}
+			if math.Sqrt(lb) >= res.Dist {
+				continue
+			}
+			d, err := t.entryDistance(q, e, scratch)
+			if err != nil {
+				return res, err
+			}
+			res.VisitedRecords++
+			if d < res.Dist {
+				res.Dist, res.Pos = d, e.pos
+			}
+		}
+	}
+	return res, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,194 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+const (
+	tLen   = 64
+	tCount = 500
+)
+
+func tSummarizer(t *testing.T) *summary.Summarizer {
+	t.Helper()
+	s, err := summary.NewSummarizer(summary.Params{SeriesLen: tLen, Segments: 8, CardBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildFixture(t *testing.T, materialized bool) (*Tree, []series.Series, *storage.MemFS) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	gen := dataset.NewRandomWalk()
+	if _, err := dataset.WriteFile(fs, "raw", gen, tCount, tLen, 42); err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.Generate(gen, tCount, tLen, 42)
+	tr, err := Build(Options{
+		FS:           fs,
+		Name:         "rt",
+		S:            tSummarizer(t),
+		RawName:      "raw",
+		LeafCap:      16,
+		Materialized: materialized,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, data, fs
+}
+
+func bruteForce1NN(q series.Series, data []series.Series) float64 {
+	best := math.Inf(1)
+	for _, d := range data {
+		dist, _ := series.ED(q, d)
+		if dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+func TestBuildShape(t *testing.T) {
+	for _, mat := range []bool{true, false} {
+		tr, _, _ := buildFixture(t, mat)
+		defer tr.Close()
+		if tr.Count() != tCount {
+			t.Fatalf("Count = %d", tr.Count())
+		}
+		wantLeaves := int64((tCount + 15) / 16)
+		if tr.NumLeaves() != wantLeaves {
+			t.Fatalf("NumLeaves = %d, want %d", tr.NumLeaves(), wantLeaves)
+		}
+		if tr.SizeBytes() == 0 {
+			t.Fatal("index empty on disk")
+		}
+	}
+}
+
+func TestMBRContainsMembers(t *testing.T) {
+	tr, data, _ := buildFixture(t, true)
+	defer tr.Close()
+	s := tr.opt.S
+	// Every series' PAA must lie inside the root MBR.
+	for _, d := range data {
+		paa, _ := s.PAA(d, nil)
+		for j, v := range paa {
+			if v < tr.root.box.lo[j]-1e-9 || v > tr.root.box.hi[j]+1e-9 {
+				t.Fatalf("PAA outside root MBR in dim %d", j)
+			}
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	for _, mat := range []bool{true, false} {
+		name := "R-tree+"
+		if mat {
+			name = "R-tree"
+		}
+		t.Run(name, func(t *testing.T) {
+			tr, data, _ := buildFixture(t, mat)
+			defer tr.Close()
+			qs := dataset.Queries(dataset.NewRandomWalk(), 12, tLen, 7)
+			for qi, q := range qs {
+				want := bruteForce1NN(q, data)
+				res, err := tr.ExactSearch(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(res.Dist-want) > 1e-9 {
+					t.Fatalf("query %d: %v != brute force %v", qi, res.Dist, want)
+				}
+			}
+		})
+	}
+}
+
+func TestApproxSearchValid(t *testing.T) {
+	tr, data, _ := buildFixture(t, true)
+	defer tr.Close()
+	qs := dataset.Queries(dataset.NewRandomWalk(), 5, tLen, 8)
+	for _, q := range qs {
+		res, err := tr.ApproxSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pos < 0 || res.Pos >= tCount {
+			t.Fatalf("approx pos %d out of range", res.Pos)
+		}
+		want, _ := series.ED(q, data[res.Pos])
+		if math.Abs(want-res.Dist) > 1e-9 {
+			t.Fatalf("approx distance mismatch")
+		}
+	}
+}
+
+func TestExactSearchPrunes(t *testing.T) {
+	tr, _, _ := buildFixture(t, true)
+	defer tr.Close()
+	q := dataset.Queries(dataset.NewRandomWalk(), 1, tLen, 9)[0]
+	res, err := tr.ExactSearch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisitedRecords >= tCount {
+		t.Fatalf("no pruning: visited %d of %d", res.VisitedRecords, tCount)
+	}
+}
+
+func TestMemberFoundAtZero(t *testing.T) {
+	tr, data, _ := buildFixture(t, false)
+	defer tr.Close()
+	res, err := tr.ExactSearch(data[123])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist > 1e-9 {
+		t.Fatalf("member not found: dist %v", res.Dist)
+	}
+}
+
+func TestEmptyAndValidation(t *testing.T) {
+	fs := storage.NewMemFS()
+	dataset.WriteFile(fs, "raw", dataset.NewRandomWalk(), 0, tLen, 1)
+	tr, err := Build(Options{FS: fs, Name: "rt", S: tSummarizer(t), RawName: "raw", LeafCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Count() != 0 {
+		t.Fatal("expected empty tree")
+	}
+	q := dataset.Queries(dataset.NewRandomWalk(), 1, tLen, 2)[0]
+	if _, err := tr.ExactSearch(q); err == nil {
+		t.Fatal("expected error on empty tree")
+	}
+	if _, err := Build(Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestSTRWritesLeavesSequentially(t *testing.T) {
+	fs := storage.NewMemFS()
+	dataset.WriteFile(fs, "raw", dataset.NewRandomWalk(), 2000, tLen, 3)
+	before := fs.Stats().Snapshot()
+	tr, err := Build(Options{FS: fs, Name: "rt", S: tSummarizer(t), RawName: "raw", LeafCap: 64, Materialized: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	delta := fs.Stats().Snapshot().Sub(before)
+	// Bulk loading: a handful of streams, each with one seek.
+	if delta.Seeks() > 50 {
+		t.Fatalf("STR build should be mostly sequential: %+v", delta)
+	}
+}

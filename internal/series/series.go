@@ -1,0 +1,143 @@
+// Package series defines the data series model used throughout Coconut:
+// fixed-length sequences of float64 values, z-normalization, Euclidean
+// distance (plain and early-abandoning), and a compact binary on-disk
+// format for large series collections.
+//
+// Terminology follows the paper: a data series s = {r1, ..., rn} is an
+// ordered set of recordings. All indexes in this repository operate on
+// z-normalized series compared under Euclidean distance (ED).
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a single data series: an ordered sequence of values. The
+// position of each value is its index; this matches the paper's model where
+// recordings are taken at fixed intervals.
+type Series []float64
+
+// ErrLengthMismatch is returned by distance functions when the two series
+// have different lengths. ED is only defined on aligned, equal-length series
+// (alignment and length normalization are pre-processing steps, §2).
+var ErrLengthMismatch = errors.New("series: length mismatch")
+
+// Clone returns a deep copy of s.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	copy(out, s)
+	return out
+}
+
+// Mean returns the arithmetic mean of s. It returns 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Stddev returns the population standard deviation of s.
+func (s Series) Stddev() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s)))
+}
+
+// epsilonStd guards against division by ~zero when a series is constant.
+// A constant series z-normalizes to the all-zero series, which is the
+// convention used by the iSAX line of work.
+const epsilonStd = 1e-9
+
+// ZNormalize z-normalizes s in place (subtract mean, divide by standard
+// deviation) and returns s for chaining. Constant series become all zeros.
+//
+// Minimizing ED on z-normalized data is equivalent to maximizing Pearson
+// correlation (§2), which is why every dataset in the paper is z-normalized.
+func (s Series) ZNormalize() Series {
+	mean := s.Mean()
+	std := s.Stddev()
+	if std < epsilonStd {
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	inv := 1 / std
+	for i := range s {
+		s[i] = (s[i] - mean) * inv
+	}
+	return s
+}
+
+// IsZNormalized reports whether s has approximately zero mean and unit
+// standard deviation (or is all-zero), within tol.
+func (s Series) IsZNormalized(tol float64) bool {
+	if len(s) == 0 {
+		return true
+	}
+	mean := s.Mean()
+	std := s.Stddev()
+	if math.Abs(mean) > tol {
+		return false
+	}
+	return math.Abs(std-1) <= tol || std < epsilonStd
+}
+
+// SquaredED returns the squared Euclidean distance between a and b.
+func SquaredED(a, b Series) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	acc := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc, nil
+}
+
+// ED returns the Euclidean distance between a and b.
+func ED(a, b Series) (float64, error) {
+	sq, err := SquaredED(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(sq), nil
+}
+
+// SquaredEDEarlyAbandon computes the squared ED between a and b but gives up
+// as soon as the partial sum exceeds limit, returning (partial, false).
+// When the true squared distance is within limit it returns (dist, true).
+//
+// Early abandoning is the standard optimization in exact data series search:
+// once a best-so-far answer exists, most candidate distances only need to be
+// computed until they exceed it.
+func SquaredEDEarlyAbandon(a, b Series, limit float64) (float64, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		acc += d * d
+		if acc > limit {
+			return acc, false
+		}
+	}
+	return acc, true
+}

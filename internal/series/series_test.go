@@ -1,0 +1,243 @@
+package series
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStddev(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Series
+		mean float64
+		std  float64
+	}{
+		{"empty", Series{}, 0, 0},
+		{"single", Series{5}, 5, 0},
+		{"symmetric", Series{-1, 1}, 0, 1},
+		{"constant", Series{3, 3, 3, 3}, 3, 0},
+		{"ramp", Series{1, 2, 3, 4}, 2.5, math.Sqrt(1.25)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Mean(); !almostEqual(got, tt.mean, 1e-12) {
+				t.Errorf("Mean() = %v, want %v", got, tt.mean)
+			}
+			if got := tt.s.Stddev(); !almostEqual(got, tt.std, 1e-12) {
+				t.Errorf("Stddev() = %v, want %v", got, tt.std)
+			}
+		})
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6, 7, 8}
+	s.ZNormalize()
+	if !s.IsZNormalized(1e-9) {
+		t.Fatalf("series not z-normalized: mean=%v std=%v", s.Mean(), s.Stddev())
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	s := Series{7, 7, 7, 7}
+	s.ZNormalize()
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("constant series should normalize to zeros, got s[%d]=%v", i, v)
+		}
+	}
+	if !s.IsZNormalized(1e-9) {
+		t.Fatal("all-zero series should count as z-normalized")
+	}
+}
+
+func TestZNormalizeProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		s := make(Series, len(vals))
+		for i, v := range vals {
+			// Constrain to finite, sane magnitudes.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s[i] = math.Mod(v, 1e6)
+		}
+		s.ZNormalize()
+		return s.IsZNormalized(1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestED(t *testing.T) {
+	a := Series{0, 0, 0}
+	b := Series{3, 4, 0}
+	d, err := ED(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 5, 1e-12) {
+		t.Errorf("ED = %v, want 5", d)
+	}
+	if _, err := ED(a, Series{1}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestSquaredEDEarlyAbandon(t *testing.T) {
+	a := Series{0, 0, 0, 0}
+	b := Series{1, 1, 1, 1}
+	// Full distance is 4.
+	if d, ok := SquaredEDEarlyAbandon(a, b, 10); !ok || !almostEqual(d, 4, 1e-12) {
+		t.Errorf("expected complete computation, got d=%v ok=%v", d, ok)
+	}
+	if _, ok := SquaredEDEarlyAbandon(a, b, 2.5); ok {
+		t.Error("expected early abandon with limit 2.5")
+	}
+}
+
+func TestEarlyAbandonAgreesWithED(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		a := make(Series, 64)
+		b := make(Series, 64)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want, _ := SquaredED(a, b)
+		got, ok := SquaredEDEarlyAbandon(a, b, math.Inf(1))
+		if !ok || !almostEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: early abandon with inf limit disagrees: %v vs %v", trial, got, want)
+		}
+		// With limit exactly the true distance it must complete.
+		if _, ok := SquaredEDEarlyAbandon(a, b, want); !ok {
+			t.Fatalf("trial %d: abandoned although limit == true distance", trial)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		s := make(Series, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		buf := AppendEncode(nil, s)
+		if len(buf) != EncodedSize(n) {
+			t.Fatalf("encoded size %d, want %d", len(buf), EncodedSize(n))
+		}
+		got, err := Decode(buf, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s {
+			if s[i] != got[i] {
+				t.Fatalf("round trip mismatch at %d: %v vs %v", i, s[i], got[i])
+			}
+		}
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, 7), 1); err == nil {
+		t.Fatal("expected error for short buffer")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	const n = 32
+	const count = 100
+	rng := rand.New(rand.NewSource(99))
+	var buf bytes.Buffer
+	w := NewWriter(&buf, n)
+	var written []Series
+	for i := 0; i < count; i++ {
+		s := make(Series, n)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		if err := w.Write(s); err != nil {
+			t.Fatal(err)
+		}
+		written = append(written, s)
+	}
+	if w.Count() != count {
+		t.Fatalf("writer count %d, want %d", w.Count(), count)
+	}
+	r := NewReader(&buf, n)
+	for i := 0; i < count; i++ {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		for j := range got {
+			if got[j] != written[i][j] {
+				t.Fatalf("series %d value %d mismatch", i, j)
+			}
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestWriterLengthMismatch(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, 4)
+	if err := w.Write(Series{1, 2}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	raw := AppendEncode(nil, Series{1, 2, 3, 4})
+	r := NewReader(bytes.NewReader(raw[:len(raw)-3]), 4)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestNextInto(t *testing.T) {
+	raw := AppendEncode(nil, Series{1, 2, 3})
+	raw = AppendEncode(raw, Series{4, 5, 6})
+	r := NewReader(bytes.NewReader(raw), 3)
+	dst := make(Series, 3)
+	if err := r.NextInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("unexpected first series %v", dst)
+	}
+	if err := r.NextInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 4 || dst[2] != 6 {
+		t.Fatalf("unexpected second series %v", dst)
+	}
+	if err := r.NextInto(dst); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if err := r.NextInto(make(Series, 2)); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Series{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}

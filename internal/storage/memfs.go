@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Op identifies the kind of file-system operation passed to fault hooks.
+type Op string
+
+// Operations visible to fault hooks.
+const (
+	OpCreate Op = "create"
+	OpOpen   Op = "open"
+	OpRead   Op = "read"
+	OpWrite  Op = "write"
+	OpRemove Op = "remove"
+)
+
+// FaultFn is a fault-injection hook: returning a non-nil error makes the
+// corresponding operation fail with that error. off and n are meaningful
+// for reads and writes only.
+type FaultFn func(op Op, name string, off int64, n int) error
+
+// MemFS is an in-memory file system with I/O accounting. It simulates the
+// secondary storage device of the paper's testbed: files are byte arrays,
+// and every access is classified as sequential or random exactly as a disk
+// arm would experience it.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+	stats Stats
+	fault FaultFn
+}
+
+type memData struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory file system.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memData)}
+}
+
+// SetFault installs a fault-injection hook (nil removes it).
+func (fs *MemFS) SetFault(f FaultFn) {
+	fs.mu.Lock()
+	fs.fault = f
+	fs.mu.Unlock()
+}
+
+func (fs *MemFS) checkFault(op Op, name string, off int64, n int) error {
+	fs.mu.Lock()
+	f := fs.fault
+	fs.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f(op, name, off, n)
+}
+
+// Stats returns the file system's accumulated I/O statistics.
+func (fs *MemFS) Stats() *Stats { return &fs.stats }
+
+// Create creates or truncates the named file.
+func (fs *MemFS) Create(name string) (File, error) {
+	if err := fs.checkFault(OpCreate, name, 0, 0); err != nil {
+		return nil, fmt.Errorf("storage: create %q: %w", name, err)
+	}
+	fs.mu.Lock()
+	d := &memData{}
+	fs.files[name] = d
+	fs.mu.Unlock()
+	return &memFile{fs: fs, name: name, d: d, trk: newTracker(&fs.stats)}, nil
+}
+
+// Open opens an existing file.
+func (fs *MemFS) Open(name string) (File, error) {
+	if err := fs.checkFault(OpOpen, name, 0, 0); err != nil {
+		return nil, fmt.Errorf("storage: open %q: %w", name, err)
+	}
+	fs.mu.Lock()
+	d, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: open %q: %w", name, ErrNotExist)
+	}
+	return &memFile{fs: fs, name: name, d: d, trk: newTracker(&fs.stats)}, nil
+}
+
+// Remove deletes the named file.
+func (fs *MemFS) Remove(name string) error {
+	if err := fs.checkFault(OpRemove, name, 0, 0); err != nil {
+		return fmt.Errorf("storage: remove %q: %w", name, err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("storage: remove %q: %w", name, ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Exists reports whether the named file exists.
+func (fs *MemFS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// TotalSize returns the sum of all file sizes — the simulated disk
+// footprint, used by the space-overhead experiments (Fig 8c).
+func (fs *MemFS) TotalSize() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var total int64
+	for _, d := range fs.files {
+		d.mu.RLock()
+		total += int64(len(d.data))
+		d.mu.RUnlock()
+	}
+	return total
+}
+
+// FileSize returns the size of one file, or 0 if it does not exist.
+func (fs *MemFS) FileSize(name string) int64 {
+	fs.mu.Lock()
+	d, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.data))
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+	d    *memData
+	trk  tracker
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.checkFault(OpRead, f.name, off, len(p)); err != nil {
+		return 0, fmt.Errorf("storage: read %q: %w", f.name, err)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("storage: read %q: negative offset", f.name)
+	}
+	f.d.mu.RLock()
+	size := int64(len(f.d.data))
+	var n int
+	if off < size {
+		n = copy(p, f.d.data[off:])
+	}
+	f.d.mu.RUnlock()
+	f.trk.noteRead(off, n)
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.checkFault(OpWrite, f.name, off, len(p)); err != nil {
+		return 0, fmt.Errorf("storage: write %q: %w", f.name, err)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("storage: write %q: negative offset", f.name)
+	}
+	f.d.mu.Lock()
+	end := off + int64(len(p))
+	if end > int64(len(f.d.data)) {
+		oldLen := int64(len(f.d.data))
+		if end > int64(cap(f.d.data)) {
+			grown := make([]byte, end, end+end/2)
+			copy(grown, f.d.data)
+			f.d.data = grown
+		} else {
+			// Re-sliced capacity may hold stale bytes from an earlier
+			// truncate; the gap between the old end and this write must
+			// read back as zeros (POSIX hole semantics).
+			f.d.data = f.d.data[:end]
+			for i := oldLen; i < off; i++ {
+				f.d.data[i] = 0
+			}
+		}
+	}
+	n := copy(f.d.data[off:], p)
+	f.d.mu.Unlock()
+	f.trk.noteWrite(off, n)
+	return n, nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	return int64(len(f.d.data)), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if size < 0 {
+		return fmt.Errorf("storage: truncate %q: negative size", f.name)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if size <= int64(len(f.d.data)) {
+		f.d.data = f.d.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.d.data)
+	f.d.data = grown
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMemFSAgainstReferenceModel is a model-based property test: a random
+// sequence of file operations applied both to MemFS and to a trivially
+// correct in-memory reference must produce identical observable state.
+func TestMemFSAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64, opsCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMemFS()
+		ref := map[string][]byte{} // reference: file name -> contents
+		names := []string{"a", "b", "c"}
+		handles := map[string]File{}
+		defer func() {
+			for _, h := range handles {
+				h.Close()
+			}
+		}()
+
+		for op := 0; op < int(opsCount%120)+20; op++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(6) {
+			case 0: // create
+				h, err := fs.Create(name)
+				if err != nil {
+					return false
+				}
+				if old, ok := handles[name]; ok {
+					old.Close()
+				}
+				handles[name] = h
+				ref[name] = nil
+			case 1: // write at random offset
+				h, ok := handles[name]
+				if !ok {
+					continue
+				}
+				off := rng.Intn(200)
+				data := make([]byte, rng.Intn(50)+1)
+				rng.Read(data)
+				if _, err := h.WriteAt(data, int64(off)); err != nil {
+					return false
+				}
+				cur := ref[name]
+				if need := off + len(data); need > len(cur) {
+					grown := make([]byte, need)
+					copy(grown, cur)
+					cur = grown
+				}
+				copy(cur[off:], data)
+				ref[name] = cur
+			case 2: // read at random offset
+				h, ok := handles[name]
+				if !ok {
+					continue
+				}
+				off := rng.Intn(250)
+				buf := make([]byte, rng.Intn(50)+1)
+				n, err := h.ReadAt(buf, int64(off))
+				cur := ref[name]
+				wantN := 0
+				if off < len(cur) {
+					wantN = len(cur) - off
+					if wantN > len(buf) {
+						wantN = len(buf)
+					}
+				}
+				if n != wantN {
+					return false
+				}
+				if n < len(buf) && err != io.EOF {
+					return false
+				}
+				if n > 0 && !bytes.Equal(buf[:n], cur[off:off+n]) {
+					return false
+				}
+			case 3: // truncate
+				h, ok := handles[name]
+				if !ok {
+					continue
+				}
+				size := rng.Intn(250)
+				if err := h.Truncate(int64(size)); err != nil {
+					return false
+				}
+				cur := ref[name]
+				if size <= len(cur) {
+					ref[name] = cur[:size]
+				} else {
+					grown := make([]byte, size)
+					copy(grown, cur)
+					ref[name] = grown
+				}
+			case 4: // size
+				h, ok := handles[name]
+				if !ok {
+					continue
+				}
+				size, err := h.Size()
+				if err != nil || size != int64(len(ref[name])) {
+					return false
+				}
+			case 5: // exists / remove (only files without open handles)
+				if _, ok := handles[name]; ok {
+					if !fs.Exists(name) {
+						return false
+					}
+					continue
+				}
+				if _, ok := ref[name]; ok != fs.Exists(name) {
+					return false
+				}
+			}
+		}
+		// Final state: every tracked file readable in full and equal.
+		for name, want := range ref {
+			h, ok := handles[name]
+			if !ok {
+				continue
+			}
+			size, err := h.Size()
+			if err != nil || size != int64(len(want)) {
+				return false
+			}
+			if size == 0 {
+				continue
+			}
+			got := make([]byte, size)
+			if _, err := h.ReadAt(got, 0); err != nil && err != io.EOF {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIOAccountingInvariants checks the bookkeeping identities that every
+// experiment relies on: bytes and operation counts are non-negative,
+// monotone, and additive across snapshots.
+func TestIOAccountingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMemFS()
+		h, err := fs.Create("x")
+		if err != nil {
+			return false
+		}
+		defer h.Close()
+		prev := fs.Stats().Snapshot()
+		var wroteBytes, readBytes int64
+		for i := 0; i < 50; i++ {
+			data := make([]byte, rng.Intn(64)+1)
+			off := int64(rng.Intn(512))
+			if rng.Intn(2) == 0 {
+				n, _ := h.WriteAt(data, off)
+				wroteBytes += int64(n)
+			} else {
+				n, _ := h.ReadAt(data, off)
+				readBytes += int64(n)
+			}
+			snap := fs.Stats().Snapshot()
+			d := snap.Sub(prev)
+			if d.BytesRead < 0 || d.BytesWritten < 0 || d.RandReads < 0 ||
+				d.SeqReads < 0 || d.RandWrites < 0 || d.SeqWrites < 0 {
+				return false
+			}
+			prev = snap
+		}
+		final := fs.Stats().Snapshot()
+		return final.BytesWritten == wroteBytes && final.BytesRead == readBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package summary
+
+import "math"
+
+// InvNormCDF returns the inverse of the standard normal cumulative
+// distribution function (the quantile function Φ⁻¹). It is used to place
+// the SAX breakpoints so that each symbol region is equiprobable under
+// N(0,1) — which matches z-normalized data and gives an approximately even
+// spread of series across symbols (§2).
+//
+// The implementation is Acklam's rational approximation refined with one
+// Halley step through math.Erfc, giving ~1e-15 relative accuracy — far
+// beyond what breakpoint placement needs.
+func InvNormCDF(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+
+	a := [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement: e = Φ(x) - p.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// Breakpoints returns the cardinality-1 breakpoints that divide N(0,1) into
+// `cardinality` equiprobable regions, in increasing order. Symbol s covers
+// the value region [bp[s-1], bp[s]) with bp[-1] = -inf and
+// bp[cardinality-1] = +inf.
+func Breakpoints(cardinality int) []float64 {
+	if cardinality < 2 {
+		return nil
+	}
+	bp := make([]float64, cardinality-1)
+	for i := range bp {
+		bp[i] = InvNormCDF(float64(i+1) / float64(cardinality))
+	}
+	return bp
+}

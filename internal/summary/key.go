@@ -1,0 +1,84 @@
+package summary
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key is a sortable invSAX summarization: the bits of all SAX symbols
+// interleaved so that every more-significant bit (across all segments)
+// precedes every less-significant bit. Lexicographic byte order on Key is
+// exactly z-order (Morton order) on the SAX space, which keeps similar
+// series adjacent when sorted — the property that unlocks bottom-up bulk
+// loading (§4.1, Figure 4).
+//
+// Bits are packed MSB-first, so bytes.Compare gives z-order directly.
+// Configurations using fewer than 128 bits leave the trailing bits zero;
+// comparisons remain correct because every key has the same layout.
+type Key [KeySize]byte
+
+// Compare returns -1, 0, or 1 like bytes.Compare.
+func (k Key) Compare(o Key) int { return bytes.Compare(k[:], o[:]) }
+
+// Less reports whether k sorts before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }
+
+// String returns the key as hex, for debugging.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hi64 returns the most significant 64 bits of the key. Useful for quick
+// bucketing and tests.
+func (k Key) Hi64() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Interleave builds the sortable summarization from a SAX word
+// (Algorithm 1, invertSum): for each bit position i from most to least
+// significant, for each segment j in series order, emit bit i of sax[j].
+func Interleave(sax SAX, cardBits int) Key {
+	var k Key
+	out := 0 // bit cursor into k, MSB-first
+	for i := cardBits - 1; i >= 0; i-- {
+		for j := 0; j < len(sax); j++ {
+			bit := (sax[j] >> uint(i)) & 1
+			if bit != 0 {
+				k[out>>3] |= 1 << uint(7-out&7)
+			}
+			out++
+		}
+	}
+	return k
+}
+
+// Deinterleave inverts Interleave, recovering the SAX word from a key.
+// Sortable summarizations contain the same information as the original
+// (§4.1) — this is the "easy and efficient to switch back and forth"
+// direction, used to preserve pruning power during queries.
+func Deinterleave(k Key, segments, cardBits int) SAX {
+	sax := make(SAX, segments)
+	in := 0
+	for i := cardBits - 1; i >= 0; i-- {
+		for j := 0; j < segments; j++ {
+			bit := (k[in>>3] >> uint(7-in&7)) & 1
+			if bit != 0 {
+				sax[j] |= 1 << uint(i)
+			}
+			in++
+		}
+	}
+	return sax
+}
+
+// CommonPrefixBits returns the number of leading interleaved bits shared by
+// a and b, considering only the first totalBits bits (segments × cardBits).
+// Two series agreeing on many leading z-order bits agree on the high bits
+// of every segment — the locality property Coconut-Trie's prefix grouping
+// exploits.
+func CommonPrefixBits(a, b Key, totalBits int) int {
+	for i := 0; i < totalBits; i++ {
+		byteIdx, bitIdx := i>>3, uint(7-i&7)
+		if (a[byteIdx]>>bitIdx)&1 != (b[byteIdx]>>bitIdx)&1 {
+			return i
+		}
+	}
+	return totalBits
+}

@@ -1,0 +1,59 @@
+// Package summary implements the data series summarizations at the heart of
+// Coconut: PAA (Piecewise Aggregate Approximation), SAX/iSAX (Symbolic
+// Aggregate approXimation over Gaussian equiprobable regions), the
+// lower-bounding distance MINDIST, and — the paper's first contribution —
+// the sortable invSAX summarization: a z-order (Morton) interleaving of the
+// per-segment SAX bits such that lexicographic order on the interleaved key
+// keeps similar series adjacent (Algorithm 1, §4.1).
+package summary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// KeySize is the size in bytes of a sortable invSAX key. 128 bits cover the
+// paper's default configuration (16 segments × 8 bits) and everything
+// smaller.
+const KeySize = 16
+
+// KeyBits is the number of usable bits in a Key.
+const KeyBits = KeySize * 8
+
+// Params configures a summarization scheme. The defaults mirror the paper's
+// evaluation: series of length 256, 16 segments, cardinality 256 (8 bits
+// per segment).
+type Params struct {
+	// SeriesLen is the number of points per data series (n).
+	SeriesLen int
+	// Segments is the number of PAA/SAX segments (w).
+	Segments int
+	// CardBits is the number of bits per SAX symbol; the alphabet
+	// cardinality is 1 << CardBits.
+	CardBits int
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams(seriesLen int) Params {
+	return Params{SeriesLen: seriesLen, Segments: 16, CardBits: 8}
+}
+
+// Cardinality returns the SAX alphabet size.
+func (p Params) Cardinality() int { return 1 << p.CardBits }
+
+// Validate checks that the configuration is supported.
+func (p Params) Validate() error {
+	switch {
+	case p.SeriesLen <= 0:
+		return errors.New("summary: series length must be positive")
+	case p.Segments <= 0:
+		return errors.New("summary: segment count must be positive")
+	case p.Segments > p.SeriesLen:
+		return fmt.Errorf("summary: %d segments exceed series length %d", p.Segments, p.SeriesLen)
+	case p.CardBits <= 0 || p.CardBits > 8:
+		return errors.New("summary: cardinality bits must be in [1,8]")
+	case p.Segments*p.CardBits > KeyBits:
+		return fmt.Errorf("summary: %d segments x %d bits exceed the %d-bit key", p.Segments, p.CardBits, KeyBits)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+// TestQuickMinDistLowerBoundsAcrossConfigs sweeps random summarization
+// configurations and verifies the fundamental contract on each: for any
+// pair of series, MINDIST never exceeds the true Euclidean distance, at
+// full cardinality and at every coarser prefix.
+func TestQuickMinDistLowerBoundsAcrossConfigs(t *testing.T) {
+	f := func(seed int64, wRaw, bRaw, nRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		b := int(bRaw%8) + 1
+		n := w * (int(nRaw%8) + 1) // length a multiple of segments
+		if w*b > KeyBits {
+			w = KeyBits / b
+			if w == 0 {
+				return true
+			}
+			n = w * (int(nRaw%8) + 1)
+		}
+		s, err := NewSummarizer(Params{SeriesLen: n, Segments: w, CardBits: b})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() series.Series {
+			out := make(series.Series, n)
+			v := 0.0
+			for i := range out {
+				v += rng.NormFloat64()
+				out[i] = v
+			}
+			return out.ZNormalize()
+		}
+		for trial := 0; trial < 10; trial++ {
+			q, x := mk(), mk()
+			qPAA, err := s.PAA(q, nil)
+			if err != nil {
+				return false
+			}
+			xSAX, err := s.SAXOf(x)
+			if err != nil {
+				return false
+			}
+			ed, _ := series.ED(q, x)
+			if s.MinDistPAAToSAX(qPAA, xSAX) > ed+1e-9 {
+				return false
+			}
+			// Every prefix coarsening weakens (never strengthens) the bound.
+			prev := s.MinDistPAAToSAX(qPAA, xSAX)
+			bits := make([]uint8, w)
+			for pb := b - 1; pb >= 1; pb-- {
+				for j := range bits {
+					bits[j] = uint8(pb)
+				}
+				cur := s.MinDistPAAToPrefix(qPAA, xSAX, bits)
+				if cur > prev+1e-9 {
+					return false
+				}
+				prev = cur
+			}
+			// Interleave/deinterleave stays invertible in this config.
+			k := Interleave(xSAX, b)
+			back := Deinterleave(k, w, b)
+			for j := range xSAX {
+				if xSAX[j] != back[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZOrderEqualsKeyOrder: for any configuration, comparing keys
+// bytewise must equal comparing the interleaved bit strings — i.e., Key
+// comparison is exactly z-order, independent of segment count or symbol
+// width.
+func TestQuickZOrderEqualsKeyOrder(t *testing.T) {
+	f := func(seed int64, wRaw, bRaw uint8) bool {
+		w := int(wRaw%16) + 1
+		b := int(bRaw%8) + 1
+		if w*b > KeyBits {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		mkSAX := func() SAX {
+			out := make(SAX, w)
+			for j := range out {
+				out[j] = uint8(rng.Intn(1 << b))
+			}
+			return out
+		}
+		bitString := func(sax SAX) string {
+			// Interleaved bits, MSB first, as a comparable string of '0'/'1'.
+			s := make([]byte, 0, w*b)
+			for i := b - 1; i >= 0; i-- {
+				for j := 0; j < w; j++ {
+					s = append(s, '0'+(sax[j]>>uint(i))&1)
+				}
+			}
+			return string(s)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a, c := mkSAX(), mkSAX()
+			ka, kc := Interleave(a, b), Interleave(c, b)
+			wantLess := bitString(a) < bitString(c)
+			if ka.Less(kc) != wantLess {
+				return false
+			}
+			if (ka.Compare(kc) == 0) != (bitString(a) == bitString(c)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSymbolRegionDuality: Symbol and Region are inverse views — a
+// value always lies in the region of its own symbol, and any value placed
+// strictly inside a symbol's region maps back to that symbol.
+func TestQuickSymbolRegionDuality(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		b := int(bRaw%8) + 1
+		s, err := NewSummarizer(Params{SeriesLen: 8, Segments: 4, CardBits: b})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 50; trial++ {
+			v := rng.NormFloat64() * 3
+			sym := s.Symbol(v)
+			lo, hi := s.Region(sym, b)
+			if v < lo || v > hi {
+				return false
+			}
+			// Midpoint of a bounded region maps back to the symbol.
+			if lo > -1e300 && hi < 1e300 {
+				mid := (lo + hi) / 2
+				if s.Symbol(mid) != sym {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

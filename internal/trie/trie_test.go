@@ -1,0 +1,303 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+func testSummarizer(t *testing.T) *summary.Summarizer {
+	t.Helper()
+	s, err := summary.NewSummarizer(summary.Params{SeriesLen: 64, Segments: 8, CardBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTrie(t *testing.T, cap int) *Trie {
+	t.Helper()
+	tr, err := New(testSummarizer(t), cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randWords(t *testing.T, s *summary.Summarizer, n int, seed int64) []summary.SAX {
+	t.Helper()
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]summary.SAX, n)
+	buf := make(series.Series, s.Params().SeriesLen)
+	for i := range out {
+		gen.Generate(rng, buf)
+		w, err := s.SAXOf(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	s := testSummarizer(t)
+	if _, err := New(s, 0); err == nil {
+		t.Fatal("expected error for zero leaf cap")
+	}
+	big, _ := summary.NewSummarizer(summary.Params{SeriesLen: 66, Segments: 33, CardBits: 1})
+	if big != nil {
+		if _, err := New(big, 10); err == nil {
+			t.Fatal("expected error for >32 segments")
+		}
+	}
+}
+
+func TestRootKeyUsesMSBs(t *testing.T) {
+	tr := newTrie(t, 10)
+	// 8 segments, 4 bits: MSB of symbol 0b1000 is 1, of 0b0111 is 0.
+	w := summary.SAX{0b1000, 0, 0b1111, 0, 0, 0b0111, 0, 0b1000}
+	key := tr.RootKey(w)
+	if key != 0b10100001 {
+		t.Fatalf("RootKey = %08b", key)
+	}
+}
+
+func TestRootChildCreateAndMatch(t *testing.T) {
+	tr := newTrie(t, 10)
+	w := summary.SAX{0b1000, 0b0100, 0b1100, 0, 0b0010, 0, 0b1111, 0b0001}
+	if tr.RootChild(w, false) != nil {
+		t.Fatal("child should not exist yet")
+	}
+	n := tr.RootChild(w, true)
+	if n == nil || !n.Leaf {
+		t.Fatal("created child should be a leaf")
+	}
+	if !n.Matches(w, 4) {
+		t.Fatal("word must match its own root node")
+	}
+	// Same MSB vector, different low bits: same child.
+	w2 := summary.SAX{0b1111, 0b0111, 0b1000, 0b0111, 0b0001, 0b0111, 0b1000, 0b0111}
+	if tr.RootChild(w2, false) != n {
+		t.Fatal("words with identical MSB vectors share the root child")
+	}
+	// Flip one MSB: different child.
+	w3 := append(summary.SAX(nil), w...)
+	w3[0] = 0b0111
+	if tr.RootChild(w3, true) == n {
+		t.Fatal("different MSB vector must map elsewhere")
+	}
+}
+
+func TestSplitLeafRedistributes(t *testing.T) {
+	tr := newTrie(t, 4)
+	s := tr.S
+	words := randWords(t, s, 64, 1)
+	n := tr.RootChild(words[0], true)
+	for _, w := range words {
+		if n.Matches(w, 4) {
+			n.Buf = append(n.Buf, Record{Word: w, Pos: int64(len(n.Buf))})
+			n.Count++
+		}
+	}
+	if len(n.Buf) < 2 {
+		t.Skip("not enough colliding words for this seed")
+	}
+	before := n.Count
+	seg := ChooseSplitSegment(n, n.Buf, 4)
+	if seg < 0 {
+		t.Fatal("expected a splittable segment")
+	}
+	zero, one := tr.SplitLeaf(n, seg)
+	if n.Leaf || len(n.Children) != 2 {
+		t.Fatal("node should become internal with two children")
+	}
+	if zero.Count+one.Count != before {
+		t.Fatalf("records lost in split: %d + %d != %d", zero.Count, one.Count, before)
+	}
+	for _, r := range zero.Buf {
+		if !zero.Matches(r.Word, 4) {
+			t.Fatal("zero child holds a non-matching record")
+		}
+	}
+	for _, r := range one.Buf {
+		if !one.Matches(r.Word, 4) {
+			t.Fatal("one child holds a non-matching record")
+		}
+	}
+	if err := tr.CheckInvariants(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseSplitSegmentPrefersBalance(t *testing.T) {
+	tr := newTrie(t, 4)
+	n := tr.NewRootNode(summary.SAX{0b1000, 0b1000, 0, 0, 0, 0, 0, 0})
+	// Construct records where segment 1's next bit splits 2/2 and all other
+	// segments split 4/0.
+	recs := []Record{
+		{Word: summary.SAX{0b1000, 0b1000, 0, 0, 0, 0, 0, 0}},
+		{Word: summary.SAX{0b1000, 0b1000, 0, 0, 0, 0, 0, 0}},
+		{Word: summary.SAX{0b1000, 0b1100, 0, 0, 0, 0, 0, 0}},
+		{Word: summary.SAX{0b1000, 0b1100, 0, 0, 0, 0, 0, 0}},
+	}
+	if seg := ChooseSplitSegment(n, recs, 4); seg != 1 {
+		t.Fatalf("ChooseSplitSegment = %d, want 1", seg)
+	}
+}
+
+func TestChooseSplitSegmentExhausted(t *testing.T) {
+	tr := newTrie(t, 4)
+	n := tr.NewRootNode(summary.SAX{0, 0, 0, 0, 0, 0, 0, 0})
+	for j := range n.Bits {
+		n.Bits[j] = 4 // fully refined
+	}
+	if seg := ChooseSplitSegment(n, nil, 4); seg != -1 {
+		t.Fatalf("expected -1 for exhausted node, got %d", seg)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := newTrie(t, 2)
+	words := randWords(t, tr.S, 200, 2)
+	for i, w := range words {
+		n := tr.RootChild(w, true)
+		// Walk to the matching leaf, splitting when full.
+		for !n.Leaf {
+			var next *Node
+			for _, c := range n.Children {
+				if c.Matches(w, 4) {
+					next = c
+					break
+				}
+			}
+			n = next
+		}
+		for int64(len(n.Buf)) >= int64(tr.LeafCap) {
+			seg := ChooseSplitSegment(n, n.Buf, 4)
+			if seg < 0 {
+				break
+			}
+			zero, one := tr.SplitLeaf(n, seg)
+			if zero.Matches(w, 4) {
+				n = zero
+			} else {
+				n = one
+			}
+		}
+		n.Buf = append(n.Buf, Record{Word: w, Pos: int64(i)})
+		n.Count++
+	}
+	// Recompute internal counts bottom-up for the invariant check.
+	var fix func(n *Node) int64
+	fix = func(n *Node) int64 {
+		if n.Leaf {
+			return n.Count
+		}
+		var sum int64
+		for _, c := range n.Children {
+			sum += fix(c)
+		}
+		n.Count = sum
+		return sum
+	}
+	for _, n := range tr.Root {
+		fix(n)
+	}
+	if err := tr.CheckInvariants(4); err != nil {
+		t.Fatal(err)
+	}
+	// Every word must route to a leaf that matches it.
+	for _, w := range words {
+		n := tr.Descend(w)
+		if n == nil {
+			t.Fatal("Descend lost a word")
+		}
+		if !n.Matches(w, 4) {
+			t.Fatal("Descend landed on non-matching node")
+		}
+	}
+	// Leaves must cover all records.
+	var total int64
+	for _, l := range tr.Leaves() {
+		total += int64(len(l.Buf))
+	}
+	if total != int64(len(words)) {
+		t.Fatalf("leaves hold %d records, want %d", total, len(words))
+	}
+}
+
+func TestMinDistLowerBoundsLeafMembers(t *testing.T) {
+	tr := newTrie(t, 4)
+	s := tr.S
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(7))
+	raw := make([]series.Series, 100)
+	for i := range raw {
+		buf := make(series.Series, 64)
+		gen.Generate(rng, buf)
+		raw[i] = buf
+		w, _ := s.SAXOf(buf)
+		n := tr.RootChild(w, true)
+		n.Buf = append(n.Buf, Record{Word: w, Pos: int64(i)})
+		n.Count++
+	}
+	q := make(series.Series, 64)
+	gen.Generate(rng, q)
+	qPAA, _ := s.PAA(q, nil)
+	for _, leaf := range tr.Leaves() {
+		lb := tr.MinDist(qPAA, leaf)
+		for _, r := range leaf.Buf {
+			ed, _ := series.ED(q, raw[r.Pos])
+			if lb > ed+1e-9 {
+				t.Fatalf("node MINDIST %v exceeds member ED %v", lb, ed)
+			}
+		}
+	}
+}
+
+func TestBestLeaf(t *testing.T) {
+	tr := newTrie(t, 4)
+	words := randWords(t, tr.S, 50, 9)
+	for i, w := range words {
+		n := tr.RootChild(w, true)
+		n.Buf = append(n.Buf, Record{Word: w, Pos: int64(i)})
+		n.Count++
+	}
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(10))
+	q := make(series.Series, 64)
+	gen.Generate(rng, q)
+	qPAA, _ := tr.S.PAA(q, nil)
+	best := tr.BestLeaf(qPAA)
+	if best == nil {
+		t.Fatal("BestLeaf returned nil on non-empty trie")
+	}
+	bestDist := tr.MinDist(qPAA, best)
+	for _, l := range tr.Leaves() {
+		if d := tr.MinDist(qPAA, l); d < bestDist-1e-12 {
+			t.Fatalf("BestLeaf missed a closer leaf: %v < %v", d, bestDist)
+		}
+	}
+	empty := newTrie(t, 4)
+	if empty.BestLeaf(qPAA) != nil {
+		t.Fatal("BestLeaf on empty trie should be nil")
+	}
+}
+
+func TestAvgLeafFill(t *testing.T) {
+	tr := newTrie(t, 10)
+	w := summary.SAX{0, 0, 0, 0, 0, 0, 0, 0}
+	n := tr.RootChild(w, true)
+	n.Count = 5
+	if fill := tr.AvgLeafFill(); fill != 0.5 {
+		t.Fatalf("AvgLeafFill = %v, want 0.5", fill)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+	}
+}

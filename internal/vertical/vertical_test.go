@@ -1,0 +1,135 @@
+package vertical
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+const (
+	tLen   = 64
+	tCount = 400
+)
+
+func buildFixture(t *testing.T, levels int) (*Index, []series.Series, *storage.MemFS) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	gen := dataset.NewRandomWalk()
+	if _, err := dataset.WriteFile(fs, "raw", gen, tCount, tLen, 42); err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.Generate(gen, tCount, tLen, 42)
+	ix, err := Build(Options{FS: fs, Name: "v", RawName: "raw", SeriesLen: tLen, Levels: levels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, data, fs
+}
+
+func bruteForce1NN(q series.Series, data []series.Series) float64 {
+	best := math.Inf(1)
+	for _, d := range data {
+		dist, _ := series.ED(q, d)
+		if dist < best {
+			best = dist
+		}
+	}
+	return best
+}
+
+func TestBuild(t *testing.T) {
+	ix, _, _ := buildFixture(t, 0)
+	defer ix.Close()
+	if ix.Count() != tCount {
+		t.Fatalf("Count = %d", ix.Count())
+	}
+	// All levels materialized: index stores exactly n coefficients/series.
+	if got := ix.SizeBytes(); got != int64(tCount*tLen*8) {
+		t.Fatalf("SizeBytes = %d, want %d", got, tCount*tLen*8)
+	}
+}
+
+func TestExactMatchesBruteForceAllLevels(t *testing.T) {
+	for _, levels := range []int{0, 3, 5} {
+		ix, data, _ := buildFixture(t, levels)
+		qs := dataset.Queries(dataset.NewRandomWalk(), 10, tLen, 5)
+		for qi, q := range qs {
+			want := bruteForce1NN(q, data)
+			res, err := ix.ExactSearch(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Dist-want) > 1e-9 {
+				t.Fatalf("levels=%d query %d: %v != %v", levels, qi, res.Dist, want)
+			}
+		}
+		ix.Close()
+	}
+}
+
+func TestMemberFound(t *testing.T) {
+	ix, data, _ := buildFixture(t, 0)
+	defer ix.Close()
+	res, err := ix.ExactSearch(data[42])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist > 1e-9 || res.Pos != 42 {
+		t.Fatalf("member not found exactly: pos=%d dist=%v", res.Pos, res.Dist)
+	}
+}
+
+func TestLevelScanPrunes(t *testing.T) {
+	ix, _, _ := buildFixture(t, 0)
+	defer ix.Close()
+	q := dataset.Queries(dataset.NewRandomWalk(), 1, tLen, 6)[0]
+	res, err := ix.ExactSearch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VisitedRecords >= tCount/2 {
+		t.Fatalf("level filtering barely pruned: visited %d of %d", res.VisitedRecords, tCount)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	fs := storage.NewMemFS()
+	if _, err := Build(Options{FS: fs, Name: "v", RawName: "raw", SeriesLen: 48}); err == nil {
+		t.Fatal("expected error for non-power-of-two length")
+	}
+	if _, err := Build(Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	// Missing raw file.
+	if _, err := Build(Options{FS: fs, Name: "v", RawName: "nope", SeriesLen: 64}); err == nil {
+		t.Fatal("expected error for missing raw file")
+	}
+}
+
+func TestQueryLengthMismatch(t *testing.T) {
+	ix, _, _ := buildFixture(t, 0)
+	defer ix.Close()
+	if _, err := ix.ExactSearch(make(series.Series, 32)); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestConstructionReadsRawOncePerLevel(t *testing.T) {
+	fs := storage.NewMemFS()
+	dataset.WriteFile(fs, "raw", dataset.NewRandomWalk(), 200, tLen, 1)
+	before := fs.Stats().Snapshot()
+	ix, err := Build(Options{FS: fs, Name: "v", RawName: "raw", SeriesLen: tLen, Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	delta := fs.Stats().Snapshot().Sub(before)
+	rawBytes := int64(200 * tLen * 8)
+	// 4 levels -> 4 sequential passes over the raw file.
+	if delta.BytesRead < 4*rawBytes {
+		t.Fatalf("expected >= 4 raw passes (%d bytes), read %d", 4*rawBytes, delta.BytesRead)
+	}
+}

@@ -1,0 +1,107 @@
+// Package wavelet implements the orthonormal Discrete Haar Wavelet
+// Transform (DHWT) used by the Vertical baseline (Kashyap & Karras): series
+// are stored as wavelet coefficients level by level, and a query scans
+// levels coarse-to-fine, tightening a lower bound on the true Euclidean
+// distance after each level.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Levels returns the number of detail levels of a length-n transform
+// (n must be a power of two): log2(n).
+func Levels(n int) int {
+	l := 0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	return l
+}
+
+// Transform computes the orthonormal Haar transform of s, whose length must
+// be a power of two. The output layout is:
+//
+//	out[0]       — scaling coefficient (coarsest average)
+//	out[1]       — detail at the coarsest level
+//	out[2:4]     — details at the next level
+//	...          — doubling per level until the finest
+//
+// Orthonormality gives Parseval's identity: Euclidean distances are
+// preserved exactly, and any coefficient prefix yields a lower bound.
+func Transform(s series.Series) ([]float64, error) {
+	n := len(s)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	work := make([]float64, n)
+	copy(work, s)
+	out := make([]float64, n)
+	inv := 1 / math.Sqrt2
+	for width := n; width > 1; width >>= 1 {
+		half := width / 2
+		// Details of this level land at out[half:width]; averages continue.
+		for i := 0; i < half; i++ {
+			a := (work[2*i] + work[2*i+1]) * inv
+			d := (work[2*i] - work[2*i+1]) * inv
+			out[half+i] = d
+			work[i] = a
+		}
+	}
+	out[0] = work[0]
+	return out, nil
+}
+
+// Inverse reconstructs the original series from Transform's output.
+func Inverse(coeffs []float64) (series.Series, error) {
+	n := len(coeffs)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("wavelet: length %d is not a power of two", n)
+	}
+	out := make(series.Series, n)
+	out[0] = coeffs[0]
+	inv := 1 / math.Sqrt2
+	for width := 2; width <= n; width <<= 1 {
+		half := width / 2
+		// out[0:half] currently holds the averages of this level.
+		tmp := make([]float64, width)
+		for i := 0; i < half; i++ {
+			a := out[i]
+			d := coeffs[half+i]
+			tmp[2*i] = (a + d) * inv
+			tmp[2*i+1] = (a - d) * inv
+		}
+		copy(out[:width], tmp)
+	}
+	return out, nil
+}
+
+// LevelRange returns the coefficient index range [lo, hi) of level l,
+// where level 0 is the scaling coefficient alone and level k (1-based for
+// details) holds 2^(k-1) coefficients.
+func LevelRange(level int) (lo, hi int) {
+	if level == 0 {
+		return 0, 1
+	}
+	lo = 1 << (level - 1)
+	return lo, lo << 1
+}
+
+// PrefixSquaredDist returns the squared Euclidean distance restricted to the
+// first k coefficients of a and b. By Parseval this lower-bounds the true
+// squared distance; it grows monotonically in k and reaches the exact value
+// at k = len(a).
+func PrefixSquaredDist(a, b []float64, k int) float64 {
+	acc := 0.0
+	for i := 0; i < k; i++ {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}

@@ -1,0 +1,116 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+func TestTransformInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		s := make(series.Series, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		c, err := Transform(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s {
+			if math.Abs(s[i]-back[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip mismatch at %d: %v vs %v", n, i, s[i], back[i])
+			}
+		}
+	}
+}
+
+func TestTransformRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := Transform(make(series.Series, 3)); err == nil {
+		t.Fatal("expected error for length 3")
+	}
+	if _, err := Inverse(make([]float64, 6)); err == nil {
+		t.Fatal("expected error for length 6")
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := make(series.Series, 128)
+		b := make(series.Series, 128)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ca, _ := Transform(a)
+		cb, _ := Transform(b)
+		want, _ := series.SquaredED(a, b)
+		got := PrefixSquaredDist(ca, cb, len(ca))
+		if math.Abs(want-got) > 1e-8 {
+			t.Fatalf("Parseval violated: %v vs %v", want, got)
+		}
+	}
+}
+
+func TestPrefixDistLowerBoundsAndMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make(series.Series, 256)
+	b := make(series.Series, 256)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	ca, _ := Transform(a)
+	cb, _ := Transform(b)
+	full, _ := series.SquaredED(a, b)
+	prev := 0.0
+	for k := 0; k <= 256; k++ {
+		d := PrefixSquaredDist(ca, cb, k)
+		if d < prev-1e-12 {
+			t.Fatalf("prefix distance not monotone at k=%d", k)
+		}
+		if d > full+1e-8 {
+			t.Fatalf("prefix distance %v exceeds full %v at k=%d", d, full, k)
+		}
+		prev = d
+	}
+}
+
+func TestLevelRange(t *testing.T) {
+	cases := []struct{ level, lo, hi int }{
+		{0, 0, 1}, {1, 1, 2}, {2, 2, 4}, {3, 4, 8}, {8, 128, 256},
+	}
+	for _, c := range cases {
+		lo, hi := LevelRange(c.level)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("LevelRange(%d) = [%d,%d), want [%d,%d)", c.level, lo, hi, c.lo, c.hi)
+		}
+	}
+	if Levels(256) != 8 {
+		t.Errorf("Levels(256) = %d", Levels(256))
+	}
+	if !IsPowerOfTwo(64) || IsPowerOfTwo(48) || IsPowerOfTwo(0) {
+		t.Error("IsPowerOfTwo misbehaves")
+	}
+}
+
+func TestScalingCoefficientIsMean(t *testing.T) {
+	s := series.Series{1, 1, 1, 1}
+	c, _ := Transform(s)
+	// Orthonormal scaling coefficient of a constant series: mean * sqrt(n).
+	if math.Abs(c[0]-2) > 1e-12 {
+		t.Fatalf("scaling coefficient = %v, want 2", c[0])
+	}
+	for i := 1; i < len(c); i++ {
+		if math.Abs(c[i]) > 1e-12 {
+			t.Fatalf("constant series should have zero details, c[%d]=%v", i, c[i])
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]]
+//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]] [-workers N]
 //
 // With no -figure it runs the complete evaluation in paper order.
 package main
@@ -22,6 +22,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: tiny, default, or full")
 	figFlag := flag.String("figure", "", "comma-separated figure ids (default: all)")
+	workersFlag := flag.Int("workers", 1, "construction workers (0 = all CPUs; >1 makes I/O traces machine-dependent)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -38,6 +39,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
 	}
+	sc.Workers = *workersFlag
 
 	type figure struct {
 		id  string
@@ -76,8 +78,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d)\n",
-		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries)
+	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d, workers=%d)\n",
+		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries, sc.Workers)
 	start := time.Now()
 	for _, f := range figures {
 		if len(want) > 0 && !want[f.id] {

@@ -49,6 +49,7 @@ func parseFlags(args []string) (*config, error) {
 	leaf := fl.Int("leaf", 2000, "leaf capacity in records")
 	mat := fl.Bool("materialized", false, "store raw series inside the index")
 	mem := fl.Int64("mem", 256<<20, "memory budget in bytes")
+	workers := fl.Int("workers", 0, "construction workers (0 = all CPUs)")
 	queries := fl.String("queries", "", "query series file (raw format)")
 	radius := fl.Int("radius", 1, "approximate-search leaf radius")
 	approx := fl.Bool("approx", false, "run approximate instead of exact search")
@@ -79,6 +80,7 @@ func parseFlags(args []string) (*config, error) {
 			Materialized:   *mat,
 			LeafCap:        *leaf,
 			MemBudgetBytes: *mem,
+			Workers:        *workers,
 		},
 		dataFile: *data,
 		queries:  *queries,

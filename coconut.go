@@ -125,6 +125,12 @@ type Config struct {
 	// FillFactor packs Coconut-Tree leaves to this fraction on bulk load
 	// (default 1.0). Leave headroom (< 1.0) for update-heavy workloads.
 	FillFactor float64
+	// Workers is the number of concurrent workers used during index
+	// construction — chunk sorting, run merging, and (LSM) ingest
+	// summarization all fan out across them, with MemoryBudget partitioned
+	// so the total stays within budget. 0 means runtime.NumCPU(). The
+	// built index is byte-identical for any value.
+	Workers int
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -161,6 +167,7 @@ func (c *Config) toCore() (core.Options, error) {
 		LeafCap:        leaf,
 		MemBudgetBytes: c.MemoryBudget,
 		FillFactor:     c.FillFactor,
+		Workers:        c.Workers,
 	}, nil
 }
 
@@ -325,6 +332,7 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 		S:              opt.S,
 		RawName:        opt.RawName,
 		MemBudgetBytes: opt.MemBudgetBytes,
+		Workers:        opt.Workers,
 	})
 	if err != nil {
 		return nil, err

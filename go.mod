@@ -1,0 +1,3 @@
+module github.com/coconut-db/coconut
+
+go 1.22

@@ -72,6 +72,10 @@ type Options struct {
 	FillFactor float64
 	// MemBudgetBytes is the memory budget M for sorting and buffering.
 	MemBudgetBytes int64
+	// Workers is the number of concurrent workers used by the bulk-load
+	// external sort (0 means runtime.NumCPU()). The built index is
+	// byte-identical for any value.
+	Workers int
 	// Fanout is the B+-tree internal fan-out (Tree variant, default 64).
 	Fanout int
 	// ApproxWindow caps how many records around the query's sort position

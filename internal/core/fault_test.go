@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"github.com/coconut-db/coconut/internal/series"
@@ -17,13 +18,12 @@ func TestBuildSurvivesInjectedFaults(t *testing.T) {
 	for _, failAt := range []int{1, 3, 10, 30, 100} {
 		for _, variant := range []string{"tree", "trie"} {
 			fs, _ := fixtureFS(t)
-			var writes int
+			// The sort's run/merge workers write concurrently, so the hook
+			// must count atomically.
+			var writes atomic.Int64
 			fs.SetFault(func(op storage.Op, name string, off int64, n int) error {
-				if op == storage.OpWrite {
-					writes++
-					if writes == failAt {
-						return boom
-					}
+				if op == storage.OpWrite && writes.Add(1) == int64(failAt) {
+					return boom
 				}
 				return nil
 			})
@@ -36,7 +36,7 @@ func TestBuildSurvivesInjectedFaults(t *testing.T) {
 			}
 			// Depending on failAt the build may succeed (fault landed after
 			// the last write) or fail; it must never fail silently.
-			if writes >= failAt && err == nil {
+			if writes.Load() >= int64(failAt) && err == nil {
 				t.Fatalf("%s failAt=%d: fault consumed but build reported success", variant, failAt)
 			}
 			if err != nil && !errors.Is(err, boom) {

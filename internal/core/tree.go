@@ -72,6 +72,7 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
+		Workers:    opt.Workers,
 	}, newSummarizeStream(&opt, raw), sortedName)
 	if err != nil {
 		raw.Close()

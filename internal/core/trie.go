@@ -88,6 +88,7 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
+		Workers:    opt.Workers,
 	}, newSummarizeStream(&opt, raw), sortedName)
 	if err != nil {
 		raw.Close()

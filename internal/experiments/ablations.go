@@ -273,7 +273,7 @@ func AblationLSMUpdates(sc Scale) (*Table, error) {
 			var err error
 			ix, err = lsm.Build(lsm.Options{
 				FS: e.fs, Name: "lsm", S: s, RawName: rawName,
-				MemBudgetBytes: budget,
+				MemBudgetBytes: budget, Workers: sc.Workers,
 			})
 			return err
 		})

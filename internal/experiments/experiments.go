@@ -44,6 +44,10 @@ type Scale struct {
 	Queries int
 	// Seed drives all generators.
 	Seed int64
+	// Workers is the construction worker count passed to the builders.
+	// Defaults to 1 so the simulated I/O traces (run counts, merge passes)
+	// are identical on every machine; cmd/benchrunner -workers raises it.
+	Workers int
 }
 
 // DefaultScale is sized for `go test -bench` runs (seconds per figure).
@@ -56,6 +60,7 @@ func DefaultScale() Scale {
 		BaseCount: 8000,
 		Queries:   20,
 		Seed:      42,
+		Workers:   1,
 	}
 }
 
@@ -199,6 +204,7 @@ func (e *env) coreOptions(mat bool, budget int64) (core.Options, error) {
 		Materialized:   mat,
 		LeafCap:        e.sc.LeafCap,
 		MemBudgetBytes: budget,
+		Workers:        e.sc.Workers,
 	}, nil
 }
 

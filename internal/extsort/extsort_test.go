@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -190,6 +192,10 @@ func TestSortIOIsSequential(t *testing.T) {
 	in := makeRecords(rng, n)
 	cfg := sortCfg(fs, 256*recSize)
 	cfg.BufSize = 1024
+	// Pin one worker: this test measures the per-stream I/O pattern of the
+	// core algorithm, and the seek budget below assumes the single-worker
+	// run/merge plan (more workers mean more, shorter streams).
+	cfg.Workers = 1
 	if _, err := Sort(cfg, bytes.NewReader(in), "out"); err != nil {
 		t.Fatal(err)
 	}
@@ -222,6 +228,179 @@ func TestSortFaultPropagates(t *testing.T) {
 	in := makeRecords(rng, 3000)
 	if _, err := Sort(sortCfg(fs, 64*recSize), bytes.NewReader(in), "out"); err == nil {
 		t.Fatal("expected injected fault to propagate")
+	}
+}
+
+// TestSortDeterministicAcrossWorkers: the acceptance bar for the parallel
+// pipeline is byte-identical output for any worker count, including with
+// heavy comparator ties (records sharing a key prefix but differing in the
+// payload), so chunk boundaries and merge grouping must not show through.
+func TestSortDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 3000
+	in := makeRecords(rng, n)
+	// Collapse keys onto 16 values to force many comparator ties.
+	for i := 0; i < n; i++ {
+		copy(in[i*recSize:], []byte{0, 0, 0, 0, 0, 0, 0, byte(rng.Intn(16))})
+	}
+	var ref []byte
+	for _, workers := range []int{1, 2, 3, 8} {
+		fs := storage.NewMemFS()
+		cfg := sortCfg(fs, 64*recSize) // tiny budget: many runs, multi-pass merge
+		cfg.Workers = workers
+		got, err := Sort(cfg, bytes.NewReader(in), "out")
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != n {
+			t.Fatalf("workers=%d: sorted %d records, want %d", workers, got, n)
+		}
+		out, err := storage.ReadFileAll(fs, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSorted(t, out, cfg.Compare)
+		if multisetHash(in) != multisetHash(out) {
+			t.Fatalf("workers=%d: output is not a permutation of input", workers)
+		}
+		if ref == nil {
+			ref = out
+		} else if !bytes.Equal(ref, out) {
+			t.Fatalf("workers=%d: output differs from workers=1 output", workers)
+		}
+	}
+}
+
+// TestSortCleansTemporariesOnFault is the regression test for the mergeAll
+// leak: intermediate .merge.<gen>.<i> files produced before a later merge
+// in the same generation failed used to survive the error. After a failed
+// Sort nothing may remain on the device — no runs, no merge intermediates,
+// no partial output (the input lives outside the FS).
+func TestSortCleansTemporariesOnFault(t *testing.T) {
+	boom := errors.New("injected device failure")
+	rng := rand.New(rand.NewSource(10))
+	in := makeRecords(rng, 3000)
+	for _, workers := range []int{1, 4} {
+		// The write counts sweep every phase: run formation, each merge
+		// generation (the small budget forces several), and the final merge.
+		for _, failAt := range []int{1, 5, 20, 50, 120, 200, 400} {
+			fs := storage.NewMemFS()
+			var writes atomic.Int64
+			fs.SetFault(func(op storage.Op, name string, off int64, n int) error {
+				if op == storage.OpWrite && writes.Add(1) == int64(failAt) {
+					return boom
+				}
+				return nil
+			})
+			cfg := sortCfg(fs, 64*recSize)
+			cfg.Workers = workers
+			_, err := Sort(cfg, bytes.NewReader(in), "out")
+			if writes.Load() < int64(failAt) {
+				if err != nil {
+					t.Fatalf("workers=%d failAt=%d: fault never fired yet sort failed: %v", workers, failAt, err)
+				}
+				continue // sort finished before the Nth write
+			}
+			if err == nil {
+				t.Fatalf("workers=%d failAt=%d: fault consumed but Sort reported success", workers, failAt)
+			}
+			if !errors.Is(err, boom) {
+				t.Fatalf("workers=%d failAt=%d: error lost its cause: %v", workers, failAt, err)
+			}
+			if got := fs.TotalSize(); got != 0 {
+				t.Fatalf("workers=%d failAt=%d: %d bytes of temporaries leaked after failed Sort", workers, failAt, got)
+			}
+		}
+	}
+}
+
+// TestSortFailurePreservesExistingOutput: a failed Sort must not delete a
+// pre-existing file at outName that the failing invocation never wrote —
+// e.g. a retry over a previous good result that dies during run formation.
+func TestSortFailurePreservesExistingOutput(t *testing.T) {
+	fs := storage.NewMemFS()
+	prev := []byte("previous good result")
+	if err := storage.WriteFileAll(fs, "out", prev); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected device failure")
+	rng := rand.New(rand.NewSource(12))
+	in := makeRecords(rng, 500)
+	faults := []storage.FaultFn{
+		// Die during run formation: outName is never touched.
+		func(op storage.Op, name string, off int64, n int) error {
+			if op == storage.OpCreate && name != "out" {
+				return boom
+			}
+			return nil
+		},
+		// Die on the final pass's own Create of outName: everything before
+		// succeeded, but the output was still never truncated.
+		func(op storage.Op, name string, off int64, n int) error {
+			if op == storage.OpCreate && name == "out" {
+				return boom
+			}
+			return nil
+		},
+	}
+	for i, fault := range faults {
+		fs.SetFault(fault)
+		if _, err := Sort(sortCfg(fs, 64*recSize), bytes.NewReader(in), "out"); !errors.Is(err, boom) {
+			t.Fatalf("fault %d: expected injected fault, got %v", i, err)
+		}
+		fs.SetFault(nil)
+		got, err := storage.ReadFileAll(fs, "out")
+		if err != nil {
+			t.Fatalf("fault %d: pre-existing output deleted by failed Sort: %v", i, err)
+		}
+		if !bytes.Equal(got, prev) {
+			t.Fatalf("fault %d: pre-existing output modified by failed Sort", i)
+		}
+	}
+}
+
+// TestMergeKeepsInputs: Merge must leave the caller's runs untouched (LSM
+// compaction owns its run files and deletes them only after the swap).
+func TestMergeKeepsInputs(t *testing.T) {
+	fs := storage.NewMemFS()
+	rng := rand.New(rand.NewSource(11))
+	cfg := sortCfg(fs, 1<<20)
+	var all []byte
+	names := []string{"runA", "runB", "runC"}
+	for _, name := range names {
+		data := makeRecords(rng, 100)
+		SortInMemory(data, recSize, cfg.Compare)
+		if err := storage.WriteFileAll(fs, name, data); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	// A tiny budget (final fan-in 2 < three runs) forces the multi-pass path
+	// so intermediates are created (and must be cleaned up) even in the
+	// keep-inputs mode.
+	cfg.MemBudget = 3 * int64(cfg.BufSize)
+	cfg.TempPrefix = "cm"
+	if err := Merge(cfg, names, "merged"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if !fs.Exists(name) {
+			t.Fatalf("Merge deleted input run %q", name)
+		}
+	}
+	out, err := storage.ReadFileAll(fs, "merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(all) {
+		t.Fatalf("merged %d bytes, want %d", len(out), len(all))
+	}
+	checkSorted(t, out, cfg.Compare)
+	if multisetHash(all) != multisetHash(out) {
+		t.Fatal("merged output is not a permutation of the input runs")
+	}
+	if fs.Exists("cm.merge.0.0") || fs.Exists("cm.merge.0.1") {
+		t.Fatal("Merge left intermediate files behind")
 	}
 }
 

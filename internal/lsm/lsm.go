@@ -20,12 +20,12 @@
 package lsm
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 
 	"github.com/coconut-db/coconut/internal/extsort"
@@ -55,6 +55,11 @@ type Options struct {
 	// Window is the number of records examined around the query key in
 	// each run during approximate search (default 100).
 	Window int
+	// Workers is the number of concurrent workers used by the bulk-load
+	// sort, ingest summarization, and compaction merges (0 means
+	// runtime.NumCPU()). Runs and query answers are identical for any
+	// value.
+	Workers int
 }
 
 func (o *Options) validate() error {
@@ -97,6 +102,16 @@ type run struct {
 	positions []int64
 }
 
+// capture appends one encoded record's key and position — the extsort.Tee
+// callback used to build a run's in-memory arrays while its file is
+// written, avoiding a read-back pass.
+func (r *run) capture(rec []byte) {
+	var k summary.Key
+	copy(k[:], rec[:summary.KeySize])
+	r.keys = append(r.keys, k)
+	r.positions = append(r.positions, int64(binary.LittleEndian.Uint64(rec[summary.KeySize:])))
+}
+
 // memEntry is one memtable record.
 type memEntry struct {
 	key summary.Key
@@ -126,14 +141,19 @@ func Build(opt Options) (*Index, error) {
 	ix := &Index{opt: opt, rawFile: raw}
 
 	// Summarize + sort the existing data into run 0 (tier determined by
-	// later compactions; the initial bulk run sits at a high tier).
+	// later compactions; the initial bulk run sits at a high tier). The
+	// in-memory key array is captured by teeing the sort's final pass, so
+	// the run is not read back after being written.
 	name := ix.runName()
+	r := &run{name: name, tier: 1 << 30 /* effectively max tier */}
 	n, err := extsort.Sort(extsort.Config{
 		FS:         opt.FS,
 		RecordSize: recordSize,
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
+		Workers:    opt.Workers,
+		Tee:        r.capture,
 	}, &sumStream{s: opt.S, r: series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), opt.S.Params().SeriesLen),
 		buf: make(series.Series, opt.S.Params().SeriesLen), rec: make([]byte, recordSize)}, name)
 	if err != nil {
@@ -141,11 +161,7 @@ func Build(opt Options) (*Index, error) {
 		return nil, err
 	}
 	if n > 0 {
-		r, err := ix.loadRun(name, 1<<30 /* effectively max tier */)
-		if err != nil {
-			raw.Close()
-			return nil, err
-		}
+		r.count = int64(len(r.keys))
 		ix.runs = append(ix.runs, r)
 	} else {
 		_ = opt.FS.Remove(name)
@@ -197,31 +213,6 @@ func (ix *Index) runName() string {
 	return name
 }
 
-// loadRun reads a sorted run file's keys into memory.
-func (ix *Index) loadRun(name string, tier int) (*run, error) {
-	rr, err := extsort.OpenRecords(ix.opt.FS, name, recordSize, 0)
-	if err != nil {
-		return nil, err
-	}
-	defer rr.Close()
-	r := &run{name: name, tier: tier}
-	for {
-		rec, err := rr.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		var k summary.Key
-		copy(k[:], rec[:summary.KeySize])
-		r.keys = append(r.keys, k)
-		r.positions = append(r.positions, int64(binary.LittleEndian.Uint64(rec[summary.KeySize:])))
-	}
-	r.count = int64(len(r.keys))
-	return r, nil
-}
-
 // memCapacity returns the memtable capacity in records.
 func (ix *Index) memCapacity() int {
 	c := int(ix.opt.MemBudgetBytes / recordSize)
@@ -232,7 +223,9 @@ func (ix *Index) memCapacity() int {
 }
 
 // Append adds new series: raw bytes go to the dataset file, records to the
-// memtable; a full memtable flushes to a fresh tier-0 run.
+// memtable; a full memtable flushes to a fresh tier-0 run. The batch is
+// summarized up front across Workers goroutines, so ingest keeps every core
+// busy while the raw writes stay append-only.
 func (ix *Index) Append(batch []series.Series) error {
 	p := ix.opt.S.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
@@ -243,21 +236,23 @@ func (ix *Index) Append(batch []series.Series) error {
 	if end%sz != 0 {
 		return fmt.Errorf("lsm: raw file size %d not aligned", end)
 	}
-	pos := end / sz
-	enc := make([]byte, 0, sz)
 	for _, s := range batch {
 		if len(s) != p.SeriesLen {
 			return fmt.Errorf("lsm: series length %d, want %d", len(s), p.SeriesLen)
 		}
+	}
+	keys, err := ix.opt.S.KeysOf(batch, ix.opt.Workers)
+	if err != nil {
+		return err
+	}
+	pos := end / sz
+	enc := make([]byte, 0, sz)
+	for i, s := range batch {
 		enc = series.AppendEncode(enc[:0], s)
 		if _, err := ix.rawFile.WriteAt(enc, pos*sz); err != nil {
 			return err
 		}
-		key, err := ix.opt.S.KeyOf(s)
-		if err != nil {
-			return err
-		}
-		ix.mem = append(ix.mem, memEntry{key: key, pos: pos})
+		ix.mem = append(ix.mem, memEntry{key: keys[i], pos: pos})
 		ix.count++
 		pos++
 		if len(ix.mem) >= ix.memCapacity() {
@@ -269,13 +264,32 @@ func (ix *Index) Append(batch []series.Series) error {
 	return nil
 }
 
+// lePosLess orders positions by the lexicographic order of their
+// little-endian encoding — the order extsort's full-record tie-break sees,
+// since pos is encoded little-endian right after the key. Reversing the
+// byte order makes the LSB most significant, which is exactly that order.
+func lePosLess(a, b int64) bool {
+	return bits.ReverseBytes64(uint64(a)) < bits.ReverseBytes64(uint64(b))
+}
+
 // Flush sorts the memtable and writes it as a new tier-0 run, triggering
 // compactions as tiers fill.
+//
+// Entries sort by key with ties broken in encoded-record byte order, so
+// every run on disk — flushed or compacted — is totally ordered under the
+// same refined order extsort uses. Compacted runs are then exactly the
+// totally sorted multiset of their inputs, a state that is trivially
+// independent of Workers and easy to audit.
 func (ix *Index) Flush() error {
 	if len(ix.mem) == 0 {
 		return nil
 	}
-	sort.Slice(ix.mem, func(a, b int) bool { return ix.mem[a].key.Less(ix.mem[b].key) })
+	sort.Slice(ix.mem, func(a, b int) bool {
+		if c := ix.mem[a].key.Compare(ix.mem[b].key); c != 0 {
+			return c < 0
+		}
+		return lePosLess(ix.mem[a].pos, ix.mem[b].pos)
+	})
 	name := ix.runName()
 	f, err := ix.opt.FS.Create(name)
 	if err != nil {
@@ -329,96 +343,29 @@ func (ix *Index) maybeCompact() error {
 	}
 }
 
-// mergeCursor streams one run during compaction.
-type mergeCursor struct {
-	rr  *extsort.RecordReader
-	rec []byte
-	ok  bool
-}
-
-func (c *mergeCursor) advance() error {
-	rec, err := c.rr.Next()
-	if err == io.EOF {
-		c.ok = false
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	c.rec = rec
-	c.ok = true
-	return nil
-}
-
-type mergePQ []*mergeCursor
-
-func (q mergePQ) Len() int { return len(q) }
-func (q mergePQ) Less(i, j int) bool {
-	return string(q[i].rec[:summary.KeySize]) < string(q[j].rec[:summary.KeySize])
-}
-func (q mergePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *mergePQ) Push(x any)   { *q = append(*q, x.(*mergeCursor)) }
-func (q *mergePQ) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-
-// compact merge-sorts the given runs into one run at the target tier —
-// strictly sequential reads and one sequential write.
+// compact merge-sorts the given runs into one run at the target tier via
+// the parallel sorter's merge machinery — strictly sequential reads and
+// sequential writes, with the memory budget and worker pool shared with the
+// bulk-load path. The in-memory key array is captured by teeing the final
+// merge pass, so compaction reads each input byte exactly once. The input
+// runs are deleted only after the new run is swapped in.
 func (ix *Index) compact(rs []*run, tier int) error {
 	name := ix.runName()
-	out, err := ix.opt.FS.Create(name)
-	if err != nil {
-		return err
+	names := make([]string, len(rs))
+	for i, r := range rs {
+		names[i] = r.name
 	}
-	w := storage.NewSequentialWriter(out, 0, 0)
-	pq := &mergePQ{}
-	var readers []*extsort.RecordReader
-	defer func() {
-		for _, rr := range readers {
-			rr.Close()
-		}
-	}()
-	for _, r := range rs {
-		rr, err := extsort.OpenRecords(ix.opt.FS, r.name, recordSize, 0)
-		if err != nil {
-			out.Close()
-			return err
-		}
-		readers = append(readers, rr)
-		c := &mergeCursor{rr: rr}
-		if err := c.advance(); err != nil {
-			out.Close()
-			return err
-		}
-		if c.ok {
-			*pq = append(*pq, c)
-		}
-	}
-	heap.Init(pq)
 	newRun := &run{name: name, tier: tier}
-	for pq.Len() > 0 {
-		c := (*pq)[0]
-		if _, err := w.Write(c.rec); err != nil {
-			out.Close()
-			return err
-		}
-		var k summary.Key
-		copy(k[:], c.rec[:summary.KeySize])
-		newRun.keys = append(newRun.keys, k)
-		newRun.positions = append(newRun.positions, int64(binary.LittleEndian.Uint64(c.rec[summary.KeySize:])))
-		if err := c.advance(); err != nil {
-			out.Close()
-			return err
-		}
-		if c.ok {
-			heap.Fix(pq, 0)
-		} else {
-			heap.Pop(pq)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		out.Close()
-		return err
-	}
-	if err := out.Close(); err != nil {
+	err := extsort.Merge(extsort.Config{
+		FS:         ix.opt.FS,
+		RecordSize: recordSize,
+		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
+		MemBudget:  ix.opt.MemBudgetBytes,
+		TempPrefix: name + ".compact",
+		Workers:    ix.opt.Workers,
+		Tee:        newRun.capture,
+	}, names, name)
+	if err != nil {
 		return err
 	}
 	newRun.count = int64(len(newRun.keys))

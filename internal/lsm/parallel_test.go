@@ -1,0 +1,111 @@
+package lsm
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// buildParallelFixture builds an index over the shared dataset with the
+// given worker count, then streams extra batches through Append + Flush so
+// compactions happen. The summarizer is deliberately coarse (2 segments x
+// 2 bits: 16 distinct keys) so runs are full of comparator ties, and the
+// budget/fanout combination (1 MiB budget, 256 KiB merge buffers, fanout 4
+// > final fan-in 3) forces a multi-pass compaction whose merge grouping
+// differs between worker counts — the hardest case for determinism.
+func buildParallelFixture(t *testing.T, workers int) (*Index, *storage.MemFS) {
+	t.Helper()
+	fs := storage.NewMemFS()
+	gen := dataset.NewRandomWalk()
+	if _, err := dataset.WriteFile(fs, "raw", gen, tCount, tLen, 42); err != nil {
+		t.Fatal(err)
+	}
+	s, err := summary.NewSummarizer(summary.Params{SeriesLen: tLen, Segments: 2, CardBits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(Options{
+		FS:             fs,
+		Name:           "lsm",
+		S:              s,
+		RawName:        "raw",
+		MemBudgetBytes: 1 << 20,
+		Fanout:         4,
+		Window:         40,
+		Workers:        workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := dataset.Generate(gen, 300, tLen, 7)
+	for lo := 0; lo < len(stream); lo += 50 {
+		if err := ix.Append(stream[lo : lo+50]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix, fs
+}
+
+// TestParallelBuildDeterministic: Workers must be invisible in the result —
+// identical run files on the device and identical search answers.
+func TestParallelBuildDeterministic(t *testing.T) {
+	ix1, fs1 := buildParallelFixture(t, 1)
+	defer ix1.Close()
+	ix8, fs8 := buildParallelFixture(t, 8)
+	defer ix8.Close()
+
+	if ix1.NumRuns() != ix8.NumRuns() {
+		t.Fatalf("run counts differ: workers=1 has %d, workers=8 has %d", ix1.NumRuns(), ix8.NumRuns())
+	}
+	for i := range ix1.runs {
+		r1, r8 := ix1.runs[i], ix8.runs[i]
+		if r1.name != r8.name || r1.tier != r8.tier || r1.count != r8.count {
+			t.Fatalf("run %d metadata differs: %+v vs %+v", i, r1, r8)
+		}
+		b1, err := storage.ReadFileAll(fs1, r1.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b8, err := storage.ReadFileAll(fs8, r8.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b8) {
+			t.Fatalf("run file %q differs between workers=1 and workers=8", r1.name)
+		}
+	}
+
+	queries := dataset.Queries(dataset.NewRandomWalk(), 10, tLen, 99)
+	for qi, q := range queries {
+		q = append(series.Series(nil), q...).ZNormalize()
+		e1, err := ix1.ExactSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e8, err := ix8.ExactSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e1.Pos != e8.Pos || e1.Dist != e8.Dist {
+			t.Fatalf("query %d: exact answers differ: %+v vs %+v", qi, e1, e8)
+		}
+		a1, err := ix1.ApproxSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a8, err := ix8.ApproxSearch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1.Pos != a8.Pos || a1.Dist != a8.Dist {
+			t.Fatalf("query %d: approx answers differ: %+v vs %+v", qi, a1, a8)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package summary
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+// KeysOf computes the invSAX key of every series in batch, splitting the
+// batch across workers goroutines (workers <= 0 means runtime.NumCPU()).
+// Results are ordered like batch, so the output is identical for any worker
+// count. Concurrent use is safe because the Summarizer is immutable; each
+// worker reuses its own PAA and SAX scratch buffers, so the per-series cost
+// is allocation-free.
+func (s *Summarizer) KeysOf(batch []series.Series, workers int) ([]Key, error) {
+	keys := make([]Key, len(batch))
+	if len(batch) == 0 {
+		return keys, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	chunk := (len(batch) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			paa := make([]float64, s.p.Segments)
+			sax := make(SAX, s.p.Segments)
+			for i := lo; i < hi; i++ {
+				var err error
+				if paa, err = s.PAA(batch[i], paa); err != nil {
+					errs[w] = err
+					return
+				}
+				sax = s.SAXFromPAA(paa, sax)
+				keys[i] = Interleave(sax, s.p.CardBits)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}

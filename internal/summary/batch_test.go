@@ -1,0 +1,59 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+func TestKeysOfMatchesKeyOf(t *testing.T) {
+	s, err := NewSummarizer(Params{SeriesLen: 96, Segments: 8, CardBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	batch := make([]series.Series, 137)
+	for i := range batch {
+		ser := make(series.Series, 96)
+		for j := range ser {
+			ser[j] = rng.NormFloat64()
+		}
+		batch[i] = ser.ZNormalize()
+	}
+	want := make([]Key, len(batch))
+	for i, ser := range batch {
+		if want[i], err = s.KeyOf(ser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := s.KeysOf(batch, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d keys, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: key %d = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKeysOfEmptyAndErrors(t *testing.T) {
+	s, err := NewSummarizer(Params{SeriesLen: 96, Segments: 8, CardBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.KeysOf(nil, 4)
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("empty batch: keys=%v err=%v", keys, err)
+	}
+	bad := []series.Series{make(series.Series, 96), make(series.Series, 5)}
+	if _, err := s.KeysOf(bad, 4); err == nil {
+		t.Fatal("expected length-mismatch error to propagate")
+	}
+}

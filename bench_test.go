@@ -17,6 +17,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/coconut-db/coconut/internal/bptree"
@@ -117,6 +119,75 @@ func BenchmarkFig10bAstronomy(b *testing.B) { runFigure(b, experiments.Fig10bAst
 func BenchmarkFig10cSeismic(b *testing.B) { runFigure(b, experiments.Fig10cSeismic) }
 
 func BenchmarkIndexSizeTable(b *testing.B) { runFigure(b, experiments.IndexSizeTable) }
+
+// BenchmarkQueryThroughput measures concurrent exact-query throughput on
+// one SHARED TreeIndex handle over a 100k-series dataset: the fixed query
+// batch is drained by `workers` client goroutines. Handles are safe for
+// concurrent readers, so the sub-benchmark ratio is the wall-clock speedup
+// of serving queries in parallel (answers are identical either way;
+// QueryWorkers is pinned to 1 so the axis is purely handle concurrency).
+func BenchmarkQueryThroughput(b *testing.B) {
+	const (
+		count     = 100000
+		seriesLen = 64
+		nQueries  = 16
+	)
+	fs := storage.NewMemFS()
+	if err := GenerateDataset(fs, "qt.bin", RandomWalk, count, seriesLen, 21); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := BuildTreeIndex(Config{
+		Storage:      fs,
+		Name:         "qt",
+		DataFile:     "qt.bin",
+		SeriesLen:    seriesLen,
+		MemoryBudget: 32 << 20,
+		Workers:      0, // build on all CPUs; the index is identical anyway
+		QueryWorkers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	queries, err := GenerateQueries(RandomWalk, nQueries, seriesLen, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				var errMu sync.Mutex
+				var firstErr error
+				for c := 0; c < workers; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							qi := int(next.Add(1)) - 1
+							if qi >= len(queries) {
+								return
+							}
+							if _, err := ix.Search(queries[qi]); err != nil {
+								errMu.Lock()
+								if firstErr == nil {
+									firstErr = err
+								}
+								errMu.Unlock()
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				if firstErr != nil {
+					b.Fatal(firstErr)
+				}
+			}
+		})
+	}
+}
 
 // --- micro-benchmarks ------------------------------------------------------
 

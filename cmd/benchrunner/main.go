@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]] [-workers N]
+//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]] [-workers N] [-query-workers N]
 //
 // With no -figure it runs the complete evaluation in paper order.
 package main
@@ -23,6 +23,7 @@ func main() {
 	scaleFlag := flag.String("scale", "default", "experiment scale: tiny, default, or full")
 	figFlag := flag.String("figure", "", "comma-separated figure ids (default: all)")
 	workersFlag := flag.Int("workers", 1, "construction workers (0 = all CPUs; >1 makes I/O traces machine-dependent)")
+	queryWorkersFlag := flag.Int("query-workers", 1, "per-query fan-out (0 = all CPUs; answers are identical for any value, but >1 makes visited counts machine-dependent)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -40,6 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Workers = *workersFlag
+	sc.QueryWorkers = *queryWorkersFlag
 
 	type figure struct {
 		id  string
@@ -69,6 +71,7 @@ func main() {
 		{"Fig10b", experiments.Fig10bAstronomy},
 		{"Fig10c", experiments.Fig10cSeismic},
 		{"SizeTable", experiments.IndexSizeTable},
+		{"QueryThroughput", experiments.QueryThroughput},
 	}
 
 	want := map[string]bool{}
@@ -78,8 +81,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d, workers=%d)\n",
-		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries, sc.Workers)
+	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d, workers=%d, query-workers=%d)\n",
+		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries, sc.Workers, sc.QueryWorkers)
 	start := time.Now()
 	for _, f := range figures {
 		if len(want) > 0 && !want[f.id] {

@@ -50,6 +50,7 @@ func parseFlags(args []string) (*config, error) {
 	mat := fl.Bool("materialized", false, "store raw series inside the index")
 	mem := fl.Int64("mem", 256<<20, "memory budget in bytes")
 	workers := fl.Int("workers", 0, "construction workers (0 = all CPUs)")
+	queryWorkers := fl.Int("query-workers", 0, "per-query fan-out for exact search (0 = all CPUs)")
 	queries := fl.String("queries", "", "query series file (raw format)")
 	radius := fl.Int("radius", 1, "approximate-search leaf radius")
 	approx := fl.Bool("approx", false, "run approximate instead of exact search")
@@ -81,6 +82,7 @@ func parseFlags(args []string) (*config, error) {
 			LeafCap:        *leaf,
 			MemBudgetBytes: *mem,
 			Workers:        *workers,
+			QueryWorkers:   *queryWorkers,
 		},
 		dataFile: *data,
 		queries:  *queries,

@@ -30,11 +30,24 @@
 //
 // # Concurrency
 //
-// Index handles are NOT safe for concurrent use: queries share internal
-// page caches and the adaptive/SIMS state. Guard a handle with a mutex or
-// give each goroutine its own handle (multiple read-only handles over the
-// same files are fine via OpenTree). Within a single query, the library
-// itself parallelizes the lower-bound computation across cores.
+// Index handles are safe for concurrent use. Any number of goroutines may
+// run Search, SearchApprox, and SearchKNN on one shared handle at the same
+// time: per-query scratch buffers and page staging live on the query's
+// stack, not on the handle, and the lazily refreshed SIMS summary state is
+// guarded internally. Mutations (Insert, Flush, Close) serialize against
+// in-flight queries through a handle-level reader-writer lock, so they may
+// be issued concurrently with queries too — they simply wait for readers
+// and vice versa.
+//
+// Within a single query, the library shards the heavy phases of SIMS exact
+// search across Config.QueryWorkers goroutines: the lower-bound pass over
+// the in-memory summaries, the candidate-verification scan (by leaf range
+// when materialized, by raw-file position range otherwise, with a shared
+// atomic best-so-far bound), and — for LSM indexes — the per-run probes of
+// multi-run queries. QueryWorkers = 0 uses all CPUs; the answer (Position,
+// Distance) is identical for any setting, so it is purely a latency knob.
+// For maximum throughput under many concurrent queries, QueryWorkers = 1
+// avoids oversubscription; for minimum single-query latency, leave it 0.
 package coconut
 
 import (
@@ -131,6 +144,12 @@ type Config struct {
 	// so the total stays within budget. 0 means runtime.NumCPU(). The
 	// built index is byte-identical for any value.
 	Workers int
+	// QueryWorkers is the per-query fan-out: the SIMS lower-bound pass and
+	// the exact-search candidate-verification scan shard across this many
+	// goroutines (LSM indexes also probe independent runs concurrently).
+	// 0 means all CPUs. Search answers are identical for any value; see
+	// the package-level Concurrency section for how to choose it.
+	QueryWorkers int
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -168,6 +187,7 @@ func (c *Config) toCore() (core.Options, error) {
 		MemBudgetBytes: c.MemoryBudget,
 		FillFactor:     c.FillFactor,
 		Workers:        c.Workers,
+		QueryWorkers:   c.QueryWorkers,
 	}, nil
 }
 
@@ -333,6 +353,7 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 		RawName:        opt.RawName,
 		MemBudgetBytes: opt.MemBudgetBytes,
 		Workers:        opt.Workers,
+		QueryWorkers:   opt.QueryWorkers,
 	})
 	if err != nil {
 		return nil, err

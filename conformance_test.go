@@ -1,0 +1,194 @@
+package coconut
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+// searcher is the common exact-search surface of the three index kinds.
+type searcher interface {
+	Close() error
+}
+
+type searchFn func(q Series) (Result, error)
+
+const (
+	confCount = 2500
+	confLen   = 64
+	confSeed  = 314
+)
+
+// confCase builds one index variant and returns its exact-search function
+// plus the full in-memory dataset it indexes (for brute-force checking).
+type confCase struct {
+	name  string
+	build func(t *testing.T, queryWorkers int) (searcher, searchFn, []Series)
+}
+
+func confConfig(fs Storage, queryWorkers int, materialized bool) Config {
+	return Config{
+		Storage:      fs,
+		Name:         "conf",
+		DataFile:     "conf.bin",
+		SeriesLen:    confLen,
+		Segments:     8,
+		LeafSize:     50,
+		Materialized: materialized,
+		MemoryBudget: 1 << 20,
+		Workers:      2,
+		QueryWorkers: queryWorkers,
+	}
+}
+
+func confFS(t *testing.T) (Storage, []Series) {
+	t.Helper()
+	fs := NewMemStorage()
+	if err := GenerateDataset(fs, "conf.bin", RandomWalk, confCount, confLen, confSeed); err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.Generate(dataset.NewRandomWalk(), confCount, confLen, confSeed)
+	return fs, data
+}
+
+// confAppend streams extra batches into an LSM index, flushing after each
+// so the index accumulates `flushes` extra on-disk runs, plus a final
+// unflushed batch that stays in the memtable.
+func confAppend(t *testing.T, ix *LSMIndex, flushes int) []Series {
+	t.Helper()
+	extra := dataset.Generate(dataset.NewSeismic(), flushes*120+40, confLen, confSeed+1)
+	for i := 0; i < flushes; i++ {
+		if err := ix.Insert(extra[i*120 : (i+1)*120]); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Insert(extra[flushes*120:]); err != nil {
+		t.Fatal(err)
+	}
+	return extra
+}
+
+func confCases() []confCase {
+	tree := func(mat bool) func(*testing.T, int) (searcher, searchFn, []Series) {
+		return func(t *testing.T, qw int) (searcher, searchFn, []Series) {
+			fs, data := confFS(t)
+			ix, err := BuildTreeIndex(confConfig(fs, qw, mat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, ix.Search, data
+		}
+	}
+	trie := func(mat bool) func(*testing.T, int) (searcher, searchFn, []Series) {
+		return func(t *testing.T, qw int) (searcher, searchFn, []Series) {
+			fs, data := confFS(t)
+			ix, err := BuildTrieIndex(confConfig(fs, qw, mat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ix, ix.Search, data
+		}
+	}
+	lsm := func(runs int) func(*testing.T, int) (searcher, searchFn, []Series) {
+		return func(t *testing.T, qw int) (searcher, searchFn, []Series) {
+			fs, data := confFS(t)
+			ix, err := BuildLSMIndex(confConfig(fs, qw, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if runs > 1 {
+				data = append(data, confAppend(t, ix, runs-1)...)
+				if got := ix.NumRuns(); got < runs {
+					t.Fatalf("fixture built %d runs, want >= %d", got, runs)
+				}
+			}
+			return ix, ix.Search, data
+		}
+	}
+	return []confCase{
+		{"tree", tree(false)},
+		{"tree-materialized", tree(true)},
+		{"trie", trie(false)},
+		{"trie-materialized", trie(true)},
+		{"lsm-1run", lsm(1)},
+		{"lsm-4runs", lsm(4)},
+	}
+}
+
+// TestExactConformance is the exact-vs-brute-force conformance suite: every
+// index variant (tree/trie, materialized or not, single- and multi-run LSM)
+// must answer exact 1-NN queries identically to a brute-force scan, and the
+// answers must be byte-identical for every QueryWorkers setting.
+func TestExactConformance(t *testing.T) {
+	queries, err := GenerateQueries(RandomWalk, 8, confLen, confSeed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerSweep := []int{1, 2, 8}
+	for _, tc := range confCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			// results[w][q] is query q's answer at worker count w.
+			results := make(map[int][]Result)
+			var data []Series
+			for _, qw := range workerSweep {
+				ix, search, d := tc.build(t, qw)
+				data = d
+				answers := make([]Result, len(queries))
+				for qi, q := range queries {
+					res, err := search(q)
+					if err != nil {
+						ix.Close()
+						t.Fatalf("workers=%d query %d: %v", qw, qi, err)
+					}
+					answers[qi] = res
+				}
+				if err := ix.Close(); err != nil {
+					t.Fatal(err)
+				}
+				results[qw] = answers
+			}
+			// Brute force is the ground truth for the first sweep entry...
+			for qi, q := range queries {
+				wantPos, wantDist := bruteForce(q, data)
+				got := results[workerSweep[0]][qi]
+				if got.Position != wantPos || math.Abs(got.Distance-wantDist) > 1e-9 {
+					t.Errorf("query %d: got (#%d, %v), brute force (#%d, %v)",
+						qi, got.Position, got.Distance, wantPos, wantDist)
+				}
+			}
+			// ...and every other worker count must match it bit for bit.
+			base := results[workerSweep[0]]
+			for _, qw := range workerSweep[1:] {
+				for qi := range queries {
+					a, b := base[qi], results[qw][qi]
+					if a.Position != b.Position || a.Distance != b.Distance {
+						t.Errorf("query %d: workers=%d answered (#%d, %v), workers=%d answered (#%d, %v)",
+							qi, workerSweep[0], a.Position, a.Distance, qw, b.Position, b.Distance)
+					}
+				}
+			}
+		})
+	}
+}
+
+// bruteForce returns the position and distance of q's true 1-NN, breaking
+// distance ties toward the lower position (the order every index scans in).
+func bruteForce(q Series, data []Series) (int64, float64) {
+	bestPos, bestDist := int64(-1), math.Inf(1)
+	for i, d := range data {
+		dist, err := series.ED(q, d)
+		if err != nil {
+			panic(fmt.Sprintf("brute force: %v", err))
+		}
+		if dist < bestDist {
+			bestDist, bestPos = dist, int64(i)
+		}
+	}
+	return bestPos, bestDist
+}

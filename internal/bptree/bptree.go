@@ -13,6 +13,17 @@
 //
 // Top-down inserts with median splits are supported for the update
 // experiments (Figure 10a).
+//
+// # Concurrency
+//
+// A Tree is safe for any number of concurrent READERS (Seek, cursors,
+// ReadLeaf, ScanAll, LeafDir, ...): the read path never touches shared
+// mutable state — cursors own their page buffers, ReadLeaf draws scratch
+// pages from an internal pool, and the single-page write-back cache is
+// consulted under a mutex but only populated by writers. Mutations
+// (Insert, Save, Close, DropCache) require exclusive access; callers that
+// interleave them with reads must serialize externally (core.TreeIndex
+// does, with a handle-level RWMutex).
 package bptree
 
 import (
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"github.com/coconut-db/coconut/internal/storage"
 )
@@ -116,10 +128,24 @@ type Tree struct {
 	nextPage int64
 	// single-page write-back cache: batch inserts sorted by key hit the
 	// same page repeatedly, which is exactly the locality Coconut's batch
-	// updates exploit (Figure 10a).
+	// updates exploit (Figure 10a). Only the insert path populates and
+	// mutates it (partly outside cacheMu — writers rely on the package
+	// contract that no reads run concurrently with mutations). Readers
+	// peek at it under cacheMu so that a read FOLLOWING an insert on the
+	// same handle sees the not-yet-flushed dirty page; reader-vs-reader,
+	// the cache is never written, so the read path stays race-free.
+	cacheMu    sync.Mutex
 	cachePage  int64
 	cacheBuf   []byte
 	cacheDirty bool
+	// pagePool recycles page-sized scratch buffers for the read path.
+	pagePool sync.Pool
+}
+
+// initPagePool wires the scratch-page pool; called by both constructors.
+func (t *Tree) initPagePool() {
+	size := t.cfg.pageSize()
+	t.pagePool.New = func() any { return make([]byte, size) }
 }
 
 // leafFileName returns the on-device file holding the leaves.
@@ -140,6 +166,7 @@ func BulkLoad(cfg Config, src RecordSource) (*Tree, error) {
 		return nil, err
 	}
 	t := &Tree{cfg: cfg, f: f, leafCnt: make(map[int64]int), leafSep: make(map[int64][]byte), cachePage: -1}
+	t.initPagePool()
 
 	fill := int(float64(cfg.LeafCap) * cfg.FillFactor)
 	if fill < 1 {
@@ -321,11 +348,39 @@ func (t *Tree) Close() error {
 
 func (t *Tree) pageOffset(id int64) int64 { return id * t.cfg.pageSize() }
 
+// readPage copies page id into dst (len >= pageSize) without mutating any
+// shared state, which makes it safe for concurrent readers (absent
+// concurrent mutations — the package contract). A dirty page left in the
+// write-back cache by a PRIOR insert is served from there so reads on the
+// same handle never observe a stale on-device copy.
+func (t *Tree) readPage(id int64, dst []byte) error {
+	t.cacheMu.Lock()
+	if id == t.cachePage && t.cacheBuf != nil {
+		copy(dst, t.cacheBuf)
+		t.cacheMu.Unlock()
+		return nil
+	}
+	t.cacheMu.Unlock()
+	n, err := t.f.ReadAt(dst[:t.cfg.pageSize()], t.pageOffset(id))
+	if int64(n) != t.cfg.pageSize() {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("bptree: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// loadPage returns page id via the write-back cache. Mutating paths only:
+// callers may write into the returned buffer and mark the cache dirty, so
+// they must have exclusive access to the tree.
 func (t *Tree) loadPage(id int64) ([]byte, error) {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
 	if id == t.cachePage {
 		return t.cacheBuf, nil
 	}
-	if err := t.flushCache(); err != nil {
+	if err := t.flushCacheLocked(); err != nil {
 		return nil, err
 	}
 	if t.cacheBuf == nil {
@@ -344,6 +399,12 @@ func (t *Tree) loadPage(id int64) ([]byte, error) {
 }
 
 func (t *Tree) flushCache() error {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	return t.flushCacheLocked()
+}
+
+func (t *Tree) flushCacheLocked() error {
 	if t.cacheDirty && t.cachePage >= 0 {
 		if _, err := t.f.WriteAt(t.cacheBuf, t.pageOffset(t.cachePage)); err != nil {
 			return fmt.Errorf("bptree: write page %d: %w", t.cachePage, err)
@@ -356,7 +417,9 @@ func (t *Tree) flushCache() error {
 // DropCache flushes and invalidates the page cache — used by experiments to
 // model a cold start between construction and querying.
 func (t *Tree) DropCache() error {
-	if err := t.flushCache(); err != nil {
+	t.cacheMu.Lock()
+	defer t.cacheMu.Unlock()
+	if err := t.flushCacheLocked(); err != nil {
 		return err
 	}
 	t.cachePage = -1
@@ -454,14 +517,12 @@ func (t *Tree) SeekFirst() (*Cursor, error) {
 }
 
 func (c *Cursor) loadLeaf(id int64) error {
-	page, err := c.t.loadPage(id)
-	if err != nil {
+	if c.page == nil {
+		c.page = make([]byte, c.t.cfg.pageSize())
+	}
+	if err := c.t.readPage(id, c.page); err != nil {
 		return err
 	}
-	if c.page == nil {
-		c.page = make([]byte, len(page))
-	}
-	copy(c.page, page)
 	c.id = id
 	c.idx = 0
 	return nil
@@ -549,10 +610,13 @@ func (t *Tree) LeafDir() []int64 { return t.leafDir }
 func (t *Tree) LeafRecordCount(id int64) int { return t.leafCnt[id] }
 
 // ReadLeaf copies the records of leaf id into buf (which must hold
-// LeafRecordCount(id)*RecordSize bytes) and returns the record count.
+// LeafRecordCount(id)*RecordSize bytes) and returns the record count. It is
+// safe for concurrent callers: the page is staged in a pooled scratch
+// buffer, never in shared tree state.
 func (t *Tree) ReadLeaf(id int64, buf []byte) (int, error) {
-	page, err := t.loadPage(id)
-	if err != nil {
+	page := t.pagePool.Get().([]byte)
+	defer t.pagePool.Put(page)
+	if err := t.readPage(id, page); err != nil {
 		return 0, err
 	}
 	n := pageCount(page)

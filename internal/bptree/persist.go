@@ -96,6 +96,7 @@ func Open(cfg Config) (*Tree, error) {
 		leafSep:   make(map[int64][]byte, numLeaves),
 		cachePage: -1,
 	}
+	t.initPagePool()
 	firstKeys := make([][]byte, 0, numLeaves)
 	for i := 0; i < numLeaves; i++ {
 		id := int64(u64())

@@ -76,6 +76,14 @@ type Options struct {
 	// external sort (0 means runtime.NumCPU()). The built index is
 	// byte-identical for any value.
 	Workers int
+	// QueryWorkers is the fan-out of a SINGLE query: the SIMS lower-bound
+	// computation and the candidate-verification scan are sharded across
+	// this many goroutines (0 means runtime.GOMAXPROCS(0); the effective
+	// count is clamped to the work available, never degenerating to 1).
+	// ExactSearch returns identical (Pos, Dist) for any value; only the
+	// Visited* counters and the I/O interleaving vary, so experiments that
+	// compare I/O traces pin QueryWorkers to 1.
+	QueryWorkers int
 	// Fanout is the B+-tree internal fan-out (Tree variant, default 64).
 	Fanout int
 	// ApproxWindow caps how many records around the query's sort position

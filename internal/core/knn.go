@@ -75,8 +75,17 @@ func (h *knnHeap) sorted() []Neighbor {
 
 // ExactSearchKNN returns the k exact nearest neighbors of q, using the same
 // SIMS machinery as ExactSearch with the k-th-best distance as the pruning
-// bound. radius controls the approximate seeding phase.
+// bound. radius controls the approximate seeding phase. Safe for concurrent
+// use; the verification scan is kept serial (the shared heap bound tightens
+// as the scan advances, which sharding would weaken), while the lower-bound
+// phase fans out across QueryWorkers.
 func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.exactSearchKNN(q, k, radius)
+}
+
+func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
 	stats := Result{Pos: -1, Dist: math.Inf(1)}
 	if k < 1 {
 		k = 1
@@ -90,14 +99,14 @@ func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor,
 	if err := ix.knnSeed(q, radius, h, &stats); err != nil {
 		return nil, stats, err
 	}
-	if err := ix.refreshSIMS(); err != nil {
+	if err := ix.ensureSIMS(); err != nil {
 		return nil, stats, err
 	}
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return nil, stats, err
 	}
-	mindists := ix.parallelMinDists(qPAA)
+	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	if ix.opt.Materialized {

@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/bptree"
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 )
@@ -19,11 +19,26 @@ import (
 // bottom-up over sorted invSAX keys. Leaves are contiguous, chained, and
 // packed to the fill factor; approximate search lands on the leaf where the
 // query's key would live, and exact search is CoconutTreeSIMS (Algorithm 5).
+//
+// A TreeIndex handle is safe for concurrent use: any number of queries
+// (ApproxSearch, ExactSearch, ExactSearchKNN) may run at once on one
+// handle, and InsertBatch/Close serialize against them through a
+// handle-level RWMutex. Per-query scratch buffers are allocated per call,
+// and the lazily rebuilt SIMS summary array and leaf-directory index are
+// guarded by their own mutex.
 type TreeIndex struct {
 	opt     Options
 	bt      *bptree.Tree
 	rawFile storage.File
 	count   int64
+	// qmu is the handle lock: queries hold it shared, mutations
+	// (InsertBatch, DropCaches, Close) exclusively.
+	qmu sync.RWMutex
+	// lazyMu guards the lazily (re)built state below: the SIMS summary
+	// array refresh after inserts/Open, and the leaf-id -> chain-position
+	// index. Queries only ever read that state after passing through a
+	// lazyMu critical section, so concurrent readers are safe.
+	lazyMu sync.Mutex
 	// keys/positions hold the in-memory sorted summary array aligned with
 	// the tree's leaf order (the paper: summaries are orders of magnitude
 	// smaller than the data and stay in memory).
@@ -134,22 +149,45 @@ func OpenTree(opt Options) (*TreeIndex, error) {
 }
 
 // Count returns the number of indexed series.
-func (ix *TreeIndex) Count() int64 { return ix.count }
+func (ix *TreeIndex) Count() int64 {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.count
+}
 
 // NumLeaves returns the number of leaf pages.
-func (ix *TreeIndex) NumLeaves() int { return ix.bt.NumLeaves() }
+func (ix *TreeIndex) NumLeaves() int {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.bt.NumLeaves()
+}
 
 // AvgLeafFill returns mean leaf occupancy (the paper's ~97%).
-func (ix *TreeIndex) AvgLeafFill() float64 { return ix.bt.AvgLeafFill() }
+func (ix *TreeIndex) AvgLeafFill() float64 {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.bt.AvgLeafFill()
+}
 
 // Height returns the B+-tree height (leaves included).
-func (ix *TreeIndex) Height() int { return ix.bt.Height() }
+func (ix *TreeIndex) Height() int {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.bt.Height()
+}
 
 // SizeBytes returns the on-device index footprint.
-func (ix *TreeIndex) SizeBytes() int64 { return ix.bt.SizeBytes() + ix.bt.MetaSizeBytes() }
+func (ix *TreeIndex) SizeBytes() int64 {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.bt.SizeBytes() + ix.bt.MetaSizeBytes()
+}
 
-// Close releases file handles.
+// Close releases file handles. It must not race in-flight queries; the
+// handle lock makes it wait for them.
 func (ix *TreeIndex) Close() error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
 	err1 := ix.bt.Close()
 	err2 := ix.rawFile.Close()
 	if err1 != nil {
@@ -159,9 +197,15 @@ func (ix *TreeIndex) Close() error {
 }
 
 // DropCaches flushes the tree's page cache (cold-start experiments).
-func (ix *TreeIndex) DropCaches() error { return ix.bt.DropCache() }
+func (ix *TreeIndex) DropCaches() error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
+	return ix.bt.DropCache()
+}
 
 func (ix *TreeIndex) leafIndexOf(id int64) int {
+	ix.lazyMu.Lock()
+	defer ix.lazyMu.Unlock()
 	if ix.leafIdx == nil || len(ix.leafIdx) != ix.bt.NumLeaves() {
 		ix.leafIdx = make(map[int64]int, ix.bt.NumLeaves())
 		for i, lid := range ix.bt.LeafDir() {
@@ -190,8 +234,14 @@ func (ix *TreeIndex) recordDistance(q series.Series, rec []byte, scratch series.
 // invSAX key would reside and examine all leaves within `radius` of it
 // (radius 0 = just the target leaf). Neighboring leaves are physically
 // adjacent thanks to contiguous bulk loading, so the extra reads are
-// sequential.
+// sequential. Safe for concurrent use.
 func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.approxSearch(q, radius)
+}
+
+func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, errEmptyIndex
@@ -305,9 +355,13 @@ func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 	return res, nil
 }
 
-// refreshSIMS rebuilds the in-memory sorted summary array after updates by
-// one sequential pass over the chained leaves.
-func (ix *TreeIndex) refreshSIMS() error {
+// ensureSIMS rebuilds the in-memory sorted summary array after updates by
+// one sequential pass over the chained leaves. The rebuild is serialized on
+// lazyMu; concurrent queries that lose the race wait and then read the
+// fresh arrays (the mutex's happens-before makes that safe).
+func (ix *TreeIndex) ensureSIMS() error {
+	ix.lazyMu.Lock()
+	defer ix.lazyMu.Unlock()
 	if !ix.simsDirty {
 		return nil
 	}
@@ -326,56 +380,32 @@ func (ix *TreeIndex) refreshSIMS() error {
 	return nil
 }
 
-// parallelMinDists computes lower bounds for every indexed series from the
-// in-memory sorted summary array (Algorithm 5, line 10).
-func (ix *TreeIndex) parallelMinDists(qPAA []float64) []float64 {
-	out := make([]float64, len(ix.keys))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ix.keys) {
-		workers = 1
-	}
-	p := ix.opt.S.Params()
-	var wg sync.WaitGroup
-	chunk := (len(ix.keys) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(ix.keys) {
-			hi = len(ix.keys)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sax := summary.Deinterleave(ix.keys[i], p.Segments, p.CardBits)
-				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, sax)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
-}
-
 // ExactSearch runs CoconutTreeSIMS (Algorithm 5): approximate search seeds
 // the best-so-far, lower bounds are computed for all series in parallel
 // from the in-memory sorted summaries, and unpruned candidates are fetched
-// with a skip-sequential scan — over the tree's own leaves when
-// materialized, over the raw file in position order otherwise.
+// with a skip-sequential scan sharded across Options.QueryWorkers — over
+// the tree's own leaves when materialized, over the raw file in position
+// order otherwise. Safe for concurrent use; (Pos, Dist) is identical for
+// any worker count.
 func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
-	res, err := ix.ApproxSearch(q, radius)
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.exactSearch(q, radius)
+}
+
+func (ix *TreeIndex) exactSearch(q series.Series, radius int) (Result, error) {
+	res, err := ix.approxSearch(q, radius)
 	if err != nil {
 		return res, err
 	}
-	if err := ix.refreshSIMS(); err != nil {
+	if err := ix.ensureSIMS(); err != nil {
 		return res, err
 	}
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return res, err
 	}
-	mindists := ix.parallelMinDists(qPAA)
+	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	if ix.opt.Materialized {
 		return ix.simsOverLeaves(q, mindists, res)
@@ -383,51 +413,82 @@ func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 	return ix.simsOverRawFile(q, mindists, res)
 }
 
+// applyScan folds a ScanReduce result into res.
+func applyScan(res Result, pos int64, dist float64, vr, vl int64) Result {
+	res.Pos, res.Dist = pos, dist
+	res.VisitedRecords += vr
+	res.VisitedLeaves += vl
+	return res
+}
+
 // simsOverLeaves is the materialized scan: walk the leaf directory in
-// order, skipping leaves with no unpruned candidate.
+// order, skipping leaves with no unpruned candidate. The directory is
+// partitioned into contiguous shards that scan concurrently, sharing a
+// best-so-far bound; each shard prunes with its own running bound (exact
+// serial semantics) plus the shared bound under strict inequality, which
+// keeps the reduced answer identical to a serial scan.
 func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
-	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+	dir := ix.bt.LeafDir()
+	bases := make([]int, len(dir))
 	base := 0
-	for _, id := range ix.bt.LeafDir() {
-		cnt := ix.bt.LeafRecordCount(id)
-		any := false
-		for i := base; i < base+cnt && i < len(mindists); i++ {
-			if mindists[i] < res.Dist {
-				any = true
-				break
+	for i, id := range dir {
+		bases[i] = base
+		base += ix.bt.LeafRecordCount(id)
+	}
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(dir), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+		for li := r.Lo; li < r.Hi; li++ {
+			if cancelled() {
+				return nil
 			}
-		}
-		if !any {
-			base += cnt
-			continue
-		}
-		n, err := ix.bt.ReadLeaf(id, buf)
-		if err != nil {
-			return res, err
-		}
-		res.VisitedLeaves++
-		for i := 0; i < n; i++ {
-			if base+i >= len(mindists) || mindists[base+i] >= res.Dist {
+			id := dir[li]
+			cnt := ix.bt.LeafRecordCount(id)
+			lb := bases[li]
+			any := false
+			for i := lb; i < lb+cnt && i < len(mindists); i++ {
+				if mindists[i] < local.Dist && !bound.Prunes(mindists[i]) {
+					any = true
+					break
+				}
+			}
+			if !any {
 				continue
 			}
-			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-			pos, d, err := ix.recordDistance(q, rec, scratch)
+			n, err := ix.bt.ReadLeaf(id, buf)
 			if err != nil {
-				return res, err
+				return err
 			}
-			res.VisitedRecords++
-			if d < res.Dist {
-				res.Dist, res.Pos = d, pos
+			local.VisitedLeaves++
+			for i := 0; i < n; i++ {
+				if lb+i >= len(mindists) || mindists[lb+i] >= local.Dist || bound.Prunes(mindists[lb+i]) {
+					continue
+				}
+				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return err
+				}
+				local.VisitedRecords++
+				if d < local.Dist {
+					local.Dist, local.Pos = d, pos
+					bound.Lower(d)
+				}
 			}
 		}
-		base += cnt
-	}
-	return res, nil
+		return nil
+	})
+	return applyScan(res, pos, dist, vr, vl), err
 }
 
 // simsOverRawFile is the non-materialized scan: candidates are remapped to
-// raw-file position order so the dataset is read strictly forward.
+// raw-file position order so the dataset is read strictly forward, then the
+// position range is partitioned into contiguous shards (each still reads
+// its slice of the raw file in ascending position order). A shared
+// best-so-far bound lets shards prune each other's candidates.
 func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Result) (Result, error) {
 	type cand struct {
 		pos int64
@@ -440,32 +501,47 @@ func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
-	for _, c := range cands {
-		if c.lb >= res.Dist {
-			continue // pruned by a bsf improvement since collection
+	seriesLen := ix.opt.S.Params().SeriesLen
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+		scratch := make(series.Series, seriesLen)
+		for i := r.Lo; i < r.Hi; i++ {
+			if cancelled() {
+				return nil
+			}
+			c := cands[i]
+			if c.lb >= local.Dist || bound.Prunes(c.lb) {
+				continue // pruned by a bsf improvement since collection
+			}
+			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+				return err
+			}
+			local.VisitedRecords++
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			if !ok {
+				continue
+			}
+			if d := math.Sqrt(sq); d < local.Dist {
+				local.Dist, local.Pos = d, c.pos
+				bound.Lower(d)
+			}
 		}
-		if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
-			return res, err
-		}
-		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
-		if !ok {
-			continue
-		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, c.pos
-		}
-	}
-	return res, nil
+		return nil
+	})
+	return applyScan(res, pos, dist, vr, vl), err
 }
 
 // InsertBatch appends new series to the dataset and inserts them into the
 // tree top-down with median splits (the update path of Figure 10a).
 // Sorting the batch by key first concentrates the leaf touches — larger
 // batches approach bulk-load locality, which is why Coconut wins when
-// updates arrive in volume.
+// updates arrive in volume. InsertBatch takes the handle lock exclusively,
+// so it serializes against in-flight queries.
 func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
 	p := ix.opt.S.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
 	end, err := ix.rawFile.Size()
@@ -520,6 +596,8 @@ func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
 // ScanAllPositions streams every indexed position in key order (testing and
 // verification helper).
 func (ix *TreeIndex) ScanAllPositions() ([]int64, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
 	var out []int64
 	err := ix.bt.ScanAll(func(rec []byte) error {
 		_, pos, _ := decodeRecord(rec, false)

@@ -5,12 +5,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 	"github.com/coconut-db/coconut/internal/trie"
@@ -24,8 +24,16 @@ import (
 // range that fits in a leaf becomes a (maximal, prefix-aligned) leaf —
 // exactly the groups compaction would produce — and larger ranges split on
 // the next interleaved bit, which extends one segment's prefix by one bit.
+//
+// A TrieIndex is immutable after BuildTrie and therefore safe for any
+// number of concurrent queries on one handle: all query state (scratch
+// series, leaf buffers) is allocated per call, and the exact-search
+// verification scan shards across Options.QueryWorkers. Close is the one
+// mutation; the handle lock makes it wait for in-flight queries.
 type TrieIndex struct {
-	opt      Options
+	opt Options
+	// qmu is the handle lock: queries hold it shared, Close exclusively.
+	qmu      sync.RWMutex
 	tr       *trie.Trie
 	leaves   []*trie.Node // leaf nodes in sorted (z-)order
 	leafOrd  map[*trie.Node]int
@@ -299,6 +307,8 @@ func (ix *TrieIndex) AvgLeafFill() float64 {
 
 // SizeBytes returns the on-device index footprint.
 func (ix *TrieIndex) SizeBytes() int64 {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
 	size, err := ix.leafFile.Size()
 	if err != nil {
 		return 0
@@ -309,8 +319,10 @@ func (ix *TrieIndex) SizeBytes() int64 {
 // Trie exposes the underlying structure (read-only).
 func (ix *TrieIndex) Trie() *trie.Trie { return ix.tr }
 
-// Close releases file handles.
+// Close releases file handles, waiting for in-flight queries.
 func (ix *TrieIndex) Close() error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
 	err1 := ix.leafFile.Close()
 	err2 := ix.rawFile.Close()
 	if err1 != nil {
@@ -336,7 +348,14 @@ func (ix *TrieIndex) recordDistance(q series.Series, rec []byte, scratch series.
 // ApproxSearch descends to the most promising leaf and examines it plus
 // `radius` neighbors on each side (neighbors are physically adjacent —
 // contiguity is Coconut-Trie's improvement over the state of the art).
+// Safe for concurrent use.
 func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.approxSearch(q, radius)
+}
+
+func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, errEmptyIndex
@@ -445,10 +464,13 @@ func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 
 // ExactSearch runs the SIMS algorithm over the trie: approximate seed,
 // parallel lower bounds from the in-memory sorted summaries, then a
-// skip-sequential candidate scan (leaves when materialized, raw file in
-// position order otherwise).
+// skip-sequential candidate scan sharded across Options.QueryWorkers
+// (leaves when materialized, raw file in position order otherwise). Safe
+// for concurrent use; (Pos, Dist) is identical for any worker count.
 func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
-	res, err := ix.ApproxSearch(q, radius)
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	res, err := ix.approxSearch(q, radius)
 	if err != nil {
 		return res, err
 	}
@@ -456,16 +478,33 @@ func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	mindists := ix.parallelMinDists(qPAA)
+	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	if ix.opt.Materialized {
-		for li, leaf := range ix.leaves {
+		return ix.simsOverLeaves(q, mindists, res)
+	}
+	return ix.simsOverRawFile(q, mindists, res)
+}
+
+// simsOverLeaves shards the materialized verification scan over contiguous
+// runs of trie leaves; see TreeIndex.simsOverLeaves for the determinism
+// contract.
+func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(ix.leaves))
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(ix.leaves), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+		for li := r.Lo; li < r.Hi; li++ {
+			if cancelled() {
+				return nil
+			}
+			leaf := ix.leaves[li]
 			start := ix.leafStart[li]
 			end := start + int(leaf.Count)
 			any := false
 			for i := start; i < end; i++ {
-				if mindists[i] < res.Dist {
+				if mindists[i] < local.Dist && !bound.Prunes(mindists[i]) {
 					any = true
 					break
 				}
@@ -475,26 +514,32 @@ func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 			}
 			recs, err := ix.readLeafRecords(leaf)
 			if err != nil {
-				return res, err
+				return err
 			}
-			res.VisitedLeaves++
+			local.VisitedLeaves++
 			for ri, rec := range recs {
-				if mindists[start+ri] >= res.Dist {
+				if mindists[start+ri] >= local.Dist || bound.Prunes(mindists[start+ri]) {
 					continue
 				}
 				pos, d, err := ix.recordDistance(q, rec, scratch)
 				if err != nil {
-					return res, err
+					return err
 				}
-				res.VisitedRecords++
-				if d < res.Dist {
-					res.Dist, res.Pos = d, pos
+				local.VisitedRecords++
+				if d < local.Dist {
+					local.Dist, local.Pos = d, pos
+					bound.Lower(d)
 				}
 			}
 		}
-		return res, nil
-	}
+		return nil
+	})
+	return applyScan(res, pos, dist, vr, vl), err
+}
 
+// simsOverRawFile shards the non-materialized position-ordered raw scan;
+// see TreeIndex.simsOverRawFile.
+func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Result) (Result, error) {
 	type cand struct {
 		pos int64
 		lb  float64
@@ -506,51 +551,34 @@ func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
-	for _, c := range cands {
-		if c.lb >= res.Dist {
-			continue
-		}
-		if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
-			return res, err
-		}
-		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
-		if !ok {
-			continue
-		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, c.pos
-		}
-	}
-	return res, nil
-}
-
-func (ix *TrieIndex) parallelMinDists(qPAA []float64) []float64 {
-	out := make([]float64, len(ix.keys))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ix.keys) {
-		workers = 1
-	}
-	p := ix.opt.S.Params()
-	var wg sync.WaitGroup
-	chunk := (len(ix.keys) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(ix.keys) {
-			hi = len(ix.keys)
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sax := summary.Deinterleave(ix.keys[i], p.Segments, p.CardBits)
-				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, sax)
+	seriesLen := ix.opt.S.Params().SeriesLen
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+		scratch := make(series.Series, seriesLen)
+		for i := r.Lo; i < r.Hi; i++ {
+			if cancelled() {
+				return nil
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+			c := cands[i]
+			if c.lb >= local.Dist || bound.Prunes(c.lb) {
+				continue
+			}
+			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+				return err
+			}
+			local.VisitedRecords++
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			if !ok {
+				continue
+			}
+			if d := math.Sqrt(sq); d < local.Dist {
+				local.Dist, local.Pos = d, c.pos
+				bound.Lower(d)
+			}
+		}
+		return nil
+	})
+	return applyScan(res, pos, dist, vr, vl), err
 }

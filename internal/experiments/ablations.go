@@ -274,6 +274,7 @@ func AblationLSMUpdates(sc Scale) (*Table, error) {
 			ix, err = lsm.Build(lsm.Options{
 				FS: e.fs, Name: "lsm", S: s, RawName: rawName,
 				MemBudgetBytes: budget, Workers: sc.Workers,
+				QueryWorkers: sc.QueryWorkers,
 			})
 			return err
 		})

@@ -48,19 +48,29 @@ type Scale struct {
 	// Defaults to 1 so the simulated I/O traces (run counts, merge passes)
 	// are identical on every machine; cmd/benchrunner -workers raises it.
 	Workers int
+	// QueryWorkers is the per-query fan-out passed to the indexes. It
+	// defaults to 1: search answers are identical for any value, but the
+	// Visited* counters and I/O interleavings the figures report are only
+	// machine-independent with a serial verification scan. The default
+	// also serializes the (deterministic, counter-free) lower-bound pass —
+	// trading some exact-query wall time for traces that are pure
+	// functions of the Scale, the same convention as Workers above;
+	// cmd/benchrunner -query-workers 0 restores all-core queries.
+	QueryWorkers int
 }
 
 // DefaultScale is sized for `go test -bench` runs (seconds per figure).
 func DefaultScale() Scale {
 	return Scale{
-		SeriesLen: 128,
-		Segments:  16,
-		CardBits:  8,
-		LeafCap:   100,
-		BaseCount: 8000,
-		Queries:   20,
-		Seed:      42,
-		Workers:   1,
+		SeriesLen:    128,
+		Segments:     16,
+		CardBits:     8,
+		LeafCap:      100,
+		BaseCount:    8000,
+		Queries:      20,
+		Seed:         42,
+		Workers:      1,
+		QueryWorkers: 1,
 	}
 }
 
@@ -205,6 +215,7 @@ func (e *env) coreOptions(mat bool, budget int64) (core.Options, error) {
 		LeafCap:        e.sc.LeafCap,
 		MemBudgetBytes: budget,
 		Workers:        e.sc.Workers,
+		QueryWorkers:   e.sc.QueryWorkers,
 	}, nil
 }
 

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/core"
+)
+
+// QueryThroughput measures concurrent exact-query throughput on ONE shared
+// Coconut-Tree handle: the query batch is drained by 1, 2, 4, and 8 client
+// goroutines, and the table reports wall-clock throughput and the speedup
+// over the single-client run. This is the serving scenario the sharded,
+// concurrency-safe read path exists for — it goes beyond the paper's
+// single-query evaluation.
+//
+// Queries keep QueryWorkers = 1 here so the scaling axis is purely handle
+// concurrency; intra-query fan-out is a latency knob measured separately.
+func QueryThroughput(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "QueryThroughput",
+		Title:  "Concurrent exact queries on one shared handle (wall clock)",
+		Header: []string{"clients", "queries", "total", "queries/s", "speedup"},
+	}
+	e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := e.coreOptions(false, budgetFor(sc, sc.BaseCount, 0.25))
+	if err != nil {
+		return nil, err
+	}
+	opt.QueryWorkers = 1
+	ix, err := core.BuildTree(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	// A fixed batch large enough to keep every client busy.
+	qs := e.queries(sc.Queries * 4)
+	var base time.Duration
+	for _, clients := range []int{1, 2, 4, 8} {
+		var next atomic.Int64
+		var errMu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(qs) {
+						return
+					}
+					if _, err := ix.ExactSearch(qs[i], 1); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if clients == 1 {
+			base = elapsed
+		}
+		qps := float64(len(qs)) / elapsed.Seconds()
+		t.Add(fmt.Sprint(clients), fmt.Sprint(len(qs)), ms(elapsed),
+			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2fx", float64(base)/float64(elapsed)))
+	}
+	return t, nil
+}

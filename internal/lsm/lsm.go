@@ -27,9 +27,11 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 )
@@ -60,6 +62,12 @@ type Options struct {
 	// runtime.NumCPU()). Runs and query answers are identical for any
 	// value.
 	Workers int
+	// QueryWorkers is the fan-out of a single query: independent runs are
+	// probed concurrently during approximate search, and the exact-search
+	// raw-file verification scan is sharded by position range (0 means
+	// runtime.GOMAXPROCS(0), clamped to the work available). Answers are
+	// identical for any value.
+	QueryWorkers int
 }
 
 func (o *Options) validate() error {
@@ -118,10 +126,15 @@ type memEntry struct {
 	pos int64
 }
 
-// Index is a Coconut-LSM index.
+// Index is a Coconut-LSM index. A handle is safe for concurrent use:
+// queries hold mu shared, while Append/Flush (and the compactions they
+// trigger) hold it exclusively, so readers always observe a consistent
+// (runs, memtable) pair — this is the LSM counterpart of the tree's
+// SIMS-refresh lock.
 type Index struct {
 	opt     Options
 	rawFile storage.File
+	mu      sync.RWMutex
 	runs    []*run
 	mem     []memEntry
 	count   int64
@@ -225,8 +238,11 @@ func (ix *Index) memCapacity() int {
 // Append adds new series: raw bytes go to the dataset file, records to the
 // memtable; a full memtable flushes to a fresh tier-0 run. The batch is
 // summarized up front across Workers goroutines, so ingest keeps every core
-// busy while the raw writes stay append-only.
+// busy while the raw writes stay append-only. Append takes the handle lock
+// exclusively, serializing against in-flight queries.
 func (ix *Index) Append(batch []series.Series) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	p := ix.opt.S.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
 	end, err := ix.rawFile.Size()
@@ -256,7 +272,7 @@ func (ix *Index) Append(batch []series.Series) error {
 		ix.count++
 		pos++
 		if len(ix.mem) >= ix.memCapacity() {
-			if err := ix.Flush(); err != nil {
+			if err := ix.flushLocked(); err != nil {
 				return err
 			}
 		}
@@ -281,6 +297,12 @@ func lePosLess(a, b int64) bool {
 // totally sorted multiset of their inputs, a state that is trivially
 // independent of Workers and easy to audit.
 func (ix *Index) Flush() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.flushLocked()
+}
+
+func (ix *Index) flushLocked() error {
 	if len(ix.mem) == 0 {
 		return nil
 	}
@@ -389,13 +411,23 @@ func (ix *Index) compact(rs []*run, tier int) error {
 }
 
 // Count returns the number of indexed series.
-func (ix *Index) Count() int64 { return ix.count }
+func (ix *Index) Count() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.count
+}
 
 // NumRuns returns the number of on-disk runs.
-func (ix *Index) NumRuns() int { return len(ix.runs) }
+func (ix *Index) NumRuns() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.runs)
+}
 
 // SizeBytes returns the total size of all run files.
 func (ix *Index) SizeBytes() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var total int64
 	for _, r := range ix.runs {
 		if f, err := ix.opt.FS.Open(r.name); err == nil {
@@ -408,8 +440,12 @@ func (ix *Index) SizeBytes() int64 {
 	return total
 }
 
-// Close releases the raw file handle.
-func (ix *Index) Close() error { return ix.rawFile.Close() }
+// Close releases the raw file handle, waiting for in-flight queries.
+func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.rawFile.Close()
+}
 
 func (ix *Index) readRaw(pos int64, dst series.Series) error {
 	p := ix.opt.S.Params()
@@ -427,7 +463,16 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 
 // ApproxSearch examines, in every run, a window of records around where the
 // query's key would sort (plus the whole memtable), and returns the best.
+// Runs are independent sorted files, so multi-run queries probe them
+// concurrently across QueryWorkers; per-run results merge in run order, so
+// the answer is identical to a serial probe. Safe for concurrent use.
 func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.approxLocked(q)
+}
+
+func (ix *Index) approxLocked(q series.Series) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, errors.New("lsm: index is empty")
@@ -436,22 +481,24 @@ func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
-	try := func(pos int64) error {
+	// try fetches one raw position into scratch and folds its distance into
+	// out — shared by the run probes and the memtable pass below.
+	try := func(pos int64, scratch series.Series, out *Result) error {
 		if err := ix.readRaw(pos, scratch); err != nil {
 			return err
 		}
-		res.VisitedRecords++
+		out.VisitedRecords++
 		sq, err := series.SquaredED(q, scratch)
 		if err != nil {
 			return err
 		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, pos
+		if d := math.Sqrt(sq); d < out.Dist {
+			out.Dist, out.Pos = d, pos
 		}
 		return nil
 	}
-	for _, r := range ix.runs {
+	// probe scans one run's window with a private scratch buffer.
+	probe := func(r *run, scratch series.Series, out *Result) error {
 		idx := sort.Search(len(r.keys), func(i int) bool { return !r.keys[i].Less(key) })
 		lo, hi := idx-ix.opt.Window/2, idx+ix.opt.Window/2
 		if lo < 0 {
@@ -460,15 +507,47 @@ func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 		if hi > len(r.keys) {
 			hi = len(r.keys)
 		}
-		res.VisitedRuns++
+		out.VisitedRuns++
 		for i := lo; i < hi; i++ {
-			if err := try(r.positions[i]); err != nil {
-				return res, err
+			if err := try(r.positions[i], scratch, out); err != nil {
+				return err
 			}
 		}
+		return nil
 	}
+	// Seed every slot up front: a shard cancelled by a sibling's error never
+	// reaches its runs, and a zero-value Result would read as a real answer
+	// at position 0.
+	outs := make([]Result, len(ix.runs))
+	for i := range outs {
+		outs[i] = Result{Pos: -1, Dist: math.Inf(1)}
+	}
+	err = shard.Scan(shard.Resolve(ix.opt.QueryWorkers, len(ix.runs)), len(ix.runs),
+		func(si int, rr shard.Range, cancelled func() bool) error {
+			scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+			for i := rr.Lo; i < rr.Hi; i++ {
+				if cancelled() {
+					return nil
+				}
+				if err := probe(ix.runs[i], scratch, &outs[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	for _, o := range outs {
+		res.VisitedRuns += o.VisitedRuns
+		res.VisitedRecords += o.VisitedRecords
+		if o.Pos >= 0 && o.Dist < res.Dist {
+			res.Dist, res.Pos = o.Dist, o.Pos
+		}
+	}
+	if err != nil {
+		return res, err
+	}
+	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	for _, e := range ix.mem {
-		if err := try(e.pos); err != nil {
+		if err := try(e.pos, scratch, &res); err != nil {
 			return res, err
 		}
 	}
@@ -476,10 +555,14 @@ func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 }
 
 // ExactSearch is SIMS over the union of all runs' in-memory key arrays and
-// the memtable: lower bounds for every record, then a position-ordered
-// skip-sequential scan of the raw file.
+// the memtable: lower bounds for every record (computed per run across
+// QueryWorkers), then a position-ordered skip-sequential scan of the raw
+// file, sharded by position range with a shared best-so-far bound. Safe for
+// concurrent use; (Pos, Dist) is identical for any worker count.
 func (ix *Index) ExactSearch(q series.Series) (Result, error) {
-	res, err := ix.ApproxSearch(q)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	res, err := ix.approxLocked(q)
 	if err != nil {
 		return res, err
 	}
@@ -492,39 +575,78 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 		pos int64
 		lb  float64
 	}
-	var cands []cand
-	consider := func(k summary.Key, pos int64) {
-		sax := summary.Deinterleave(k, p.Segments, p.CardBits)
-		lb := ix.opt.S.MinDistPAAToSAX(qPAA, sax)
-		if lb < res.Dist {
-			cands = append(cands, cand{pos, lb})
-		}
+	// Collect candidate lower bounds run by run; each run's key array is
+	// independent, so the lower-bound computation fans out per run, and the
+	// filtered candidates concatenate in run order (deterministically — the
+	// filter bound is fixed at the approximate answer).
+	perRun := make([][]cand, len(ix.runs))
+	runWorkers := shard.Resolve(ix.opt.QueryWorkers, len(ix.runs))
+	// Split the worker budget between the run fan-out and the per-run
+	// lower-bound pass, so a single-run index (fresh bulk load, or fully
+	// compacted) still shards its dominant scan across all QueryWorkers.
+	innerWorkers := shard.PerGroup(ix.opt.QueryWorkers, runWorkers)
+	shardErr := shard.Scan(runWorkers, len(ix.runs),
+		func(si int, rr shard.Range, cancelled func() bool) error {
+			for i := rr.Lo; i < rr.Hi; i++ {
+				if cancelled() {
+					return nil
+				}
+				r := ix.runs[i]
+				lbs := ix.opt.S.MinDistsToKeys(qPAA, r.keys, innerWorkers)
+				var cs []cand
+				for j, lb := range lbs {
+					if lb < res.Dist {
+						cs = append(cs, cand{r.positions[j], lb})
+					}
+				}
+				perRun[i] = cs
+			}
+			return nil
+		})
+	if shardErr != nil {
+		return res, shardErr
 	}
-	for _, r := range ix.runs {
-		for i := range r.keys {
-			consider(r.keys[i], r.positions[i])
-		}
+	var cands []cand
+	for _, cs := range perRun {
+		cands = append(cands, cs...)
 	}
 	for _, e := range ix.mem {
-		consider(e.key, e.pos)
+		sax := summary.Deinterleave(e.key, p.Segments, p.CardBits)
+		if lb := ix.opt.S.MinDistPAAToSAX(qPAA, sax); lb < res.Dist {
+			cands = append(cands, cand{e.pos, lb})
+		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
-	scratch := make(series.Series, p.SeriesLen)
-	for _, c := range cands {
-		if c.lb >= res.Dist {
-			continue
+
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	pos, dist, vr, _, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(rr shard.Range, local *shard.Outcome, cancelled func() bool) error {
+		scratch := make(series.Series, p.SeriesLen)
+		for i := rr.Lo; i < rr.Hi; i++ {
+			if cancelled() {
+				return nil
+			}
+			c := cands[i]
+			if c.lb >= local.Dist || bound.Prunes(c.lb) {
+				continue
+			}
+			if err := ix.readRaw(c.pos, scratch); err != nil {
+				return err
+			}
+			local.VisitedRecords++
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			if !ok {
+				continue
+			}
+			if d := math.Sqrt(sq); d < local.Dist {
+				local.Dist, local.Pos = d, c.pos
+				bound.Lower(d)
+			}
 		}
-		if err := ix.readRaw(c.pos, scratch); err != nil {
-			return res, err
-		}
-		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
-		if !ok {
-			continue
-		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, c.pos
-		}
-	}
-	return res, nil
+		return nil
+	})
+	res.Pos, res.Dist = pos, dist
+	res.VisitedRecords += vr
+	return res, err
 }

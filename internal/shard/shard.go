@@ -1,0 +1,207 @@
+// Package shard provides the fan-out machinery for sharded query
+// execution: a contiguous range of work items (leaves, candidate
+// positions, LSM runs) is partitioned across a bounded worker pool, the
+// shards share a monotonically tightening best-so-far bound, and a failure
+// in any shard cancels its siblings.
+//
+// The helpers are written so that sharded scans stay DETERMINISTIC: the
+// shared bound is only used for strict-inequality pruning (a candidate
+// whose lower bound exactly ties the published bound is still verified),
+// and results are reduced in shard order, so the answer of a sharded scan
+// is byte-identical to the serial scan for any worker count.
+package shard
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve turns a requested worker count into an effective one for n work
+// items: requested <= 0 means runtime.GOMAXPROCS(0), and the result is
+// clamped to [1, n] (never degenerating to 1 merely because workers > n).
+func Resolve(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Range is one contiguous shard [Lo, Hi) of a scan.
+type Range struct{ Lo, Hi int }
+
+// Split partitions [0, n) into at most workers near-equal contiguous
+// ranges. Empty ranges are omitted, so every returned range is non-empty.
+func Split(n, workers int) []Range {
+	workers = Resolve(workers, n)
+	if n == 0 {
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	out := make([]Range, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// PerGroup splits a requested worker budget across `groups` concurrent
+// groups (e.g. LSM runs probed in parallel), returning the per-group
+// fan-out: at least 1, and requested <= 0 means runtime.GOMAXPROCS(0).
+func PerGroup(requested, groups int) int {
+	total := requested
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	per := total / groups
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Outcome is one shard's contribution to a sharded verification scan: the
+// first strict improvement it found over the seed bound (Pos = -1 when
+// none) plus its visit counters. ScanReduce seeds and collects these;
+// scan bodies only ever update the Outcome they are handed.
+type Outcome struct {
+	Pos            int64
+	Dist           float64
+	VisitedRecords int64
+	VisitedLeaves  int64
+}
+
+// Reduce folds shard outcomes IN SHARD ORDER into the seed answer. Shards
+// cover contiguous ascending ranges of the serial scan order and each kept
+// the first strict improvement it saw, so folding with the same strict
+// comparison reproduces the serial scan's answer exactly — this is the
+// single copy of the determinism contract every sharded scan relies on.
+// Every entry of outs must have been seeded (a zero-value Outcome reads as
+// a real answer at position 0); ScanReduce guarantees that by seeding each
+// shard's slot before running its body, even for shards cancelled before
+// doing any work.
+func Reduce(seedPos int64, seedDist float64, outs []Outcome) (int64, float64, int64, int64) {
+	pos, dist := seedPos, seedDist
+	var vr, vl int64
+	for _, o := range outs {
+		vr += o.VisitedRecords
+		vl += o.VisitedLeaves
+		if o.Pos >= 0 && o.Dist < dist {
+			dist, pos = o.Dist, o.Pos
+		}
+	}
+	return pos, dist, vr, vl
+}
+
+// BSF is a shared best-so-far distance bound, safe for concurrent use. It
+// only ever decreases. The zero value is unusable; call Init first.
+type BSF struct {
+	bits atomic.Uint64
+}
+
+// Init sets the starting bound (typically the approximate-search answer).
+func (b *BSF) Init(d float64) { b.bits.Store(math.Float64bits(d)) }
+
+// Load returns the current bound.
+func (b *BSF) Load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Lower publishes d if it improves (strictly lowers) the current bound.
+// Distances are non-negative, so their IEEE-754 bit patterns order like the
+// values themselves and a CAS loop suffices.
+func (b *BSF) Lower(d float64) {
+	new := math.Float64bits(d)
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= d {
+			return
+		}
+		if b.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Prunes reports whether a candidate with lower bound lb can be skipped
+// based on the shared bound. The comparison is STRICT (lb > bound, not >=):
+// a candidate that exactly ties the bound published by a sibling shard is
+// still verified, which is what keeps sharded scans deterministic when true
+// distance ties occur (e.g. duplicate series).
+func (b *BSF) Prunes(lb float64) bool { return lb > b.Load() }
+
+// Scan runs fn over the shards of [0, n) on up to workers goroutines. fn
+// receives its shard index, the range, and a cancelled predicate it must
+// poll between work items; when any shard returns an error, the remaining
+// shards observe cancelled() == true and should return promptly.
+//
+// Scan joins every goroutine before returning (no leaks, even on error)
+// and returns the error of the lowest-indexed failing shard, so the
+// surfaced error is deterministic.
+func Scan(workers, n int, fn func(shard int, r Range, cancelled func() bool) error) error {
+	return scanRanges(Split(n, workers), fn)
+}
+
+func scanRanges(ranges []Range, fn func(shard int, r Range, cancelled func() bool) error) error {
+	if len(ranges) == 0 {
+		return nil
+	}
+	if len(ranges) == 1 {
+		return fn(0, ranges[0], func() bool { return false })
+	}
+	var stop atomic.Bool
+	cancelled := func() bool { return stop.Load() }
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r Range) {
+			defer wg.Done()
+			if err := fn(i, r, cancelled); err != nil {
+				errs[i] = err
+				stop.Store(true)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanReduce is the complete sharded-verification-scan harness: it splits
+// [0, n) across workers, seeds one Outcome per shard with {Pos: -1, Dist:
+// seedDist}, hands fn a pointer to its shard's outcome, and reduces the
+// outcomes in shard order onto the seed answer — so call sites cannot
+// forget the seeding, the store, or the in-order reduce that the
+// determinism contract depends on. The reduced answer and summed visit
+// counters are returned even when fn failed (partial counters, seed
+// answer preserved), alongside the lowest-indexed shard's error.
+func ScanReduce(workers, n int, seedPos int64, seedDist float64,
+	fn func(r Range, local *Outcome, cancelled func() bool) error,
+) (pos int64, dist float64, visitedRecords, visitedLeaves int64, err error) {
+	ranges := Split(n, workers)
+	outs := make([]Outcome, len(ranges))
+	err = scanRanges(ranges, func(i int, r Range, cancelled func() bool) error {
+		outs[i] = Outcome{Pos: -1, Dist: seedDist}
+		return fn(r, &outs[i], cancelled)
+	})
+	pos, dist, visitedRecords, visitedLeaves = Reduce(seedPos, seedDist, outs)
+	return pos, dist, visitedRecords, visitedLeaves, err
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ req, n, want int }{
+		{0, 100, runtime.GOMAXPROCS(0)},
+		{4, 100, 4},
+		{8, 3, 3}, // clamps to n, not to 1
+		{1, 0, 1}, // never below 1
+		{-1, 5, minInt(runtime.GOMAXPROCS(0), 5)},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.req, c.n); got != c.want {
+			t.Errorf("Resolve(%d, %d) = %d, want %d", c.req, c.n, got, c.want)
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestSplitCoversExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 101} {
+		for _, w := range []int{1, 2, 3, 8, 200} {
+			rs := Split(n, w)
+			next := 0
+			for _, r := range rs {
+				if r.Lo != next || r.Hi <= r.Lo {
+					t.Fatalf("Split(%d,%d): bad range %+v at %d", n, w, r, next)
+				}
+				next = r.Hi
+			}
+			if next != n {
+				t.Fatalf("Split(%d,%d) covers [0,%d)", n, w, next)
+			}
+		}
+	}
+}
+
+func TestBSFOnlyLowers(t *testing.T) {
+	var b BSF
+	b.Init(math.Inf(1))
+	b.Lower(5)
+	b.Lower(7) // ignored
+	if got := b.Load(); got != 5 {
+		t.Fatalf("bound = %v, want 5", got)
+	}
+	if b.Prunes(5) {
+		t.Fatal("exact tie must not prune (determinism)")
+	}
+	if !b.Prunes(5.0000001) {
+		t.Fatal("strictly above the bound must prune")
+	}
+}
+
+func TestBSFConcurrentMin(t *testing.T) {
+	var b BSF
+	b.Init(math.Inf(1))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 1000; j > i; j-- {
+				b.Lower(float64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := b.Load(); got != 1 {
+		t.Fatalf("concurrent min = %v, want 1", got)
+	}
+}
+
+func TestScanCancelsSiblingsAndReportsLowestShard(t *testing.T) {
+	boomA := errors.New("shard a failed")
+	boomB := errors.New("shard b failed")
+	err := Scan(4, 400, func(shard int, r Range, cancelled func() bool) error {
+		switch shard {
+		case 1:
+			return boomB
+		case 0:
+			return boomA
+		default:
+			for i := r.Lo; i < r.Hi; i++ {
+				if cancelled() {
+					return nil
+				}
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, boomA) {
+		t.Fatalf("want lowest-shard error %v, got %v", boomA, err)
+	}
+}
+
+func TestScanVisitsEverything(t *testing.T) {
+	const n = 1000
+	seen := make([]bool, n)
+	err := Scan(8, n, func(shard int, r Range, cancelled func() bool) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			seen[i] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("item %d never scanned", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
 )
 
 // KeysOf computes the invSAX key of every series in batch, splitting the
@@ -59,4 +60,39 @@ func (s *Summarizer) KeysOf(batch []series.Series, workers int) ([]Key, error) {
 		}
 	}
 	return keys, nil
+}
+
+// MinDistsToKeys computes MinDistPAAToSAX(qPAA, key) for every key,
+// splitting the array across workers goroutines (workers <= 0 means
+// runtime.GOMAXPROCS(0), and the count is clamped to len(keys) rather than
+// degenerating to a single worker). This is the lower-bound phase of SIMS
+// exact search (Algorithm 5, line 10). Each element is computed
+// independently, so the output is identical for any worker count.
+func (s *Summarizer) MinDistsToKeys(qPAA []float64, keys []Key, workers int) []float64 {
+	out := make([]float64, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	ranges := shard.Split(len(keys), workers)
+	if len(ranges) == 1 {
+		s.minDistsRange(qPAA, keys, out, ranges[0])
+		return out
+	}
+	var wg sync.WaitGroup
+	for _, r := range ranges {
+		wg.Add(1)
+		go func(r shard.Range) {
+			defer wg.Done()
+			s.minDistsRange(qPAA, keys, out, r)
+		}(r)
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *Summarizer) minDistsRange(qPAA []float64, keys []Key, out []float64, r shard.Range) {
+	for i := r.Lo; i < r.Hi; i++ {
+		sax := Deinterleave(keys[i], s.p.Segments, s.p.CardBits)
+		out[i] = s.MinDistPAAToSAX(qPAA, sax)
+	}
 }

@@ -17,9 +17,11 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/coconut-db/coconut/internal/bptree"
 	"github.com/coconut-db/coconut/internal/dataset"
@@ -319,8 +321,11 @@ func BenchmarkParallelSort(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelBuild compares the full Coconut-Tree bulk load (summarize
-// -> parallel external sort -> bulk load) at one worker vs all CPUs.
+// BenchmarkParallelBuild compares the full Coconut-Tree bulk load (batched
+// parallel summarization -> parallel external sort -> bulk load) at one
+// worker vs all CPUs. Since the batched summarization pipeline, the
+// summarize stage scales with Workers too — it no longer serializes on the
+// reader goroutine.
 func BenchmarkParallelBuild(b *testing.B) {
 	const count = 20000
 	const seriesLen = 128
@@ -344,6 +349,106 @@ func BenchmarkParallelBuild(b *testing.B) {
 				}
 				ix.Close()
 			}
+		})
+	}
+}
+
+// BenchmarkBulkBuildMaterialized is the bulk-build bench for the "-Full"
+// variants, where the summarization pipeline also carries the raw series
+// through the sort (the path that used to allocate a fresh raw buffer per
+// record). Run with -benchmem to see the allocation profile.
+func BenchmarkBulkBuildMaterialized(b *testing.B) {
+	const count = 10000
+	const seriesLen = 128
+	fs := storage.NewMemFS()
+	if err := GenerateDataset(fs, "benchm.bin", RandomWalk, count, seriesLen, 13); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix, err := BuildTreeIndex(Config{
+					Storage:      fs,
+					Name:         fmt.Sprintf("benchm-w%d", workers),
+					DataFile:     "benchm.bin",
+					SeriesLen:    seriesLen,
+					Materialized: true,
+					MemoryBudget: 4 << 20,
+					Workers:      workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkIngestLatency measures per-Append latency on a Coconut-LSM index
+// under sustained ingest, synchronous vs background compaction. The
+// reported p50/p99/max metrics (ns) are what the asynchronous write path is
+// about: in synchronous mode an Append that lands on a tier boundary pays
+// for the whole merge cascade inline; with the background pool the merge
+// cost moves off the caller and the tail flattens.
+func BenchmarkIngestLatency(b *testing.B) {
+	const (
+		count     = 2000
+		seriesLen = 64
+		batchSize = 100
+		nBatches  = 80
+	)
+	stream, err := GenerateQueries(RandomWalk, batchSize*nBatches, seriesLen, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name       string
+		background bool
+	}{{"compaction=sync", false}, {"compaction=background", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var p50, p99, max time.Duration
+			for i := 0; i < b.N; i++ {
+				fs := storage.NewMemFS()
+				if err := GenerateDataset(fs, "ingest.bin", RandomWalk, count, seriesLen, 30); err != nil {
+					b.Fatal(err)
+				}
+				ix, err := BuildLSMIndex(Config{
+					Storage:              fs,
+					Name:                 "ingest",
+					DataFile:             "ingest.bin",
+					SeriesLen:            seriesLen,
+					Segments:             8,
+					MemoryBudget:         8 << 10, // ~340-record memtable: frequent flushes
+					BackgroundCompaction: mode.background,
+					CompactionWorkers:    2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lats := make([]time.Duration, 0, nBatches)
+				for lo := 0; lo < len(stream); lo += batchSize {
+					t0 := time.Now()
+					if err := ix.Insert(stream[lo : lo+batchSize]); err != nil {
+						b.Fatal(err)
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				if err := ix.Sync(); err != nil {
+					b.Fatal(err)
+				}
+				if err := ix.Close(); err != nil {
+					b.Fatal(err)
+				}
+				sort.Slice(lats, func(a, c int) bool { return lats[a] < lats[c] })
+				p50 += experiments.Percentile(lats, 0.50)
+				p99 += experiments.Percentile(lats, 0.99)
+				max += experiments.Percentile(lats, 1.0)
+			}
+			b.ReportMetric(float64(p50.Nanoseconds())/float64(b.N), "p50-append-ns")
+			b.ReportMetric(float64(p99.Nanoseconds())/float64(b.N), "p99-append-ns")
+			b.ReportMetric(float64(max.Nanoseconds())/float64(b.N), "max-append-ns")
 		})
 	}
 }

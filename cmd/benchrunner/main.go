@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]] [-workers N] [-query-workers N]
+//	benchrunner [-scale tiny|default|full] [-figure Fig8a[,Fig9d,...]] [-workers N] [-query-workers N] [-compaction-workers N] [-json file]
 //
-// With no -figure it runs the complete evaluation in paper order.
+// With no -figure it runs the complete evaluation in paper order. With
+// -json the regenerated tables are also written to the named file as JSON
+// (the CI bench-smoke step uses this to track the perf trajectory).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,6 +28,8 @@ func main() {
 	figFlag := flag.String("figure", "", "comma-separated figure ids (default: all)")
 	workersFlag := flag.Int("workers", 1, "construction workers (0 = all CPUs; >1 makes I/O traces machine-dependent)")
 	queryWorkersFlag := flag.Int("query-workers", 1, "per-query fan-out (0 = all CPUs; answers are identical for any value, but >1 makes visited counts machine-dependent)")
+	compactionWorkersFlag := flag.Int("compaction-workers", 2, "LSM background compaction pool size for the IngestLatency figure")
+	jsonFlag := flag.String("json", "", "also write the regenerated tables to this file as JSON")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -42,6 +48,7 @@ func main() {
 	}
 	sc.Workers = *workersFlag
 	sc.QueryWorkers = *queryWorkersFlag
+	sc.CompactionWorkers = *compactionWorkersFlag
 
 	type figure struct {
 		id  string
@@ -72,6 +79,7 @@ func main() {
 		{"Fig10c", experiments.Fig10cSeismic},
 		{"SizeTable", experiments.IndexSizeTable},
 		{"QueryThroughput", experiments.QueryThroughput},
+		{"IngestLatency", experiments.IngestLatency},
 	}
 
 	want := map[string]bool{}
@@ -81,9 +89,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d, workers=%d, query-workers=%d)\n",
-		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries, sc.Workers, sc.QueryWorkers)
+	fmt.Printf("Coconut evaluation — scale=%s (N=%d, len=%d, leaf=%d, queries=%d, workers=%d, query-workers=%d, compaction-workers=%d)\n",
+		*scaleFlag, sc.BaseCount, sc.SeriesLen, sc.LeafCap, sc.Queries, sc.Workers, sc.QueryWorkers, sc.CompactionWorkers)
 	start := time.Now()
+	var ran []*experiments.Table
 	for _, f := range figures {
 		if len(want) > 0 && !want[f.id] {
 			continue
@@ -95,7 +104,28 @@ func main() {
 			os.Exit(1)
 		}
 		tb.Print(os.Stdout)
+		ran = append(ran, tb)
 		fmt.Printf("  (%s regenerated in %v)\n", f.id, time.Since(t0).Round(time.Millisecond))
+	}
+	if *jsonFlag != "" {
+		report := struct {
+			Scale   string               `json:"scale"`
+			Workers int                  `json:"workers"`
+			QueryW  int                  `json:"query_workers"`
+			CompW   int                  `json:"compaction_workers"`
+			NumCPU  int                  `json:"num_cpu"`
+			Tables  []*experiments.Table `json:"tables"`
+		}{*scaleFlag, sc.Workers, sc.QueryWorkers, sc.CompactionWorkers, runtime.NumCPU(), ran}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
 	}
 	fmt.Printf("\nAll done in %v\n", time.Since(start).Round(time.Millisecond))
 }

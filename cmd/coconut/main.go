@@ -12,6 +12,12 @@
 // Show index statistics:
 //
 //	coconut info -dir ./data -data walk.bin -name myidx -len 256
+//
+// Stream new series into a Coconut-LSM index with background compaction,
+// reporting ingest latency percentiles:
+//
+//	coconut stream -dir ./data -data walk.bin -name mylsm -len 256 \
+//	    -append extra.bin -background -compaction-workers 4
 package main
 
 import (
@@ -20,22 +26,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/experiments"
+	"github.com/coconut-db/coconut/internal/lsm"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
 type config struct {
-	fs       *storage.OSFS
-	opt      core.Options
-	dataFile string
-	queries  string
-	radius   int
-	approx   bool
-	k        int
+	fs                *storage.OSFS
+	opt               core.Options
+	dataFile          string
+	queries           string
+	radius            int
+	approx            bool
+	k                 int
+	appendFile        string
+	batch             int
+	background        bool
+	compactionWorkers int
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -55,6 +68,10 @@ func parseFlags(args []string) (*config, error) {
 	radius := fl.Int("radius", 1, "approximate-search leaf radius")
 	approx := fl.Bool("approx", false, "run approximate instead of exact search")
 	k := fl.Int("k", 1, "number of nearest neighbors to return")
+	appendFile := fl.String("append", "", "series file to stream into the LSM index (stream command)")
+	batch := fl.Int("batch", 1000, "series per Append batch (stream command)")
+	background := fl.Bool("background", false, "compact LSM tiers on a background pool instead of inside Append")
+	compactionWorkers := fl.Int("compaction-workers", 2, "background compaction pool size (stream command)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
 	}
@@ -84,17 +101,21 @@ func parseFlags(args []string) (*config, error) {
 			Workers:        *workers,
 			QueryWorkers:   *queryWorkers,
 		},
-		dataFile: *data,
-		queries:  *queries,
-		radius:   *radius,
-		approx:   *approx,
-		k:        *k,
+		dataFile:          *data,
+		queries:           *queries,
+		radius:            *radius,
+		approx:            *approx,
+		k:                 *k,
+		appendFile:        *appendFile,
+		batch:             *batch,
+		background:        *background,
+		compactionWorkers: *compactionWorkers,
 	}, nil
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info|stream> [flags]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
@@ -110,6 +131,8 @@ func main() {
 		err = runQuery(cfg)
 	case "info":
 		err = runInfo(cfg)
+	case "stream":
+		err = runStream(cfg)
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -201,6 +224,96 @@ func runQuery(cfg *config) error {
 			time.Since(start).Round(time.Microsecond))
 		qnum++
 	}
+	return nil
+}
+
+// runStream bulk-loads a Coconut-LSM index over the dataset, then streams
+// the series of -append into it batch by batch, reporting per-Append
+// latency percentiles — synchronous compaction inside Append by default,
+// background tier-concurrent compaction with -background.
+func runStream(cfg *config) error {
+	if cfg.appendFile == "" {
+		return errors.New("-append is required for stream")
+	}
+	start := time.Now()
+	ix, err := lsm.Build(lsm.Options{
+		FS:                   cfg.fs,
+		Name:                 cfg.opt.Name,
+		S:                    cfg.opt.S,
+		RawName:              cfg.dataFile,
+		MemBudgetBytes:       cfg.opt.MemBudgetBytes,
+		Workers:              cfg.opt.Workers,
+		QueryWorkers:         cfg.opt.QueryWorkers,
+		BackgroundCompaction: cfg.background,
+		CompactionWorkers:    cfg.compactionWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	fmt.Printf("bulk-loaded LSM index %q: %d series in %v\n",
+		cfg.opt.Name, ix.Count(), time.Since(start).Round(time.Millisecond))
+
+	af, err := cfg.fs.Open(cfg.appendFile)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	r := series.NewReader(storage.NewSequentialReader(af, 0, -1, 0), cfg.opt.S.Params().SeriesLen)
+	var (
+		lats     []time.Duration
+		appended int64
+		batch    []series.Series
+	)
+	flushBatch := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		t0 := time.Now()
+		if err := ix.Append(batch); err != nil {
+			return err
+		}
+		lats = append(lats, time.Since(t0))
+		appended += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	ingestStart := time.Now()
+	for {
+		s, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, s)
+		if len(batch) >= cfg.batch {
+			if err := flushBatch(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flushBatch(); err != nil {
+		return err
+	}
+	if err := ix.Sync(); err != nil {
+		return err
+	}
+	total := time.Since(ingestStart)
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration { return experiments.Percentile(lats, p) }
+	mode := "synchronous"
+	if cfg.background {
+		mode = fmt.Sprintf("background (%d workers)", cfg.compactionWorkers)
+	}
+	fmt.Printf("streamed %d series in %d batches (%s compaction) in %v\n",
+		appended, len(lats), mode, total.Round(time.Millisecond))
+	fmt.Printf("  append latency: p50=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+		pct(1.0).Round(time.Microsecond))
+	fmt.Printf("  index: %d series across %d runs, %s on disk\n",
+		ix.Count(), ix.NumRuns(), byteSize(ix.SizeBytes()))
 	return nil
 }
 

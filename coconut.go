@@ -41,13 +41,35 @@
 //
 // Within a single query, the library shards the heavy phases of SIMS exact
 // search across Config.QueryWorkers goroutines: the lower-bound pass over
-// the in-memory summaries, the candidate-verification scan (by leaf range
-// when materialized, by raw-file position range otherwise, with a shared
-// atomic best-so-far bound), and — for LSM indexes — the per-run probes of
-// multi-run queries. QueryWorkers = 0 uses all CPUs; the answer (Position,
-// Distance) is identical for any setting, so it is purely a latency knob.
-// For maximum throughput under many concurrent queries, QueryWorkers = 1
-// avoids oversubscription; for minimum single-query latency, leave it 0.
+// the in-memory summaries, the candidate-verification scan of both 1-NN and
+// k-NN search (by leaf range when materialized, by raw-file position range
+// otherwise, with deterministic per-shard bounds reduced in shard order),
+// and — for LSM indexes — the per-run probes of multi-run queries.
+// QueryWorkers = 0 uses all CPUs; the answers (positions, distances) are
+// identical for any setting, so it is purely a latency knob. For maximum
+// throughput under many concurrent queries, QueryWorkers = 1 avoids
+// oversubscription; for minimum single-query latency, leave it 0.
+//
+// # Write path
+//
+// Index construction is parallel end to end: raw series are summarized in
+// blocks on Config.Workers goroutines (the batched pipeline feeding run
+// formation in order), the external sort forms and merges runs across the
+// same workers, and the built index is byte-identical for any worker count.
+//
+// LSM ingest (Insert on an LSMIndex) appends raw bytes, summarizes each
+// batch across Workers goroutines, and flushes full memtables as sorted
+// runs. By default tier compactions run synchronously inside Insert/Flush;
+// setting Config.BackgroundCompaction moves them to a pool of
+// Config.CompactionWorkers goroutines that merge full tiers concurrently —
+// independent tiers compact in parallel — and swap results in under the
+// handle lock, keeping Insert latency flat under sustained load. A bounded
+// tier-0 backlog provides backpressure: when flushes outrun the pool,
+// Insert briefly blocks rather than burying the scheduler. Sync (or Close)
+// is the quiescence barrier: it drains in-flight compactions, after which
+// the on-disk state is byte-identical to synchronous compaction — a
+// background compaction failure is sticky and surfaces on the next
+// Insert/Flush/Sync/Close.
 package coconut
 
 import (
@@ -145,11 +167,23 @@ type Config struct {
 	// built index is byte-identical for any value.
 	Workers int
 	// QueryWorkers is the per-query fan-out: the SIMS lower-bound pass and
-	// the exact-search candidate-verification scan shard across this many
-	// goroutines (LSM indexes also probe independent runs concurrently).
-	// 0 means all CPUs. Search answers are identical for any value; see
-	// the package-level Concurrency section for how to choose it.
+	// the exact-search candidate-verification scan (1-NN and k-NN) shard
+	// across this many goroutines (LSM indexes also probe independent runs
+	// concurrently). 0 means all CPUs. Search answers are identical for any
+	// value; see the package-level Concurrency section for how to choose it.
 	QueryWorkers int
+	// BackgroundCompaction (LSM indexes) moves tier compactions off the
+	// write path onto a background pool, keeping Insert latency flat;
+	// see the package-level Write path section. Sync/Close drain the pool.
+	BackgroundCompaction bool
+	// CompactionWorkers sizes the background compaction pool (default 2).
+	// Independent tiers compact concurrently, so 2+ lets a long high-tier
+	// merge overlap fresh tier-0 merges.
+	CompactionWorkers int
+	// MaxPendingRuns bounds the outstanding tier-0 runs under background
+	// compaction (default 2x the LSM fanout): when flushes outrun the pool,
+	// Insert briefly blocks instead of letting runs pile up unboundedly.
+	MaxPendingRuns int
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -334,8 +368,9 @@ func (t *TreeIndex) SearchKNN(q Series, k int) ([]Neighbor, error) {
 
 // LSMIndex is Coconut-LSM: the paper's future-work design for update-heavy
 // workloads. Inserts land in a memtable and flush as immutable sorted runs
-// (append-only sequential I/O); tiers compact by merge-sorting. Queries see
-// the memtable and all runs.
+// (append-only sequential I/O); tiers compact by merge-sorting —
+// synchronously inside Insert/Flush by default, or on a background pool
+// with Config.BackgroundCompaction. Queries see the memtable and all runs.
 type LSMIndex struct {
 	ix *lsm.Index
 }
@@ -347,13 +382,16 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 		return nil, err
 	}
 	ix, err := lsm.Build(lsm.Options{
-		FS:             opt.FS,
-		Name:           opt.Name,
-		S:              opt.S,
-		RawName:        opt.RawName,
-		MemBudgetBytes: opt.MemBudgetBytes,
-		Workers:        opt.Workers,
-		QueryWorkers:   opt.QueryWorkers,
+		FS:                   opt.FS,
+		Name:                 opt.Name,
+		S:                    opt.S,
+		RawName:              opt.RawName,
+		MemBudgetBytes:       opt.MemBudgetBytes,
+		Workers:              opt.Workers,
+		QueryWorkers:         opt.QueryWorkers,
+		BackgroundCompaction: cfg.BackgroundCompaction,
+		CompactionWorkers:    cfg.CompactionWorkers,
+		MaxPendingRuns:       cfg.MaxPendingRuns,
 	})
 	if err != nil {
 		return nil, err
@@ -378,6 +416,12 @@ func (l *LSMIndex) Insert(batch []Series) error { return l.ix.Append(batch) }
 
 // Flush forces the memtable to disk.
 func (l *LSMIndex) Flush() error { return l.ix.Flush() }
+
+// Sync flushes the memtable and waits for all background compactions to
+// finish — the quiescence barrier after which the on-disk state is
+// deterministic. It surfaces any pending background compaction error. With
+// synchronous compaction it is equivalent to Flush.
+func (l *LSMIndex) Sync() error { return l.ix.Sync() }
 
 // Count returns the number of indexed series.
 func (l *LSMIndex) Count() int64 { return l.ix.Count() }

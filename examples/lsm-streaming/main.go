@@ -1,8 +1,10 @@
 // Streaming ingest with Coconut-LSM: the paper's future-work design (§6).
 // A sensor fleet streams new series continuously; the memtable absorbs
 // them, full memtables flush as immutable sorted runs (append-only
-// sequential I/O — no leaf rewrites), and tiers compact by merge-sorting.
-// Queries remain exact throughout and see data the moment it arrives.
+// sequential I/O — no leaf rewrites), and tiers compact by merge-sorting on
+// a background pool (BackgroundCompaction), so Insert latency stays flat
+// while merges overlap queries. Queries remain exact throughout and see
+// data the moment it arrives; Sync is the quiescence barrier at shutdown.
 //
 //	go run ./examples/lsm-streaming
 package main
@@ -29,11 +31,13 @@ func main() {
 		log.Fatal(err)
 	}
 	idx, err := coconut.BuildLSMIndex(coconut.Config{
-		Storage:      fs,
-		Name:         "stream",
-		DataFile:     "stream.bin",
-		SeriesLen:    seriesLen,
-		MemoryBudget: 2048 * 24, // small memtable so flushes are visible
+		Storage:              fs,
+		Name:                 "stream",
+		DataFile:             "stream.bin",
+		SeriesLen:            seriesLen,
+		MemoryBudget:         2048 * 24, // small memtable so flushes are visible
+		BackgroundCompaction: true,      // merges run off the ingest path
+		CompactionWorkers:    2,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -67,6 +71,11 @@ func main() {
 			res.Position, queryT.Round(time.Millisecond))
 	}
 
+	// Quiesce: drain in-flight background compactions so the on-disk state
+	// is the deterministic fixpoint before reporting.
+	if err := idx.Sync(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nfinal: %d series across %d runs (%.1f MB of runs)\n",
 		idx.Count(), idx.NumRuns(), float64(idx.SizeBytes())/1e6)
 	snap := fs.Stats().Snapshot()

@@ -26,7 +26,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
+	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
@@ -164,56 +166,61 @@ func decodeRecord(rec []byte, materialized bool) (key summary.Key, pos int64, ra
 	return key, pos, raw
 }
 
-// summarizeStream adapts the raw dataset file into a stream of sort records
-// — phase one of Algorithms 2 and 3 (lines 2-8): read each series, compute
-// invSAX, emit (invSAX, position[, raw]).
-type summarizeStream struct {
-	opt   *Options
-	r     *series.Reader
-	buf   series.Series
-	rec   []byte
-	avail []byte // unread tail of rec
-	pos   int64
-	done  bool
-}
-
-func newSummarizeStream(opt *Options, raw storage.File) *summarizeStream {
-	p := opt.S.Params()
-	return &summarizeStream{
-		opt: opt,
-		r:   series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), p.SeriesLen),
-		buf: make(series.Series, p.SeriesLen),
-		rec: make([]byte, opt.recordSize()),
+// SummaryRecordReader streams the (invSAX, position[, raw]) sort records of
+// a raw dataset file — phase one of Algorithms 2 and 3 (lines 2-8) — as a
+// batched pipeline: a producer goroutine reads raw series in blocks, and
+// workers goroutines compute the invSAX keys and record encodings
+// concurrently (each with its own decode and key scratch, so the per-series
+// cost is allocation-free; in materialized mode the raw bytes are copied
+// straight from the input block, never re-encoded). Blocks are drained in
+// input order, so the stream is byte-identical for any worker count.
+//
+// The caller must Close the returned reader when done with it, including
+// when the downstream consumer (the external sort) fails early. Coconut-LSM
+// shares this source for its initial bulk load.
+func SummaryRecordReader(s *summary.Summarizer, raw storage.File, materialized bool, workers int) (*extsort.TransformReader, error) {
+	p := s.Params()
+	inSize := series.EncodedSize(p.SeriesLen)
+	outSize := summary.KeySize + 8
+	if materialized {
+		outSize += inSize
 	}
-}
-
-func (s *summarizeStream) Read(p []byte) (int, error) {
-	if len(s.avail) == 0 {
-		if s.done {
-			return 0, io.EOF
-		}
-		if err := s.r.NextInto(s.buf); err != nil {
-			if errors.Is(err, io.EOF) {
-				s.done = true
-				return 0, io.EOF
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type scratch struct {
+		ser series.Series
+		ks  summary.KeyScratch
+	}
+	scratches := make([]scratch, workers)
+	for i := range scratches {
+		scratches[i].ser = make(series.Series, p.SeriesLen)
+	}
+	return extsort.NewTransformReader(extsort.TransformConfig{
+		In:            storage.NewSequentialReader(raw, 0, -1, 0),
+		InRecordSize:  inSize,
+		OutRecordSize: outSize,
+		Workers:       workers,
+		Transform: func(worker int, in, out []byte, base int64) error {
+			sc := &scratches[worker]
+			n := len(in) / inSize
+			for i := 0; i < n; i++ {
+				rawRec := in[i*inSize : (i+1)*inSize]
+				series.DecodeInto(rawRec, sc.ser)
+				key, err := s.KeyOfScratch(sc.ser, &sc.ks)
+				if err != nil {
+					return err
+				}
+				rec := out[i*outSize : (i+1)*outSize]
+				if materialized {
+					encodeRecord(rec, key, base+int64(i), rawRec)
+				} else {
+					encodeRecord(rec, key, base+int64(i), nil)
+				}
 			}
-			return 0, err
-		}
-		key, err := s.opt.S.KeyOf(s.buf)
-		if err != nil {
-			return 0, err
-		}
-		var raw []byte
-		if s.opt.Materialized {
-			raw = series.AppendEncode(nil, s.buf)
-		}
-		encodeRecord(s.rec, key, s.pos, raw)
-		s.pos++
-		s.avail = s.rec
-	}
-	n := copy(p, s.avail)
-	s.avail = s.avail[n:]
-	return n, nil
+			return nil
+		},
+	})
 }
 
 // errEmptyIndex is returned when searching an index with no records.

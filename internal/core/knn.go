@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
@@ -17,9 +18,22 @@ type Neighbor struct {
 	Dist float64
 }
 
-// knnHeap is a max-heap over distance, holding the k best candidates so
-// far; the root is the current pruning bound. Positions are deduplicated:
-// the seeding phase and the main scan may both encounter the same record.
+// neighborLess is the total order every k-NN phase uses: ascending distance
+// with ties broken on position. Positions are unique, so the order is
+// strict — which is what makes per-shard heaps reducible to one
+// deterministic answer regardless of how the scan was sharded.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Pos < b.Pos
+}
+
+// knnHeap is a bounded max-heap under neighborLess, holding the k best
+// candidates so far; the root is the current pruning bound. Positions are
+// deduplicated: the seeding phase and the main scan may both encounter the
+// same record. Because the order is total, the retained set is the exact
+// top-k of everything offered — independent of offer order.
 type knnHeap struct {
 	items []Neighbor
 	k     int
@@ -27,7 +41,7 @@ type knnHeap struct {
 }
 
 func (h *knnHeap) Len() int           { return len(h.items) }
-func (h *knnHeap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
+func (h *knnHeap) Less(i, j int) bool { return neighborLess(h.items[j], h.items[i]) }
 func (h *knnHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
 func (h *knnHeap) Push(x any)         { h.items = append(h.items, x.(Neighbor)) }
 func (h *knnHeap) Pop() any {
@@ -60,25 +74,33 @@ func (h *knnHeap) offer(n Neighbor) {
 		heap.Push(h, n)
 		return
 	}
-	if n.Dist < h.items[0].Dist {
+	if neighborLess(n, h.items[0]) {
 		h.items[0] = n
 		heap.Fix(h, 0)
 	}
 }
 
-// sorted drains the heap into ascending-distance order.
+// sorted drains the heap into neighborLess order.
 func (h *knnHeap) sorted() []Neighbor {
 	out := append([]Neighbor(nil), h.items...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
 	return out
 }
 
 // ExactSearchKNN returns the k exact nearest neighbors of q, using the same
 // SIMS machinery as ExactSearch with the k-th-best distance as the pruning
 // bound. radius controls the approximate seeding phase. Safe for concurrent
-// use; the verification scan is kept serial (the shared heap bound tightens
-// as the scan advances, which sharding would weaken), while the lower-bound
-// phase fans out across QueryWorkers.
+// use.
+//
+// The verification scan is sharded across Options.QueryWorkers: each shard
+// runs its contiguous slice of the scan with a private heap seeded from the
+// approximate phase, pruning only on its own (monotonically tightening)
+// bound with STRICT comparisons, and the shard heaps are reduced in shard
+// order. Every candidate that could reach the final top-k under the total
+// (distance, position) order is verified by some shard no matter where the
+// shard boundaries fall, so the returned neighbors are identical for any
+// QueryWorkers; only the Visited* counters vary (weaker per-shard bounds
+// verify a few extra candidates).
 func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
@@ -108,78 +130,173 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int) ([]Neighbor,
 	}
 	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	seed := append([]Neighbor(nil), h.items...)
+	var perShard [][]Neighbor
 	if ix.opt.Materialized {
-		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
-		base := 0
-		for _, id := range ix.bt.LeafDir() {
-			cnt := ix.bt.LeafRecordCount(id)
-			bound := h.bound()
-			any := false
-			for i := base; i < base+cnt && i < len(mindists); i++ {
-				if mindists[i] < bound {
-					any = true
-					break
-				}
-			}
-			if !any {
-				base += cnt
-				continue
-			}
-			n, err := ix.bt.ReadLeaf(id, buf)
-			if err != nil {
-				return nil, stats, err
-			}
-			stats.VisitedLeaves++
-			for i := 0; i < n; i++ {
-				if base+i >= len(mindists) || mindists[base+i] >= h.bound() {
-					continue
-				}
-				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-				pos, d, err := ix.recordDistance(q, rec, scratch)
-				if err != nil {
-					return nil, stats, err
-				}
-				stats.VisitedRecords++
-				h.offer(Neighbor{Pos: pos, Dist: d})
-			}
-			base += cnt
-		}
+		perShard, err = ix.knnScanLeaves(q, k, seed, mindists, &stats)
 	} else {
-		type cand struct {
-			pos int64
-			lb  float64
-		}
-		bound := h.bound()
-		cands := make([]cand, 0, 256)
-		for i, lb := range mindists {
-			if lb < bound {
-				cands = append(cands, cand{ix.positions[i], lb})
-			}
-		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
-		for _, c := range cands {
-			if c.lb >= h.bound() {
-				continue
-			}
-			if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, c.pos, scratch); err != nil {
-				return nil, stats, err
-			}
-			stats.VisitedRecords++
-			limit := h.bound()
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, limit*limit)
-			if !ok {
-				continue
-			}
-			h.offer(Neighbor{Pos: c.pos, Dist: math.Sqrt(sq)})
+		perShard, err = ix.knnScanRawFile(q, k, seed, mindists, &stats)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	// Reduce in shard order: every shard retained the top-k of (its range ∪
+	// seed) under the total order, so folding the shard heaps recovers the
+	// global top-k exactly.
+	final := &knnHeap{k: k}
+	for _, n := range seed {
+		final.offer(n)
+	}
+	for _, items := range perShard {
+		for _, n := range items {
+			final.offer(n)
 		}
 	}
-	out := h.sorted()
+	out := final.sorted()
 	if len(out) > 0 {
 		stats.Pos = out[0].Pos
 		stats.Dist = out[0].Dist
 	}
 	return out, stats, nil
+}
+
+// knnScanRawFile is the non-materialized verification scan: candidates that
+// survive the seed bound are remapped to raw-file position order and the
+// position range is partitioned into contiguous shards, each reading its
+// slice of the raw file strictly forward.
+func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result) ([][]Neighbor, error) {
+	type cand struct {
+		pos int64
+		lb  float64
+	}
+	// seed is a copy of the seeding heap's backing array, so seed[0] is its
+	// root: the k-th best distance — the collection bound.
+	seedBound := math.Inf(1)
+	if len(seed) >= k {
+		seedBound = seed[0].Dist
+	}
+	cands := make([]cand, 0, 256)
+	for i, lb := range mindists {
+		// Inclusive: a candidate whose lower bound exactly ties the seed
+		// bound can still outrank the seed root under the (dist, pos) total
+		// order, so it must be verified.
+		if lb <= seedBound {
+			cands = append(cands, cand{ix.positions[i], lb})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
+
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
+	perShard := make([][]Neighbor, workers)
+	visited := make([]int64, workers)
+	seriesLen := ix.opt.S.Params().SeriesLen
+	err := shard.Scan(workers, len(cands), func(si int, rr shard.Range, cancelled func() bool) error {
+		lh := &knnHeap{k: k}
+		for _, n := range seed {
+			lh.offer(n)
+		}
+		scratch := make(series.Series, seriesLen)
+		for i := rr.Lo; i < rr.Hi; i++ {
+			if cancelled() {
+				return nil
+			}
+			c := cands[i]
+			if c.lb > lh.bound() {
+				continue // strict: a tie with the bound is still verified
+			}
+			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+				return err
+			}
+			visited[si]++
+			// The abandon threshold is widened by two ulps: the heap breaks
+			// ties in sqrt space, so any candidate whose distance would
+			// ROUND to a tie with the bound must be fully evaluated — the
+			// threshold has to sit strictly above every squared sum whose
+			// square root rounds to <= bound. Everything abandoned then
+			// strictly loses under the (dist, pos) order, keeping the
+			// evaluated pool's top-k invariant across shard boundaries.
+			limit := lh.bound()
+			limitSq := math.Nextafter(math.Nextafter(limit*limit, math.Inf(1)), math.Inf(1))
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, limitSq)
+			if !ok {
+				continue
+			}
+			lh.offer(Neighbor{Pos: c.pos, Dist: math.Sqrt(sq)})
+		}
+		perShard[si] = lh.items
+		return nil
+	})
+	for _, v := range visited {
+		stats.VisitedRecords += v
+	}
+	return perShard, err
+}
+
+// knnScanLeaves is the materialized verification scan: the leaf directory
+// is partitioned into contiguous shards that skip leaves with no candidate
+// within the shard's bound and scan the rest in place.
+func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result) ([][]Neighbor, error) {
+	dir := ix.bt.LeafDir()
+	bases := make([]int, len(dir))
+	base := 0
+	for i, id := range dir {
+		bases[i] = base
+		base += ix.bt.LeafRecordCount(id)
+	}
+	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
+	perShard := make([][]Neighbor, workers)
+	visited := make([][2]int64, workers) // records, leaves
+	err := shard.Scan(workers, len(dir), func(si int, rr shard.Range, cancelled func() bool) error {
+		lh := &knnHeap{k: k}
+		for _, n := range seed {
+			lh.offer(n)
+		}
+		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
+		for li := rr.Lo; li < rr.Hi; li++ {
+			if cancelled() {
+				return nil
+			}
+			id := dir[li]
+			cnt := ix.bt.LeafRecordCount(id)
+			lb := bases[li]
+			bound := lh.bound()
+			any := false
+			for i := lb; i < lb+cnt && i < len(mindists); i++ {
+				if mindists[i] <= bound {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			n, err := ix.bt.ReadLeaf(id, buf)
+			if err != nil {
+				return err
+			}
+			visited[si][1]++
+			for i := 0; i < n; i++ {
+				if lb+i >= len(mindists) || mindists[lb+i] > lh.bound() {
+					continue
+				}
+				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
+				pos, d, err := ix.recordDistance(q, rec, scratch)
+				if err != nil {
+					return err
+				}
+				visited[si][0]++
+				lh.offer(Neighbor{Pos: pos, Dist: d})
+			}
+		}
+		perShard[si] = lh.items
+		return nil
+	})
+	for _, v := range visited {
+		stats.VisitedRecords += v[0]
+		stats.VisitedLeaves += v[1]
+	}
+	return perShard, err
 }
 
 // knnSeed scans the query's target leaf (±radius) into the heap.
@@ -224,7 +341,7 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Res
 			if !ix.opt.Materialized {
 				k, _, _ := decodeRecord(rec, false)
 				sax := summary.Deinterleave(k, p.Segments, p.CardBits)
-				if ix.opt.S.MinDistPAAToSAX(qPAA, sax) >= h.bound() {
+				if ix.opt.S.MinDistPAAToSAX(qPAA, sax) > h.bound() {
 					continue
 				}
 			}

@@ -192,3 +192,48 @@ func TestOpenTreeMissing(t *testing.T) {
 		t.Fatal("expected error opening missing index")
 	}
 }
+
+// TestKNNDeterministicAcrossQueryWorkers: the sharded verification scan
+// must return byte-identical neighbor lists for any QueryWorkers, for both
+// the materialized (leaf-scan) and non-materialized (raw-file) paths —
+// per-shard heaps under the total (distance, position) order reduced in
+// shard order are the determinism contract.
+func TestKNNDeterministicAcrossQueryWorkers(t *testing.T) {
+	for _, mat := range []bool{false, true} {
+		fs, _ := fixtureFS(t)
+		opt := baseOptions(t, fs, mat)
+		opt.QueryWorkers = 1
+		ix, err := BuildTree(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ix.Close()
+		qs := dataset.Queries(dataset.NewRandomWalk(), 6, tLen, 33)
+		for qi, q := range qs {
+			for _, k := range []int{1, 7, 25} {
+				ix.opt.QueryWorkers = 1
+				want, _, err := ix.ExactSearchKNN(q, k, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 3, 8, 64} {
+					ix.opt.QueryWorkers = workers
+					got, _, err := ix.ExactSearchKNN(q, k, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("mat=%v query %d k=%d workers=%d: %d neighbors vs %d",
+							mat, qi, k, workers, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("mat=%v query %d k=%d workers=%d neighbor %d: %+v != %+v",
+								mat, qi, k, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -81,6 +81,11 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 	}
 
 	sortedName := opt.Name + ".sorted"
+	src, err := SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
 	_, err = extsort.Sort(extsort.Config{
 		FS:         opt.FS,
 		RecordSize: opt.recordSize(),
@@ -88,7 +93,8 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
-	}, newSummarizeStream(&opt, raw), sortedName)
+	}, src, sortedName)
+	src.Close()
 	if err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("core: sorting summarizations: %w", err)
@@ -100,7 +106,7 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 		return nil, err
 	}
 	ix := &TreeIndex{opt: opt, rawFile: raw}
-	src := &teeSource{rr: rr, keys: &ix.keys, positions: &ix.positions}
+	tee := &teeSource{rr: rr, keys: &ix.keys, positions: &ix.positions}
 	bt, err := bptree.BulkLoad(bptree.Config{
 		FS:         opt.FS,
 		Name:       opt.Name + ".bt",
@@ -109,7 +115,7 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 		LeafCap:    opt.LeafCap,
 		FillFactor: opt.FillFactor,
 		Fanout:     opt.Fanout,
-	}, src)
+	}, tee)
 	rr.Close()
 	if err != nil {
 		raw.Close()

@@ -90,6 +90,11 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 	}
 
 	sortedName := opt.Name + ".sorted"
+	src, err := SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
 	_, err = extsort.Sort(extsort.Config{
 		FS:         opt.FS,
 		RecordSize: opt.recordSize(),
@@ -97,7 +102,8 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
-	}, newSummarizeStream(&opt, raw), sortedName)
+	}, src, sortedName)
+	src.Close()
 	if err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("core: sorting summarizations: %w", err)

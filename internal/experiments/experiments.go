@@ -57,6 +57,10 @@ type Scale struct {
 	// functions of the Scale, the same convention as Workers above;
 	// cmd/benchrunner -query-workers 0 restores all-core queries.
 	QueryWorkers int
+	// CompactionWorkers sizes the LSM background compaction pool in the
+	// ingest-latency experiment (cmd/benchrunner -compaction-workers);
+	// 0 takes the lsm default.
+	CompactionWorkers int
 }
 
 // DefaultScale is sized for `go test -bench` runs (seconds per figure).

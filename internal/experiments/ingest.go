@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// IngestLatency measures per-Append latency on a Coconut-LSM index under
+// sustained ingest, with compactions synchronous (inside Append, the
+// pre-scheduler behavior) versus on the background pool. The table reports
+// p50/p99/max Append latency and total wall time per mode — the experiment
+// behind the "flat ingest latency" claim of the asynchronous write path:
+// synchronous mode shows tail spikes whenever an Append triggers a cascade
+// of tier merges, background mode absorbs them in the pool.
+//
+// The quiesced on-disk state is identical in every mode (see the lsm
+// determinism tests), so the modes are directly comparable.
+func IngestLatency(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "IngestLatency",
+		Title:  "LSM Append latency under sustained ingest: synchronous vs background compaction",
+		Header: []string{"compaction", "appends", "p50", "p99", "max", "total", "runs"},
+	}
+	type mode struct {
+		label      string
+		background bool
+	}
+	modes := []mode{
+		{"synchronous", false},
+		{"background", true},
+	}
+	s, err := sc.summarizer()
+	if err != nil {
+		return nil, err
+	}
+	batch := sc.BaseCount / 100
+	if batch < 10 {
+		batch = 10
+	}
+	for _, m := range modes {
+		e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := lsm.Build(lsm.Options{
+			FS:      e.fs,
+			Name:    "lsm",
+			S:       s,
+			RawName: rawName,
+			// A memtable of ~4 batches: the stream below flushes often and
+			// compactions cascade across several tiers.
+			MemBudgetBytes:       int64(4*batch) * int64(summary.KeySize+8),
+			Fanout:               3,
+			Workers:              sc.Workers,
+			QueryWorkers:         sc.QueryWorkers,
+			BackgroundCompaction: m.background,
+			CompactionWorkers:    sc.CompactionWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		data := streamFor(e, sc)
+		lats := make([]time.Duration, 0, len(data)/batch+1)
+		start := time.Now()
+		for lo := 0; lo < len(data); lo += batch {
+			hi := lo + batch
+			if hi > len(data) {
+				hi = len(data)
+			}
+			t0 := time.Now()
+			if err := ix.Append(data[lo:hi]); err != nil {
+				ix.Close()
+				return nil, err
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		if err := ix.Sync(); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		total := time.Since(start)
+		runs := ix.NumRuns()
+		if err := ix.Close(); err != nil {
+			return nil, err
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		t.Add(m.label, fmt.Sprint(len(lats)),
+			ms(Percentile(lats, 0.50)), ms(Percentile(lats, 0.99)),
+			ms(Percentile(lats, 1.0)), ms(total), fmt.Sprint(runs))
+	}
+	return t, nil
+}
+
+// streamFor generates the ingest stream: as many series as the base
+// dataset, drawn from the same family with a shifted seed.
+func streamFor(e *env, sc Scale) []Series {
+	gen, _ := dataset.ByName(e.kind)
+	return dataset.Generate(gen, sc.BaseCount, sc.SeriesLen, sc.Seed+500)
+}
+
+// Percentile picks the p-quantile of ascending-sorted latencies
+// (nearest-rank). It is the single quantile definition shared by the
+// IngestLatency figure, BenchmarkIngestLatency, and `coconut stream`.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

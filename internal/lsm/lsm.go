@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
@@ -68,6 +69,24 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), clamped to the work available). Answers are
 	// identical for any value.
 	QueryWorkers int
+	// BackgroundCompaction moves compactions off the write path: Flush only
+	// writes the tier-0 run and enqueues compaction work, and a pool of
+	// CompactionWorkers goroutines merges full tiers concurrently, swapping
+	// results in under the handle lock. Ingest latency stays flat; the
+	// quiesced on-disk state (after Sync or Close) is byte-identical to
+	// synchronous compaction for any worker count.
+	BackgroundCompaction bool
+	// CompactionWorkers is the size of the background compaction pool
+	// (default 2). Groups at independent tiers compact concurrently, so
+	// values > 1 let a long high-tier merge overlap fresh tier-0 merges.
+	// Each in-flight compaction uses up to MemBudgetBytes of merge buffers.
+	CompactionWorkers int
+	// MaxPendingRuns bounds the outstanding tier-0 runs under background
+	// compaction (default 2*Fanout, floor Fanout): when a flush would leave
+	// more than this many tier-0 runs on disk, Append/Flush block until the
+	// compaction pool catches up — backpressure that keeps a fast writer
+	// from burying the scheduler.
+	MaxPendingRuns int
 }
 
 func (o *Options) validate() error {
@@ -90,6 +109,17 @@ func (o *Options) validate() error {
 	if o.Window <= 0 {
 		o.Window = 100
 	}
+	if o.CompactionWorkers <= 0 {
+		o.CompactionWorkers = 2
+	}
+	if o.MaxPendingRuns <= 0 {
+		o.MaxPendingRuns = 2 * o.Fanout
+	}
+	if o.MaxPendingRuns < o.Fanout {
+		// Below Fanout a full tier-0 group can never form and backpressure
+		// would wait forever.
+		o.MaxPendingRuns = o.Fanout
+	}
 	return nil
 }
 
@@ -101,6 +131,10 @@ type Result struct {
 	VisitedRuns    int64
 }
 
+// bulkTier is the tier of the initial bulk-loaded run: effectively maximal,
+// so ingest-time compactions never try to fold it.
+const bulkTier = 1 << 30
+
 // run is one immutable sorted run.
 type run struct {
 	name      string
@@ -108,6 +142,19 @@ type run struct {
 	count     int64
 	keys      []summary.Key
 	positions []int64
+	// seq is the run's global age: flush runs take consecutive ordinals and
+	// a compacted run inherits the seq of its oldest input, so ix.runs stays
+	// sorted oldest-first no matter how compactions interleave.
+	seq int64
+	// tierSeq is the run's arrival ordinal WITHIN its tier: the k-th tier-0
+	// flush and the output of the k-th compaction of tier t-1 both get
+	// tierSeq k. Compaction groups are formed from consecutive tierSeq
+	// ranges of exactly Fanout runs, which makes the whole compaction DAG —
+	// and therefore the quiesced on-disk state — a pure function of the
+	// flush sequence, independent of scheduling.
+	tierSeq int
+	// claimed marks a run scheduled into an in-flight compaction.
+	claimed bool
 }
 
 // capture appends one encoded record's key and position — the extsort.Tee
@@ -127,22 +174,49 @@ type memEntry struct {
 }
 
 // Index is a Coconut-LSM index. A handle is safe for concurrent use:
-// queries hold mu shared, while Append/Flush (and the compactions they
-// trigger) hold it exclusively, so readers always observe a consistent
-// (runs, memtable) pair — this is the LSM counterpart of the tree's
-// SIMS-refresh lock.
+// queries hold mu shared, while Append/Flush hold it exclusively, so
+// readers always observe a consistent (runs, memtable) pair — this is the
+// LSM counterpart of the tree's SIMS-refresh lock.
+//
+// With Options.BackgroundCompaction, compactions run on a goroutine pool:
+// merges read the immutable input run files with no lock held (queries and
+// appends proceed concurrently), and only the final swap of the merged run
+// into ix.runs takes mu exclusively. A compaction failure is recorded in
+// bgErr and surfaces on the next Append/Flush/Sync/Close.
 type Index struct {
 	opt     Options
 	rawFile storage.File
 	mu      sync.RWMutex
+	// cond (on the write side of mu) signals backpressure waiters and
+	// Sync/Close drains whenever a compaction finishes or fails.
+	cond    *sync.Cond
 	runs    []*run
 	mem     []memEntry
 	count   int64
 	nextRun int
+	// nextSeq feeds run.seq; tier0Seq counts flushes (tier-0 tierSeq).
+	nextSeq  int64
+	tier0Seq int
+	// groupsClaimed[t] is the number of compaction groups of tier t already
+	// claimed — the formation cursor: group k covers tierSeq [k*Fanout,
+	// (k+1)*Fanout) and is ready once every member has arrived.
+	groupsClaimed map[int]int
+	// inflight counts claimed-but-unfinished compactions; bgErr is the
+	// sticky first background failure.
+	inflight int
+	bgErr    error
+	// Background pool plumbing (nil / zero when compaction is synchronous).
+	background bool
+	bgWake     chan struct{}
+	bgQuit     chan struct{}
+	bgWG       sync.WaitGroup
 }
 
 // Build bulk-loads the initial run from the dataset (summarize + external
-// sort, exactly the Coconut pipeline) and returns the index.
+// sort, exactly the Coconut pipeline) and returns the index. The
+// summarization phase is the batched parallel pipeline shared with the
+// tree/trie builds (core.SummaryRecordReader), so every Build stage fans
+// out across opt.Workers.
 func Build(opt Options) (*Index, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -151,14 +225,20 @@ func Build(opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{opt: opt, rawFile: raw}
+	ix := &Index{opt: opt, rawFile: raw, groupsClaimed: map[int]int{}}
+	ix.cond = sync.NewCond(&ix.mu)
 
 	// Summarize + sort the existing data into run 0 (tier determined by
 	// later compactions; the initial bulk run sits at a high tier). The
 	// in-memory key array is captured by teeing the sort's final pass, so
 	// the run is not read back after being written.
 	name := ix.runName()
-	r := &run{name: name, tier: 1 << 30 /* effectively max tier */}
+	r := &run{name: name, tier: bulkTier, seq: ix.nextSeq}
+	src, err := core.SummaryRecordReader(opt.S, raw, false, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
 	n, err := extsort.Sort(extsort.Config{
 		FS:         opt.FS,
 		RecordSize: recordSize,
@@ -167,12 +247,13 @@ func Build(opt Options) (*Index, error) {
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
 		Tee:        r.capture,
-	}, &sumStream{s: opt.S, r: series.NewReader(storage.NewSequentialReader(raw, 0, -1, 0), opt.S.Params().SeriesLen),
-		buf: make(series.Series, opt.S.Params().SeriesLen), rec: make([]byte, recordSize)}, name)
+	}, src, name)
+	src.Close()
 	if err != nil {
 		raw.Close()
 		return nil, err
 	}
+	ix.nextSeq++
 	if n > 0 {
 		r.count = int64(len(r.keys))
 		ix.runs = append(ix.runs, r)
@@ -180,44 +261,16 @@ func Build(opt Options) (*Index, error) {
 		_ = opt.FS.Remove(name)
 	}
 	ix.count = n
-	return ix, nil
-}
-
-// sumStream adapts the raw file into sort records (like core's pipeline).
-type sumStream struct {
-	s     *summary.Summarizer
-	r     *series.Reader
-	buf   series.Series
-	rec   []byte
-	avail []byte
-	pos   int64
-	done  bool
-}
-
-func (s *sumStream) Read(p []byte) (int, error) {
-	if len(s.avail) == 0 {
-		if s.done {
-			return 0, io.EOF
+	if opt.BackgroundCompaction {
+		ix.background = true
+		ix.bgWake = make(chan struct{}, 1)
+		ix.bgQuit = make(chan struct{})
+		for w := 0; w < opt.CompactionWorkers; w++ {
+			ix.bgWG.Add(1)
+			go ix.compactorLoop()
 		}
-		if err := s.r.NextInto(s.buf); err != nil {
-			if errors.Is(err, io.EOF) {
-				s.done = true
-				return 0, io.EOF
-			}
-			return 0, err
-		}
-		key, err := s.s.KeyOf(s.buf)
-		if err != nil {
-			return 0, err
-		}
-		copy(s.rec, key[:])
-		binary.LittleEndian.PutUint64(s.rec[summary.KeySize:], uint64(s.pos))
-		s.pos++
-		s.avail = s.rec
 	}
-	n := copy(p, s.avail)
-	s.avail = s.avail[n:]
-	return n, nil
+	return ix, nil
 }
 
 func (ix *Index) runName() string {
@@ -243,6 +296,9 @@ func (ix *Index) memCapacity() int {
 func (ix *Index) Append(batch []series.Series) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.bgErr != nil {
+		return ix.bgErr
+	}
 	p := ix.opt.S.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
 	end, err := ix.rawFile.Size()
@@ -275,6 +331,16 @@ func (ix *Index) Append(batch []series.Series) error {
 			if err := ix.flushLocked(); err != nil {
 				return err
 			}
+			// flushLocked may release mu while waiting out backpressure; a
+			// concurrent Append can grow the raw file meanwhile, so the
+			// write position must be recomputed before the next record.
+			if end, err = ix.rawFile.Size(); err != nil {
+				return err
+			}
+			if end%sz != 0 {
+				return fmt.Errorf("lsm: raw file size %d not aligned", end)
+			}
+			pos = end / sz
 		}
 	}
 	return nil
@@ -289,7 +355,10 @@ func lePosLess(a, b int64) bool {
 }
 
 // Flush sorts the memtable and writes it as a new tier-0 run, triggering
-// compactions as tiers fill.
+// compactions as tiers fill. Under synchronous compaction the merges run
+// inline before Flush returns; under background compaction Flush only
+// enqueues them (blocking briefly when the tier-0 backlog exceeds
+// MaxPendingRuns) and the pool folds tiers behind the scenes.
 //
 // Entries sort by key with ties broken in encoded-record byte order, so
 // every run on disk — flushed or compacted — is totally ordered under the
@@ -303,6 +372,9 @@ func (ix *Index) Flush() error {
 }
 
 func (ix *Index) flushLocked() error {
+	if ix.bgErr != nil {
+		return ix.bgErr
+	}
 	if len(ix.mem) == 0 {
 		return nil
 	}
@@ -319,7 +391,8 @@ func (ix *Index) flushLocked() error {
 	}
 	w := storage.NewSequentialWriter(f, 0, 0)
 	rec := make([]byte, recordSize)
-	r := &run{name: name, tier: 0, count: int64(len(ix.mem))}
+	r := &run{name: name, tier: 0, count: int64(len(ix.mem)),
+		seq: ix.nextSeq, tierSeq: ix.tier0Seq}
 	for _, e := range ix.mem {
 		copy(rec, e.key[:])
 		binary.LittleEndian.PutUint64(rec[summary.KeySize:], uint64(e.pos))
@@ -339,75 +412,261 @@ func (ix *Index) flushLocked() error {
 	}
 	ix.mem = ix.mem[:0]
 	ix.runs = append(ix.runs, r)
-	return ix.maybeCompact()
+	ix.nextSeq++
+	ix.tier0Seq++
+	if !ix.background {
+		return ix.compactPendingLocked()
+	}
+	ix.kick()
+	// Backpressure: a fast writer must not bury the pool. Waiting releases
+	// mu, so the pool can claim, merge, and swap while we sleep.
+	for ix.bgErr == nil && ix.tier0CountLocked() > ix.opt.MaxPendingRuns {
+		ix.kick()
+		ix.cond.Wait()
+	}
+	return ix.bgErr
 }
 
-// maybeCompact merges tiers that reached the fanout.
-func (ix *Index) maybeCompact() error {
-	for {
-		byTier := map[int][]*run{}
-		for _, r := range ix.runs {
-			byTier[r.tier] = append(byTier[r.tier], r)
+// tier0CountLocked counts on-disk tier-0 runs, claimed ones included: a
+// claimed run still occupies disk and memory until its merge lands.
+func (ix *Index) tier0CountLocked() int {
+	n := 0
+	for _, r := range ix.runs {
+		if r.tier == 0 {
+			n++
 		}
-		merged := false
-		for tier, rs := range byTier {
-			if len(rs) >= ix.opt.Fanout {
-				if err := ix.compact(rs, tier+1); err != nil {
-					return err
-				}
-				merged = true
-				break
+	}
+	return n
+}
+
+// compactJob is one claimed compaction: Fanout consecutive runs of one tier
+// merging into a single run of the next.
+type compactJob struct {
+	inputs  []*run
+	outName string
+	outTier int
+	// group is the job's ordinal among its input tier's compactions — the k
+	// in the deterministic naming/grouping scheme (and the output's tierSeq
+	// at the next tier).
+	group int
+	// inTier is the input tier (cursor rollback on synchronous failure).
+	inTier int
+	outSeq int64
+}
+
+// findGroupLocked locates the next ready compaction group: the lowest tier
+// whose next Fanout-sized tierSeq window [k*Fanout, (k+1)*Fanout) has fully
+// arrived. When claim is set the group is claimed (runs marked, cursor
+// advanced); otherwise this is a readiness probe for the drain barrier.
+//
+// Groups are pure functions of the flush sequence — which runs, in which
+// order, merge into which output name — so the quiesced state is identical
+// whether compactions run inline, on one background worker, or on many.
+func (ix *Index) findGroupLocked(claim bool) *compactJob {
+	if ix.bgErr != nil {
+		return nil
+	}
+	byTier := map[int][]*run{}
+	for _, r := range ix.runs {
+		if r.tier == bulkTier || r.claimed {
+			continue
+		}
+		byTier[r.tier] = append(byTier[r.tier], r)
+	}
+	tiers := make([]int, 0, len(byTier))
+	for tier := range byTier {
+		tiers = append(tiers, tier)
+	}
+	sort.Ints(tiers)
+	for _, tier := range tiers {
+		k := ix.groupsClaimed[tier]
+		lo := k * ix.opt.Fanout
+		group := make([]*run, 0, ix.opt.Fanout)
+		for _, r := range byTier[tier] {
+			if r.tierSeq >= lo && r.tierSeq < lo+ix.opt.Fanout {
+				group = append(group, r)
 			}
 		}
-		if !merged {
-			return nil
+		if len(group) < ix.opt.Fanout {
+			continue
 		}
+		sort.Slice(group, func(a, b int) bool { return group[a].tierSeq < group[b].tierSeq })
+		job := &compactJob{
+			inputs:  group,
+			outName: fmt.Sprintf("%s.cmp.t%d.%06d", ix.opt.Name, tier, k),
+			outTier: tier + 1,
+			group:   k,
+			inTier:  tier,
+			outSeq:  group[0].seq,
+		}
+		if claim {
+			for _, r := range group {
+				r.claimed = true
+			}
+			ix.groupsClaimed[tier] = k + 1
+			ix.inflight++
+		}
+		return job
 	}
+	return nil
 }
 
-// compact merge-sorts the given runs into one run at the target tier via
-// the parallel sorter's merge machinery — strictly sequential reads and
-// sequential writes, with the memory budget and worker pool shared with the
-// bulk-load path. The in-memory key array is captured by teeing the final
-// merge pass, so compaction reads each input byte exactly once. The input
-// runs are deleted only after the new run is swapped in.
-func (ix *Index) compact(rs []*run, tier int) error {
-	name := ix.runName()
-	names := make([]string, len(rs))
-	for i, r := range rs {
+// runCompaction merge-sorts a claimed group via the parallel sorter's merge
+// machinery — strictly sequential reads and writes, memory budget and
+// worker pool shared with the bulk-load path. The in-memory key array is
+// captured by teeing the final merge pass, so compaction reads each input
+// byte exactly once. No lock is held: the inputs are immutable files, and
+// extsort.Merge removes its temporaries (and a partial output) on error.
+func (ix *Index) runCompaction(job *compactJob) (*run, error) {
+	names := make([]string, len(job.inputs))
+	for i, r := range job.inputs {
 		names[i] = r.name
 	}
-	newRun := &run{name: name, tier: tier}
+	newRun := &run{name: job.outName, tier: job.outTier,
+		seq: job.outSeq, tierSeq: job.group}
 	err := extsort.Merge(extsort.Config{
 		FS:         ix.opt.FS,
 		RecordSize: recordSize,
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
 		MemBudget:  ix.opt.MemBudgetBytes,
-		TempPrefix: name + ".compact",
+		TempPrefix: job.outName + ".compact",
 		Workers:    ix.opt.Workers,
 		Tee:        newRun.capture,
-	}, names, name)
+	}, names, job.outName)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	newRun.count = int64(len(newRun.keys))
+	return newRun, nil
+}
 
-	// Swap in the new run, drop the old ones.
-	keep := ix.runs[:0]
-	dropped := map[*run]bool{}
-	for _, r := range rs {
+// swapLocked installs a finished compaction: the merged run replaces its
+// inputs at the position of the oldest one (ix.runs stays sorted by seq —
+// a group always covers a contiguous age range), and the input files are
+// deleted only after the swap.
+func (ix *Index) swapLocked(job *compactJob, newRun *run) {
+	dropped := make(map[*run]bool, len(job.inputs))
+	for _, r := range job.inputs {
 		dropped[r] = true
 	}
+	keep := ix.runs[:0]
+	inserted := false
 	for _, r := range ix.runs {
-		if !dropped[r] {
-			keep = append(keep, r)
+		if dropped[r] {
+			if !inserted {
+				keep = append(keep, newRun)
+				inserted = true
+			}
+			continue
 		}
+		keep = append(keep, r)
 	}
-	ix.runs = append(keep, newRun)
-	for _, r := range rs {
+	ix.runs = keep
+	for _, r := range job.inputs {
 		_ = ix.opt.FS.Remove(r.name)
 	}
-	return nil
+}
+
+// compactPendingLocked is the synchronous path: claim and merge groups
+// inline (holding the handle lock) until none is ready — the pre-scheduler
+// behavior, kept for deterministic single-threaded I/O traces.
+func (ix *Index) compactPendingLocked() error {
+	for {
+		job := ix.findGroupLocked(true)
+		if job == nil {
+			return nil
+		}
+		newRun, err := ix.runCompaction(job)
+		ix.inflight--
+		if err != nil {
+			// Roll the claim back so a later Flush retries the same group.
+			for _, r := range job.inputs {
+				r.claimed = false
+			}
+			ix.groupsClaimed[job.inTier] = job.group
+			return err
+		}
+		ix.swapLocked(job, newRun)
+	}
+}
+
+// kick nudges the compaction pool (non-blocking).
+func (ix *Index) kick() {
+	if ix.bgWake == nil {
+		return
+	}
+	select {
+	case ix.bgWake <- struct{}{}:
+	default:
+	}
+}
+
+// compactorLoop is one background compaction worker. Each worker claims
+// ready groups one at a time; concurrent workers naturally pick up groups
+// at different tiers, so a long high-tier merge never blocks fresh tier-0
+// work. Merging happens with no lock held; only claim and swap touch mu.
+func (ix *Index) compactorLoop() {
+	defer ix.bgWG.Done()
+	for {
+		select {
+		case <-ix.bgQuit:
+			return
+		case <-ix.bgWake:
+		}
+		for {
+			ix.mu.Lock()
+			job := ix.findGroupLocked(true)
+			ix.mu.Unlock()
+			if job == nil {
+				break
+			}
+			// A sibling may find the next group ready right now.
+			ix.kick()
+			newRun, err := ix.runCompaction(job)
+			ix.mu.Lock()
+			ix.inflight--
+			if err != nil {
+				if ix.bgErr == nil {
+					ix.bgErr = err
+				}
+				for _, r := range job.inputs {
+					r.claimed = false
+				}
+			} else {
+				ix.swapLocked(job, newRun)
+			}
+			ix.cond.Broadcast()
+			ix.mu.Unlock()
+		}
+	}
+}
+
+// drainLocked blocks until every enqueued and in-flight compaction has
+// landed (or the first background error is observed). On return with a nil
+// error the on-disk runs are exactly the synchronous-compaction fixpoint of
+// the flush sequence so far.
+func (ix *Index) drainLocked() error {
+	if !ix.background {
+		return ix.bgErr
+	}
+	for ix.bgErr == nil && (ix.inflight > 0 || ix.findGroupLocked(false) != nil) {
+		ix.kick()
+		ix.cond.Wait()
+	}
+	return ix.bgErr
+}
+
+// Sync flushes the memtable and waits for all background compactions to
+// complete — the quiescence barrier: after a nil Sync the on-disk state is
+// deterministic (byte-identical for any Workers/CompactionWorkers setting,
+// background or synchronous). It surfaces any pending background error.
+func (ix *Index) Sync() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.flushLocked(); err != nil {
+		return err
+	}
+	return ix.drainLocked()
 }
 
 // Count returns the number of indexed series.
@@ -440,11 +699,30 @@ func (ix *Index) SizeBytes() int64 {
 	return total
 }
 
-// Close releases the raw file handle, waiting for in-flight queries.
+// Close drains in-flight background compactions (surfacing any pending
+// background error), stops the compaction pool, and releases the raw file
+// handle, waiting for in-flight queries. The drain makes Close a quiescence
+// point: the on-disk runs left behind are deterministic.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
+	drainErr := ix.drainLocked()
+	var quit chan struct{}
+	if ix.background {
+		quit = ix.bgQuit
+		ix.background = false
+	}
+	ix.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		ix.bgWG.Wait()
+	}
+	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	return ix.rawFile.Close()
+	closeErr := ix.rawFile.Close()
+	if drainErr != nil {
+		return drainErr
+	}
+	return closeErr
 }
 
 func (ix *Index) readRaw(pos int64, dst series.Series) error {

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -112,6 +113,20 @@ func (fs *MemFS) Exists(name string) bool {
 	defer fs.mu.Unlock()
 	_, ok := fs.files[name]
 	return ok
+}
+
+// Names returns every file name on the device, sorted — the listing the
+// crash-safety tests use to assert that failed operations leave no
+// temporaries behind.
+func (fs *MemFS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // TotalSize returns the sum of all file sizes — the simulated disk

@@ -8,12 +8,32 @@ import (
 	"github.com/coconut-db/coconut/internal/shard"
 )
 
+// KeyScratch holds the reusable PAA and SAX buffers for repeated key
+// computation on one goroutine. The zero value is ready to use; buffers are
+// allocated on first use and reused afterwards, so a long-lived scratch
+// makes per-series key computation allocation-free.
+type KeyScratch struct {
+	paa []float64
+	sax SAX
+}
+
+// KeyOfScratch computes the sortable invSAX key of ser like KeyOf, reusing
+// sc's buffers. sc must not be shared between goroutines.
+func (s *Summarizer) KeyOfScratch(ser series.Series, sc *KeyScratch) (Key, error) {
+	var err error
+	if sc.paa, err = s.PAA(ser, sc.paa); err != nil {
+		return Key{}, err
+	}
+	sc.sax = s.SAXFromPAA(sc.paa, sc.sax)
+	return Interleave(sc.sax, s.p.CardBits), nil
+}
+
 // KeysOf computes the invSAX key of every series in batch, splitting the
 // batch across workers goroutines (workers <= 0 means runtime.NumCPU()).
 // Results are ordered like batch, so the output is identical for any worker
 // count. Concurrent use is safe because the Summarizer is immutable; each
-// worker reuses its own PAA and SAX scratch buffers, so the per-series cost
-// is allocation-free.
+// worker reuses its own KeyScratch, so the per-series cost is
+// allocation-free.
 func (s *Summarizer) KeysOf(batch []series.Series, workers int) ([]Key, error) {
 	keys := make([]Key, len(batch))
 	if len(batch) == 0 {
@@ -40,16 +60,13 @@ func (s *Summarizer) KeysOf(batch []series.Series, workers int) ([]Key, error) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			paa := make([]float64, s.p.Segments)
-			sax := make(SAX, s.p.Segments)
+			var sc KeyScratch
 			for i := lo; i < hi; i++ {
 				var err error
-				if paa, err = s.PAA(batch[i], paa); err != nil {
+				if keys[i], err = s.KeyOfScratch(batch[i], &sc); err != nil {
 					errs[w] = err
 					return
 				}
-				sax = s.SAXFromPAA(paa, sax)
-				keys[i] = Interleave(sax, s.p.CardBits)
 			}
 		}(w, lo, hi)
 	}

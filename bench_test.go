@@ -253,6 +253,108 @@ func BenchmarkMinDist(b *testing.B) {
 	}
 }
 
+// BenchmarkMinDistsToKeys measures the SIMS lower-bound pass over a large
+// in-memory key array — the per-key kernel of every exact query. "table" is
+// the current path: a per-query MinDistTable rebuilt each op into reused
+// storage, then one allocation-free table lookup per key (0 allocs/op).
+// "legacy" is the pre-overhaul path: per-key SAX decode (one allocation per
+// key), per-segment breakpoint-region recomputation, and a sqrt per key.
+func BenchmarkMinDistsToKeys(b *testing.B) {
+	const nKeys = 100000
+	s, err := summary.NewSummarizer(summary.DefaultParams(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := s.Params()
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(6))
+	ser := make(series.Series, 256)
+	keys := make([]summary.Key, nKeys)
+	for i := range keys {
+		gen.Generate(rng, ser)
+		if keys[i], err = s.KeyOf(ser); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gen.Generate(rng, ser)
+	qPAA, err := s.PAA(ser, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("table", func(b *testing.B) {
+		tbl := s.BuildMinDistTable(qPAA, nil) // storage reused every op
+		out := make([]float64, nKeys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tbl = s.BuildMinDistTable(qPAA, tbl)
+			tbl.KeysInto(keys, out, 1)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nKeys, "ns/key")
+	})
+	b.Run("legacy", func(b *testing.B) {
+		var sink float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, k := range keys {
+				sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+				sink += s.MinDistPAAToSAX(qPAA, sax)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nKeys, "ns/key")
+		_ = sink
+	})
+}
+
+// benchSink keeps benchmarked kernel results alive so the compiler cannot
+// dead-code-eliminate the loops being measured.
+var benchSink float64
+
+// BenchmarkSquaredEDBlocked measures the blocked/unrolled Euclidean kernels
+// against an inline scalar loop (the pre-overhaul shape), plus the
+// early-abandon variant at a limit that abandons roughly half way.
+func BenchmarkSquaredEDBlocked(b *testing.B) {
+	gen := dataset.NewRandomWalk()
+	rng := rand.New(rand.NewSource(8))
+	q := make(series.Series, 256)
+	x := make(series.Series, 256)
+	gen.Generate(rng, q)
+	gen.Generate(rng, x)
+	full, err := series.SquaredED(q, x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sq, err := series.SquaredED(q, x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += sq
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := 0.0
+			for j := range q {
+				d := q[j] - x[j]
+				acc += d * d
+			}
+			benchSink += acc
+		}
+	})
+	b.Run("early-abandon-half", func(b *testing.B) {
+		limit := full / 2
+		for i := 0; i < b.N; i++ {
+			sq, _ := series.SquaredEDEarlyAbandon(q, x, limit)
+			benchSink += sq
+		}
+	})
+}
+
 func BenchmarkEuclidean(b *testing.B) {
 	gen := dataset.NewRandomWalk()
 	rng := rand.New(rand.NewSource(4))

@@ -80,6 +80,7 @@ func main() {
 		{"SizeTable", experiments.IndexSizeTable},
 		{"QueryThroughput", experiments.QueryThroughput},
 		{"IngestLatency", experiments.IngestLatency},
+		{"DistanceKernels", experiments.DistanceKernels},
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,110 @@
+package coconut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file is the squared-space companion of the exact-search conformance
+// suite: it proves the two floating-point facts the distance-kernel
+// overhaul rests on. Every internal search path now compares SQUARED lower
+// bounds against SQUARED best-so-far distances and takes one square root
+// when the answer is materialized; TestExactConformance checks the
+// end-to-end behavior, these tests pin the underlying invariants so a
+// future kernel change that breaks them fails loudly and close to the
+// cause.
+
+// TestSqrtPreservesOrder: sqrt is monotone on the non-negative reals even
+// after IEEE-754 rounding — a < b implies sqrt(a) <= sqrt(b), and a strict
+// sqrt inequality implies a strict squared inequality. Together these say
+// strict-inequality pruning in squared space never prunes a candidate the
+// sqrt-space scan would have accepted.
+func TestSqrtPreservesOrder(t *testing.T) {
+	f := func(aBits, bBits uint64) bool {
+		// Map arbitrary bits onto finite non-negative floats.
+		a := math.Abs(math.Float64frombits(aBits))
+		b := math.Abs(math.Float64frombits(bBits))
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if a < b && !(math.Sqrt(a) <= math.Sqrt(b)) {
+			return false
+		}
+		if math.Sqrt(a) < math.Sqrt(b) && !(a < b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSquaredScanMatchesSqrtScan simulates the serial best-so-far scan both
+// ways over adversarial squared sums (random values, exact duplicates, and
+// 1-ulp neighbors — the hardest case for rounded square roots) and checks
+// the refactor's contract: the squared-space scan reports a Euclidean
+// distance BYTE-IDENTICAL to the sqrt-space scan's, and picks the same
+// record except in the one benign case where two distinct squared sums
+// round to the same square root (where any pick reports the identical
+// distance; the winner then has the strictly smaller squared sum).
+func TestSquaredScanMatchesSqrtScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		n := 50 + rng.Intn(200)
+		sqs := make([]float64, n)
+		for i := range sqs {
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.NormFloat64()
+				sqs[i] = v * v * 100
+			case 2:
+				if i > 0 {
+					sqs[i] = sqs[rng.Intn(i)] // exact duplicate
+				} else {
+					sqs[i] = rng.Float64()
+				}
+			default:
+				if i > 0 {
+					// 1-ulp neighbor: distinct squared sums whose square
+					// roots may round to the same float64.
+					sqs[i] = math.Nextafter(sqs[rng.Intn(i)], math.Inf(1))
+				} else {
+					sqs[i] = rng.Float64()
+				}
+			}
+		}
+		// Pre-refactor scan: compare (and keep) rounded square roots.
+		sqrtBest, sqrtPos := math.Inf(1), -1
+		for i, sq := range sqs {
+			if d := math.Sqrt(sq); d < sqrtBest {
+				sqrtBest, sqrtPos = d, i
+			}
+		}
+		// Post-refactor scan: compare squared sums, sqrt at the end.
+		sqBest, sqPos := math.Inf(1), -1
+		for i, sq := range sqs {
+			if sq < sqBest {
+				sqBest, sqPos = sq, i
+			}
+		}
+		if got := math.Sqrt(sqBest); got != sqrtBest {
+			t.Fatalf("trial %d: squared-space scan reports %x, sqrt-space scan %x",
+				trial, math.Float64bits(got), math.Float64bits(sqrtBest))
+		}
+		if sqPos != sqrtPos {
+			// Allowed only for a sqrt rounding collision; the squared-space
+			// winner must then be strictly better in squared space while
+			// reporting the identical distance.
+			if !(sqs[sqPos] < sqs[sqrtPos] && math.Sqrt(sqs[sqPos]) == math.Sqrt(sqs[sqrtPos])) {
+				t.Fatalf("trial %d: winners diverge without a rounding collision: pos %d (sq=%v) vs pos %d (sq=%v)",
+					trial, sqPos, sqs[sqPos], sqrtPos, sqs[sqrtPos])
+			}
+		}
+	}
+}

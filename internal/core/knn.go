@@ -14,14 +14,19 @@ import (
 type Neighbor struct {
 	// Pos is the series' ordinal in the raw file.
 	Pos int64
-	// Dist is its Euclidean distance to the query.
+	// Dist is its Euclidean distance to the query. (During the internal
+	// scan phases it holds the SQUARED distance; exactSearchKNN takes the
+	// square roots once, when the final top-k is materialized.)
 	Dist float64
 }
 
 // neighborLess is the total order every k-NN phase uses: ascending distance
 // with ties broken on position. Positions are unique, so the order is
 // strict — which is what makes per-shard heaps reducible to one
-// deterministic answer regardless of how the scan was sharded.
+// deterministic answer regardless of how the scan was sharded. The order
+// is the same whether Dist holds squared or Euclidean distances (sqrt is
+// monotone), so the internal squared-space phases and the final converted
+// answers sort identically.
 func neighborLess(a, b Neighbor) bool {
 	if a.Dist != b.Dist {
 		return a.Dist < b.Dist
@@ -153,6 +158,11 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int) ([]Neighbor,
 		}
 	}
 	out := final.sorted()
+	// Materialize Euclidean distances: one sqrt per reported neighbor, the
+	// only square roots in the whole k-NN pipeline.
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
 	if len(out) > 0 {
 		stats.Pos = out[0].Pos
 		stats.Dist = out[0].Dist
@@ -170,7 +180,7 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 		lb  float64
 	}
 	// seed is a copy of the seeding heap's backing array, so seed[0] is its
-	// root: the k-th best distance — the collection bound.
+	// root: the k-th best squared distance — the collection bound.
 	seedBound := math.Inf(1)
 	if len(seed) >= k {
 		seedBound = seed[0].Dist
@@ -208,20 +218,19 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 				return err
 			}
 			visited[si]++
-			// The abandon threshold is widened by two ulps: the heap breaks
-			// ties in sqrt space, so any candidate whose distance would
-			// ROUND to a tie with the bound must be fully evaluated — the
-			// threshold has to sit strictly above every squared sum whose
-			// square root rounds to <= bound. Everything abandoned then
-			// strictly loses under the (dist, pos) order, keeping the
-			// evaluated pool's top-k invariant across shard boundaries.
-			limit := lh.bound()
-			limitSq := math.Nextafter(math.Nextafter(limit*limit, math.Inf(1)), math.Inf(1))
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, limitSq)
+			// With the heap in squared space the abandon threshold is the
+			// heap bound itself — the ulp-widening dance the sqrt-space heap
+			// needed is gone. SquaredEDEarlyAbandon abandons only on a
+			// STRICT excess, so a candidate whose squared sum exactly ties
+			// the bound completes and is offered (the (dist, pos) total
+			// order breaks the tie), and everything abandoned strictly
+			// loses — the evaluated pool's top-k stays invariant across
+			// shard boundaries.
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, lh.bound())
 			if !ok {
 				continue
 			}
-			lh.offer(Neighbor{Pos: c.pos, Dist: math.Sqrt(sq)})
+			lh.offer(Neighbor{Pos: c.pos, Dist: sq})
 		}
 		perShard[si] = lh.items
 		return nil
@@ -281,12 +290,12 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 					continue
 				}
 				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-				pos, d, err := ix.recordDistance(q, rec, scratch)
+				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 				if err != nil {
 					return err
 				}
 				visited[si][0]++
-				lh.offer(Neighbor{Pos: pos, Dist: d})
+				lh.offer(Neighbor{Pos: pos, Dist: sq})
 			}
 		}
 		perShard[si] = lh.items
@@ -329,6 +338,7 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Res
 		return err
 	}
 	scratch := make(series.Series, p.SeriesLen)
+	saxScratch := make(summary.SAX, p.Segments)
 	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
 	for li := lo; li <= hi; li++ {
 		n, err := ix.bt.ReadLeaf(dir[li], buf)
@@ -340,17 +350,17 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Res
 			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
 			if !ix.opt.Materialized {
 				k, _, _ := decodeRecord(rec, false)
-				sax := summary.Deinterleave(k, p.Segments, p.CardBits)
-				if ix.opt.S.MinDistPAAToSAX(qPAA, sax) > h.bound() {
+				sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
+				if ix.opt.S.MinDistSqPAAToSAX(qPAA, sax) > h.bound() {
 					continue
 				}
 			}
-			pos, d, err := ix.recordDistance(q, rec, scratch)
+			pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 			if err != nil {
 				return err
 			}
 			stats.VisitedRecords++
-			h.offer(Neighbor{Pos: pos, Dist: d})
+			h.offer(Neighbor{Pos: pos, Dist: sq})
 		}
 	}
 	return nil

@@ -221,8 +221,12 @@ func (ix *TreeIndex) leafIndexOf(id int64) int {
 	return ix.leafIdx[id]
 }
 
-// recordDistance computes the true distance from q to a leaf record.
-func (ix *TreeIndex) recordDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
+// recordSquaredDistance computes the true SQUARED distance from q to a
+// leaf record. Internal search state stays in squared space end to end —
+// lower bounds and best-so-far distances are compared without ever taking
+// a square root — and only the public entry points materialize a Euclidean
+// distance via finishResult.
+func (ix *TreeIndex) recordSquaredDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
 	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
 	if raw != nil {
 		series.DecodeInto(raw, scratch)
@@ -233,7 +237,17 @@ func (ix *TreeIndex) recordDistance(q series.Series, rec []byte, scratch series.
 	if err != nil {
 		return 0, 0, err
 	}
-	return pos, math.Sqrt(sq), nil
+	return pos, sq, nil
+}
+
+// finishResult converts an internal squared-space Result into the public
+// Euclidean form. sqrt is monotone on non-negative reals, so the winning
+// (Pos, squared distance) pair picked by squared comparisons is the same
+// record the sqrt-space scan would pick, and sqrt of its exact squared sum
+// is byte-identical to the distance the sqrt-space scan would report.
+func finishResult(res Result) Result {
+	res.Dist = math.Sqrt(res.Dist)
+	return res
 }
 
 // ApproxSearch implements Algorithm 4: locate the leaf where the query's
@@ -244,9 +258,12 @@ func (ix *TreeIndex) recordDistance(q series.Series, rec []byte, scratch series.
 func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	return ix.approxSearch(q, radius)
+	res, err := ix.approxSearch(q, radius)
+	return finishResult(res), err
 }
 
+// approxSearch is the internal form of ApproxSearch; res.Dist holds the
+// SQUARED best distance.
 func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
@@ -292,13 +309,13 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			res.VisitedLeaves++
 			for i := 0; i < n; i++ {
 				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-				pos, d, err := ix.recordDistance(q, rec, scratch)
+				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 				if err != nil {
 					return res, err
 				}
 				res.VisitedRecords++
-				if d < res.Dist {
-					res.Dist, res.Pos = d, pos
+				if sq < res.Dist {
+					res.Dist, res.Pos = sq, pos
 				}
 			}
 		}
@@ -317,6 +334,7 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	var cands []cand
 	insIdx := 0
 	seq := 0
+	saxScratch := make(summary.SAX, p.Segments)
 	for li := lo; li <= hi; li++ {
 		n, err := ix.bt.ReadLeaf(dir[li], buf)
 		if err != nil {
@@ -329,8 +347,8 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			if k.Less(key) {
 				insIdx = seq + 1
 			}
-			sax := summary.Deinterleave(k, p.Segments, p.CardBits)
-			cands = append(cands, cand{pos, ix.opt.S.MinDistPAAToSAX(qPAA, sax), seq})
+			sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
+			cands = append(cands, cand{pos, ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), seq})
 			seq++
 		}
 	}
@@ -350,12 +368,12 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			return res, err
 		}
 		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist)
 		if !ok {
 			continue
 		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, c.pos
+		if sq < res.Dist {
+			res.Dist, res.Pos = sq, c.pos
 		}
 	}
 	return res, nil
@@ -396,9 +414,14 @@ func (ix *TreeIndex) ensureSIMS() error {
 func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	return ix.exactSearch(q, radius)
+	res, err := ix.exactSearch(q, radius)
+	return finishResult(res), err
 }
 
+// exactSearch runs the whole SIMS pipeline in squared space: the seed, the
+// lower bounds, the shared best-so-far, and the verification scans all
+// carry squared distances, so the per-key sqrt of the old kernel and the
+// per-candidate sqrt of the old scan are gone entirely.
 func (ix *TreeIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	res, err := ix.approxSearch(q, radius)
 	if err != nil {
@@ -432,7 +455,9 @@ func applyScan(res Result, pos int64, dist float64, vr, vl int64) Result {
 // partitioned into contiguous shards that scan concurrently, sharing a
 // best-so-far bound; each shard prunes with its own running bound (exact
 // serial semantics) plus the shared bound under strict inequality, which
-// keeps the reduced answer identical to a serial scan.
+// keeps the reduced answer identical to a serial scan. mindists and all
+// Dist fields are squared distances; the pruning logic is oblivious to the
+// space because sqrt preserves order.
 func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
 	dir := ix.bt.LeafDir()
 	bases := make([]int, len(dir))
@@ -474,14 +499,14 @@ func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 					continue
 				}
 				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-				pos, d, err := ix.recordDistance(q, rec, scratch)
+				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 				if err != nil {
 					return err
 				}
 				local.VisitedRecords++
-				if d < local.Dist {
-					local.Dist, local.Pos = d, pos
-					bound.Lower(d)
+				if sq < local.Dist {
+					local.Dist, local.Pos = sq, pos
+					bound.Lower(sq)
 				}
 			}
 		}
@@ -525,13 +550,15 @@ func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 				return err
 			}
 			local.VisitedRecords++
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			// The abandon limit is the exact squared best-so-far — no more
+			// squaring a rounded sqrt, so the limit is tight.
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist)
 			if !ok {
 				continue
 			}
-			if d := math.Sqrt(sq); d < local.Dist {
-				local.Dist, local.Pos = d, c.pos
-				bound.Lower(d)
+			if sq < local.Dist {
+				local.Dist, local.Pos = sq, c.pos
+				bound.Lower(sq)
 			}
 		}
 		return nil

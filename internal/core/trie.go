@@ -337,7 +337,10 @@ func (ix *TrieIndex) Close() error {
 	return err2
 }
 
-func (ix *TrieIndex) recordDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
+// recordSquaredDistance computes the true SQUARED distance from q to a
+// leaf record (see TreeIndex.recordSquaredDistance for the squared-space
+// contract).
+func (ix *TrieIndex) recordSquaredDistance(q series.Series, rec []byte, scratch series.Series) (int64, float64, error) {
 	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
 	if raw != nil {
 		series.DecodeInto(raw, scratch)
@@ -348,7 +351,7 @@ func (ix *TrieIndex) recordDistance(q series.Series, rec []byte, scratch series.
 	if err != nil {
 		return 0, 0, err
 	}
-	return pos, math.Sqrt(sq), nil
+	return pos, sq, nil
 }
 
 // ApproxSearch descends to the most promising leaf and examines it plus
@@ -358,9 +361,12 @@ func (ix *TrieIndex) recordDistance(q series.Series, rec []byte, scratch series.
 func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	return ix.approxSearch(q, radius)
+	res, err := ix.approxSearch(q, radius)
+	return finishResult(res), err
 }
 
+// approxSearch is the internal form of ApproxSearch; res.Dist holds the
+// SQUARED best distance.
 func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
@@ -400,13 +406,13 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			}
 			res.VisitedLeaves++
 			for _, rec := range recs {
-				pos, d, err := ix.recordDistance(q, rec, scratch)
+				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 				if err != nil {
 					return res, err
 				}
 				res.VisitedRecords++
-				if d < res.Dist {
-					res.Dist, res.Pos = d, pos
+				if sq < res.Dist {
+					res.Dist, res.Pos = sq, pos
 				}
 			}
 		}
@@ -425,6 +431,7 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	var cands []cand
 	insIdx := 0
 	seq := 0
+	saxScratch := make(summary.SAX, p.Segments)
 	for li := lo; li <= hi; li++ {
 		recs, err := ix.readLeafRecords(ix.leaves[li])
 		if err != nil {
@@ -436,8 +443,8 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			if k.Less(qKey) {
 				insIdx = seq + 1
 			}
-			sax := summary.Deinterleave(k, p.Segments, p.CardBits)
-			cands = append(cands, cand{pos, ix.opt.S.MinDistPAAToSAX(qPAA, sax), seq})
+			sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
+			cands = append(cands, cand{pos, ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), seq})
 			seq++
 		}
 	}
@@ -457,12 +464,12 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 			return res, err
 		}
 		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist)
 		if !ok {
 			continue
 		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist, res.Pos = d, c.pos
+		if sq < res.Dist {
+			res.Dist, res.Pos = sq, c.pos
 		}
 	}
 	return res, nil
@@ -476,6 +483,13 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
+	res, err := ix.exactSearch(q, radius)
+	return finishResult(res), err
+}
+
+// exactSearch runs the SIMS pipeline in squared space (see
+// TreeIndex.exactSearch).
+func (ix *TrieIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	res, err := ix.approxSearch(q, radius)
 	if err != nil {
 		return res, err
@@ -527,14 +541,14 @@ func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 				if mindists[start+ri] >= local.Dist || bound.Prunes(mindists[start+ri]) {
 					continue
 				}
-				pos, d, err := ix.recordDistance(q, rec, scratch)
+				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
 				if err != nil {
 					return err
 				}
 				local.VisitedRecords++
-				if d < local.Dist {
-					local.Dist, local.Pos = d, pos
-					bound.Lower(d)
+				if sq < local.Dist {
+					local.Dist, local.Pos = sq, pos
+					bound.Lower(sq)
 				}
 			}
 		}
@@ -575,13 +589,13 @@ func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 				return err
 			}
 			local.VisitedRecords++
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist)
 			if !ok {
 				continue
 			}
-			if d := math.Sqrt(sq); d < local.Dist {
-				local.Dist, local.Pos = d, c.pos
-				bound.Lower(d)
+			if sq < local.Dist {
+				local.Dist, local.Pos = sq, c.pos
+				bound.Lower(sq)
 			}
 		}
 		return nil

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// DistanceKernels measures the scalar query kernels the SIMS hot loop is
+// made of — the per-key lower bound and the verification Euclidean
+// distance — comparing the table-driven / blocked implementations against
+// the pre-overhaul paths (per-key SAX decode + breakpoint recomputation +
+// sqrt; one-element-at-a-time ED). The rows track the per-PR perf
+// trajectory in BENCH_pr4.json: the "speedup" column is this machine's
+// ratio of the legacy path to the current one on identical inputs.
+func DistanceKernels(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "DistanceKernels",
+		Title:  "Distance kernels: per-query MinDist table and blocked ED",
+		Header: []string{"kernel", "n", "total", "ns/item", "speedup"},
+	}
+	s, err := sc.summarizer()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	gen := dataset.NewRandomWalk()
+	mk := func() series.Series {
+		out := make(series.Series, sc.SeriesLen)
+		gen.Generate(rng, out)
+		return out
+	}
+
+	// --- per-key lower bound: MinDistTable vs decode-and-recompute -------
+	nKeys := sc.BaseCount
+	if nKeys > 50000 {
+		nKeys = 50000
+	}
+	keys := make([]summary.Key, nKeys)
+	for i := range keys {
+		k, err := s.KeyOf(mk())
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	q := mk()
+	qPAA, err := s.PAA(q, nil)
+	if err != nil {
+		return nil, err
+	}
+	p := s.Params()
+
+	var tbl *summary.MinDistTable
+	out := make([]float64, nKeys)
+	tableTime := timeIt(func() {
+		tbl = s.BuildMinDistTable(qPAA, tbl)
+		tbl.KeysInto(keys, out, 1)
+	})
+	var legacySink float64
+	legacyTime := timeIt(func() {
+		for _, k := range keys {
+			sax := summary.Deinterleave(k, p.Segments, p.CardBits)
+			legacySink += s.MinDistPAAToSAX(qPAA, sax)
+		}
+	})
+	addKernelRow(t, "MinDistsToKeys/table", nKeys, tableTime, legacyTime)
+	addKernelRow(t, "MinDistsToKeys/legacy", nKeys, legacyTime, legacyTime)
+
+	// --- verification ED: blocked vs scalar ------------------------------
+	nPairs := 2000
+	qs := make([]series.Series, nPairs)
+	xs := make([]series.Series, nPairs)
+	for i := range qs {
+		qs[i], xs[i] = mk(), mk()
+	}
+	var blockedSink float64
+	blockedTime := timeIt(func() {
+		for i := range qs {
+			sq, _ := series.SquaredED(qs[i], xs[i])
+			blockedSink += sq
+		}
+	})
+	var scalarSink float64
+	scalarTime := timeIt(func() {
+		for i := range qs {
+			acc := 0.0
+			a, b := qs[i], xs[i]
+			for j := range a {
+				d := a[j] - b[j]
+				acc += d * d
+			}
+			scalarSink += acc
+		}
+	})
+	if blockedSink != scalarSink {
+		return nil, fmt.Errorf("experiments: blocked ED diverged from scalar: %v != %v", blockedSink, scalarSink)
+	}
+	addKernelRow(t, "SquaredED/blocked", nPairs, blockedTime, scalarTime)
+	addKernelRow(t, "SquaredED/scalar", nPairs, scalarTime, scalarTime)
+
+	// --- early abandon under a realistic bound ---------------------------
+	// Use the median pairwise squared distance as the limit: roughly half
+	// the pairs abandon, the regime exact search lives in.
+	limit := blockedSink / float64(nPairs) / 2
+	abandoned := 0
+	eaTime := timeIt(func() {
+		for i := range qs {
+			if _, ok := series.SquaredEDEarlyAbandon(qs[i], xs[i], limit); !ok {
+				abandoned++
+			}
+		}
+	})
+	addKernelRow(t, fmt.Sprintf("SquaredEDEarlyAbandon/%d-abandoned", abandoned), nPairs, eaTime, scalarTime)
+	return t, nil
+}
+
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+func addKernelRow(t *Table, name string, n int, d, baseline time.Duration) {
+	perItem := float64(d.Nanoseconds()) / float64(n)
+	t.Add(name, fmt.Sprint(n), ms(d), fmt.Sprintf("%.1f", perItem),
+		fmt.Sprintf("%.2fx", float64(baseline)/float64(d)))
+}

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
@@ -625,19 +624,17 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 	return nil
 }
 
-// decodeLeafDistance computes the true distance from q to record r,
-// fetching the raw series from the leaf (materialized) or the raw file.
-func (ix *Index) recordDistance(q series.Series, r trie.Record, scratch series.Series) (float64, error) {
+// recordSquaredDistance computes the true SQUARED distance from q to
+// record r, fetching the raw series from the leaf (materialized) or the
+// raw file. The query paths compare in squared space throughout and take
+// the square root once, on the reported answer.
+func (ix *Index) recordSquaredDistance(q series.Series, r trie.Record, scratch series.Series) (float64, error) {
 	if r.Raw != nil {
 		series.DecodeInto(r.Raw, scratch)
 	} else if err := ix.readRaw(r.Pos, scratch); err != nil {
 		return 0, err
 	}
-	sq, err := series.SquaredED(q, scratch)
-	if err != nil {
-		return 0, err
-	}
-	return math.Sqrt(sq), nil
+	return series.SquaredED(q, scratch)
 }
 
 var errNoData = errors.New("isax: index is empty")

@@ -18,6 +18,16 @@ import (
 // query-time leaf size is refined (and its pieces rewritten) before it is
 // examined — queries pay part of the construction cost.
 func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
+	res, err := ix.approxSearch(q)
+	res.Dist = math.Sqrt(res.Dist)
+	return res, err
+}
+
+// approxSearch is the internal form of ApproxSearch: res.Dist holds the
+// SQUARED best distance. Like the Coconut query paths, the whole family
+// prunes in squared space and materializes the Euclidean distance once at
+// the public boundary.
+func (ix *Index) approxSearch(q series.Series) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, errNoData
@@ -49,9 +59,10 @@ func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 	return res, nil
 }
 
-// scanLeaf computes true distances for the leaf's records, updating res
-// with the best. For non-materialized leaves, each record's stored SAX word
-// prunes hopeless raw-file fetches first.
+// scanLeaf computes true squared distances for the leaf's records, updating
+// res with the best. For non-materialized leaves, each record's stored SAX
+// word prunes hopeless raw-file fetches first (squared bound vs squared
+// best-so-far).
 func (ix *Index) scanLeaf(q series.Series, leaf *trie.Node, res *Result) error {
 	recs, err := ix.readLeafRecords(leaf)
 	if err != nil {
@@ -64,16 +75,16 @@ func (ix *Index) scanLeaf(q series.Series, leaf *trie.Node, res *Result) error {
 	}
 	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	for _, r := range recs {
-		if r.Raw == nil && ix.opt.S.MinDistPAAToSAX(qPAA, r.Word) >= res.Dist {
+		if r.Raw == nil && ix.opt.S.MinDistSqPAAToSAX(qPAA, r.Word) >= res.Dist {
 			continue
 		}
-		d, err := ix.recordDistance(q, r, scratch)
+		sq, err := ix.recordSquaredDistance(q, r, scratch)
 		if err != nil {
 			return err
 		}
 		res.VisitedRecords++
-		if d < res.Dist {
-			res.Dist = d
+		if sq < res.Dist {
+			res.Dist = sq
 			res.Pos = r.Pos
 		}
 	}
@@ -112,7 +123,7 @@ func (ix *Index) adaptiveSplit(leaf *trie.Node, word summary.SAX, qPAA []float64
 			leaf = zero
 		} else if one.Matches(word, cardBits) {
 			leaf = one
-		} else if ix.tr.MinDist(qPAA, zero) <= ix.tr.MinDist(qPAA, one) {
+		} else if ix.tr.MinDistSq(qPAA, zero) <= ix.tr.MinDistSq(qPAA, one) {
 			leaf = zero
 		} else {
 			leaf = one
@@ -137,9 +148,19 @@ func (q *nodeQueue) Pop() any          { old := *q; n := len(old); it := old[n-1
 
 // ExactSearchTree is the classic best-first exact algorithm (Shieh &
 // Keogh): seed a best-so-far with approximate search, then traverse nodes
-// in MINDIST order, pruning every subtree whose bound exceeds the bsf.
+// in MINDIST order, pruning every subtree whose bound exceeds the bsf. Node
+// and record bounds come from one per-query MinDistTable (squared space:
+// MINDIST order and pruning are identical, with no sqrt per node or
+// record).
 func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
-	res, err := ix.ApproxSearch(q)
+	res, err := ix.exactSearchTree(q)
+	res.Dist = math.Sqrt(res.Dist)
+	return res, err
+}
+
+// exactSearchTree is the internal, squared-space form of ExactSearchTree.
+func (ix *Index) exactSearchTree(q series.Series) (Result, error) {
+	res, err := ix.approxSearch(q)
 	if err != nil {
 		return res, err
 	}
@@ -147,9 +168,10 @@ func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	tbl := ix.opt.S.BuildMinDistTable(qPAA, nil)
 	pq := &nodeQueue{}
 	for _, n := range ix.tr.Root {
-		heap.Push(pq, nodeItem{n, ix.tr.MinDist(qPAA, n)})
+		heap.Push(pq, nodeItem{n, tbl.Prefix(n.Syms, n.Bits)})
 	}
 	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	for pq.Len() > 0 {
@@ -159,7 +181,7 @@ func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
 		}
 		if !it.n.Leaf {
 			for _, c := range it.n.Children {
-				if d := ix.tr.MinDist(qPAA, c); d < res.Dist {
+				if d := tbl.Prefix(c.Syms, c.Bits); d < res.Dist {
 					heap.Push(pq, nodeItem{c, d})
 				}
 			}
@@ -172,16 +194,16 @@ func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
 		res.VisitedLeaves++
 		for _, r := range recs {
 			// Record-level lower bound before touching raw data.
-			if lb := ix.opt.S.MinDistPAAToSAX(qPAA, r.Word); lb >= res.Dist {
+			if lb := tbl.Word(r.Word); lb >= res.Dist {
 				continue
 			}
-			d, err := ix.recordDistance(q, r, scratch)
+			sq, err := ix.recordSquaredDistance(q, r, scratch)
 			if err != nil {
 				return res, err
 			}
 			res.VisitedRecords++
-			if d < res.Dist {
-				res.Dist = d
+			if sq < res.Dist {
+				res.Dist = sq
 				res.Pos = r.Pos
 			}
 		}
@@ -191,11 +213,19 @@ func (ix *Index) ExactSearchTree(q series.Series) (Result, error) {
 
 // ExactSearchSIMS is the ADS-style exact algorithm (§4.3, Algorithm 5
 // adapted to the prefix-split family): approximate search seeds the bsf,
-// lower bounds are computed for EVERY series from the in-memory summary
-// array (in parallel), and the raw file is scanned skip-sequentially,
-// fetching only unpruned series in file order.
+// squared lower bounds are computed for EVERY series from the in-memory
+// summary array (in parallel, through the per-query table), and the raw
+// file is scanned skip-sequentially, fetching only unpruned series in file
+// order.
 func (ix *Index) ExactSearchSIMS(q series.Series) (Result, error) {
-	res, err := ix.ApproxSearch(q)
+	res, err := ix.exactSearchSIMS(q)
+	res.Dist = math.Sqrt(res.Dist)
+	return res, err
+}
+
+// exactSearchSIMS is the internal, squared-space form of ExactSearchSIMS.
+func (ix *Index) exactSearchSIMS(q series.Series) (Result, error) {
+	res, err := ix.approxSearch(q)
 	if err != nil {
 		return res, err
 	}
@@ -203,7 +233,8 @@ func (ix *Index) ExactSearchSIMS(q series.Series) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	mindists := ix.parallelMinDists(qPAA)
+	tbl := ix.opt.S.BuildMinDistTable(qPAA, nil)
+	mindists := ix.parallelMinDists(tbl)
 	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 	for pos := int64(0); pos < int64(len(mindists)); pos++ {
 		if mindists[pos] >= res.Dist {
@@ -213,21 +244,22 @@ func (ix *Index) ExactSearchSIMS(q series.Series) (Result, error) {
 			return res, err
 		}
 		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist*res.Dist)
+		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist)
 		if !ok {
 			continue
 		}
-		if d := math.Sqrt(sq); d < res.Dist {
-			res.Dist = d
+		if sq < res.Dist {
+			res.Dist = sq
 			res.Pos = pos
 		}
 	}
 	return res, nil
 }
 
-// parallelMinDists computes the per-series lower bounds from the in-memory
-// summaries using all cores (the paper's parallelMinDists).
-func (ix *Index) parallelMinDists(qPAA []float64) []float64 {
+// parallelMinDists computes the per-series squared lower bounds from the
+// in-memory summaries using all cores (the paper's parallelMinDists). The
+// table is read-only, so all workers share it.
+func (ix *Index) parallelMinDists(tbl *summary.MinDistTable) []float64 {
 	out := make([]float64, len(ix.sums))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ix.sums) {
@@ -248,7 +280,7 @@ func (ix *Index) parallelMinDists(qPAA []float64) []float64 {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				out[i] = ix.opt.S.MinDistPAAToSAX(qPAA, ix.sums[i])
+				out[i] = tbl.Word(ix.sums[i])
 			}
 		}(lo, hi)
 	}

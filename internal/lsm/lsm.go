@@ -747,9 +747,14 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.approxLocked(q)
+	res, err := ix.approxLocked(q)
+	res.Dist = math.Sqrt(res.Dist)
+	return res, err
 }
 
+// approxLocked is the internal form of ApproxSearch: res.Dist holds the
+// SQUARED best distance (the LSM query path, like core's, stays in squared
+// space until a public entry point materializes a Euclidean distance).
 func (ix *Index) approxLocked(q series.Series) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
@@ -759,8 +764,9 @@ func (ix *Index) approxLocked(q series.Series) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	// try fetches one raw position into scratch and folds its distance into
-	// out — shared by the run probes and the memtable pass below.
+	// try fetches one raw position into scratch and folds its squared
+	// distance into out — shared by the run probes and the memtable pass
+	// below.
 	try := func(pos int64, scratch series.Series, out *Result) error {
 		if err := ix.readRaw(pos, scratch); err != nil {
 			return err
@@ -770,8 +776,8 @@ func (ix *Index) approxLocked(q series.Series) (Result, error) {
 		if err != nil {
 			return err
 		}
-		if d := math.Sqrt(sq); d < out.Dist {
-			out.Dist, out.Pos = d, pos
+		if sq < out.Dist {
+			out.Dist, out.Pos = sq, pos
 		}
 		return nil
 	}
@@ -833,13 +839,22 @@ func (ix *Index) approxLocked(q series.Series) (Result, error) {
 }
 
 // ExactSearch is SIMS over the union of all runs' in-memory key arrays and
-// the memtable: lower bounds for every record (computed per run across
-// QueryWorkers), then a position-ordered skip-sequential scan of the raw
-// file, sharded by position range with a shared best-so-far bound. Safe for
+// the memtable: squared lower bounds for every record (one per-query
+// MinDistTable shared by every run and the memtable, evaluated per run
+// across QueryWorkers), then a position-ordered skip-sequential scan of the
+// raw file, sharded by position range with a shared squared best-so-far
+// bound — the Euclidean distance is materialized once, at return. Safe for
 // concurrent use; (Pos, Dist) is identical for any worker count.
 func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	res, err := ix.exactLocked(q)
+	res.Dist = math.Sqrt(res.Dist)
+	return res, err
+}
+
+// exactLocked runs the SIMS pipeline in squared space.
+func (ix *Index) exactLocked(q series.Series) (Result, error) {
 	res, err := ix.approxLocked(q)
 	if err != nil {
 		return res, err
@@ -849,6 +864,9 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 		return res, err
 	}
 	p := ix.opt.S.Params()
+	// One lookup table serves the whole query: it is read-only after the
+	// build, so every run shard and the memtable pass read it concurrently.
+	tbl := ix.opt.S.BuildMinDistTable(qPAA, nil)
 	type cand struct {
 		pos int64
 		lb  float64
@@ -870,7 +888,8 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 					return nil
 				}
 				r := ix.runs[i]
-				lbs := ix.opt.S.MinDistsToKeys(qPAA, r.keys, innerWorkers)
+				lbs := make([]float64, len(r.keys))
+				tbl.KeysInto(r.keys, lbs, innerWorkers)
 				var cs []cand
 				for j, lb := range lbs {
 					if lb < res.Dist {
@@ -889,8 +908,9 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 		cands = append(cands, cs...)
 	}
 	for _, e := range ix.mem {
-		sax := summary.Deinterleave(e.key, p.Segments, p.CardBits)
-		if lb := ix.opt.S.MinDistPAAToSAX(qPAA, sax); lb < res.Dist {
+		// Key-direct table evaluation: no SAX word is materialized for the
+		// memtable pass either.
+		if lb := tbl.Key(e.key); lb < res.Dist {
 			cands = append(cands, cand{e.pos, lb})
 		}
 	}
@@ -913,13 +933,13 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 				return err
 			}
 			local.VisitedRecords++
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist*local.Dist)
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, local.Dist)
 			if !ok {
 				continue
 			}
-			if d := math.Sqrt(sq); d < local.Dist {
-				local.Dist, local.Pos = d, c.pos
-				bound.Lower(d)
+			if sq < local.Dist {
+				local.Dist, local.Pos = sq, c.pos
+				bound.Lower(sq)
 			}
 		}
 		return nil

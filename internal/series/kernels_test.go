@@ -1,0 +1,117 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scalarSquaredED is the pre-blocking reference implementation: one element
+// at a time, one accumulator. The blocked kernels must be bit-identical.
+func scalarSquaredED(a, b Series) float64 {
+	acc := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}
+
+// scalarSquaredEDEarlyAbandon is the pre-blocking reference: check after
+// every element.
+func scalarSquaredEDEarlyAbandon(a, b Series, limit float64) (float64, bool) {
+	acc := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+		if acc > limit {
+			return acc, false
+		}
+	}
+	return acc, true
+}
+
+// TestBlockedEDMatchesScalar fuzzes the blocked kernels against the scalar
+// references across lengths (covering empty, sub-block, and ragged tails)
+// and abandon limits. The full sum must be BIT-identical (same accumulator,
+// same order), and the abandon flag must agree exactly — monotone partial
+// sums make block-boundary checks equivalent to per-element checks.
+func TestBlockedEDMatchesScalar(t *testing.T) {
+	f := func(seed int64, nRaw uint16, limitScale float64) bool {
+		n := int(nRaw % 300) // 0..299: exercises all tail residues
+		rng := rand.New(rand.NewSource(seed))
+		a := make(Series, n)
+		b := make(Series, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want := scalarSquaredED(a, b)
+		got, err := SquaredED(a, b)
+		if err != nil || got != want {
+			return false
+		}
+		if AddSquaredED(0, a, b) != want {
+			return false
+		}
+		// Accumulating on top of a prior partial must also match the scalar
+		// extension of that partial.
+		prior := math.Abs(rng.NormFloat64())
+		accScalar := prior
+		for i := range a {
+			d := a[i] - b[i]
+			accScalar += d * d
+		}
+		if AddSquaredED(prior, a, b) != accScalar {
+			return false
+		}
+		// Abandon flag equivalence at limits below, at, and above the sum.
+		limits := []float64{
+			0,
+			want * math.Abs(limitScale-math.Trunc(limitScale)), // somewhere inside
+			want, // exactly the sum: must complete (strict > abandons)
+			want * 1.5,
+			math.Inf(1),
+		}
+		for _, limit := range limits {
+			gotSum, gotOK := SquaredEDEarlyAbandon(a, b, limit)
+			_, wantOK := scalarSquaredEDEarlyAbandon(a, b, limit)
+			if gotOK != wantOK {
+				return false
+			}
+			// Completed computations return the exact scalar sum.
+			if gotOK && gotSum != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarlyAbandonLengthMismatchPanics pins the contract change: the
+// early-abandon kernel no longer truncates to the shorter series — a length
+// mismatch is a programming error and panics, consistent with SquaredED's
+// refusal (which reports ErrLengthMismatch).
+func TestEarlyAbandonLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	SquaredEDEarlyAbandon(Series{1, 2, 3}, Series{1, 2}, math.Inf(1))
+}
+
+// TestAddSquaredEDLengthMismatchPanics pins the same contract for the
+// accumulator kernel.
+func TestAddSquaredEDLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	AddSquaredED(0, []float64{1, 2, 3}, []float64{1})
+}

@@ -98,16 +98,46 @@ func (s Series) IsZNormalized(tol float64) bool {
 }
 
 // SquaredED returns the squared Euclidean distance between a and b.
+//
+// The loop is 4-way unrolled into blocks with a scalar tail. A single
+// accumulator is threaded through the unrolled adds in index order, so the
+// result is bit-identical to the naive one-element-at-a-time loop — the
+// unroll only removes loop and bounds-check overhead, never reassociates
+// the floating-point sum.
 func SquaredED(a, b Series) (float64, error) {
 	if len(a) != len(b) {
 		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
 	}
-	acc := 0.0
-	for i := range a {
+	return AddSquaredED(0, a, b), nil
+}
+
+// AddSquaredED returns acc plus the squared Euclidean distance between a
+// and b, accumulating term by term in index order (blocked/unrolled like
+// SquaredED, bit-identical to a scalar loop extending acc). It is the
+// building block for progressive lower bounds that sharpen a partial
+// squared distance level by level (the Vertical index). a and b must have
+// the same length; AddSquaredED panics otherwise.
+func AddSquaredED(acc float64, a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: AddSquaredED length mismatch: %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)] // bounds-check elimination hint for the paired loads
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		acc += d0 * d0
+		acc += d1 * d1
+		acc += d2 * d2
+		acc += d3 * d3
+	}
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		acc += d * d
 	}
-	return acc, nil
+	return acc
 }
 
 // ED returns the Euclidean distance between a and b.
@@ -126,18 +156,47 @@ func ED(a, b Series) (float64, error) {
 // Early abandoning is the standard optimization in exact data series search:
 // once a best-so-far answer exists, most candidate distances only need to be
 // computed until they exceed it.
+//
+// The loop is 4-way unrolled and the abandon check runs once per block
+// rather than once per element. Partial sums of squares are monotonically
+// non-decreasing, so checking at block boundaries abandons if and only if
+// the per-element loop would: the returned flag is identical, and when the
+// computation completes the returned sum is bit-identical to the scalar
+// loop (single accumulator, index order — same rounding). Only the partial
+// value reported on abandonment may differ (it is a block boundary's sum,
+// not the first offending prefix); callers use it for diagnostics only.
+//
+// a and b must have the same length. Unlike SquaredED's error return, a
+// mismatch here PANICS: the function sits on query hot paths whose callers
+// already validated lengths against the index configuration, so a mismatch
+// is a programming error, not an input error. (It previously truncated to
+// the shorter series silently, which could understate distances.)
 func SquaredEDEarlyAbandon(a, b Series, limit float64) (float64, bool) {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: SquaredEDEarlyAbandon length mismatch: %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)] // bounds-check elimination hint for the paired loads
 	acc := 0.0
-	for i := 0; i < n; i++ {
-		d := a[i] - b[i]
-		acc += d * d
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		acc += d0 * d0
+		acc += d1 * d1
+		acc += d2 * d2
+		acc += d3 * d3
 		if acc > limit {
 			return acc, false
 		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	if acc > limit {
+		return acc, false
 	}
 	return acc, true
 }

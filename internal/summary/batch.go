@@ -79,15 +79,33 @@ func (s *Summarizer) KeysOf(batch []series.Series, workers int) ([]Key, error) {
 	return keys, nil
 }
 
-// MinDistsToKeys computes MinDistPAAToSAX(qPAA, key) for every key,
-// splitting the array across workers goroutines (workers <= 0 means
-// runtime.GOMAXPROCS(0), and the count is clamped to len(keys) rather than
-// degenerating to a single worker). This is the lower-bound phase of SIMS
-// exact search (Algorithm 5, line 10). Each element is computed
-// independently, so the output is identical for any worker count.
+// MinDistsToKeys computes the SQUARED lower bound MinDistSqPAAToSAX(qPAA,
+// key) for every key, splitting the array across workers goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0), and the count is clamped to
+// len(keys) rather than degenerating to a single worker). This is the
+// lower-bound phase of SIMS exact search (Algorithm 5, line 10); callers
+// prune by comparing against a squared best-so-far. Each element is
+// computed independently, so the output is identical for any worker count.
+//
+// Large arrays go through a per-query MinDistTable: O(Segments ·
+// Cardinality) setup, then each key is Segments table lookups straight off
+// the interleaved bits — no per-key allocation, region recomputation, or
+// sqrt. Arrays too small to amortize the table build fall back to the
+// direct kernel over a per-shard scratch word, which is allocation-free
+// per key as well.
 func (s *Summarizer) MinDistsToKeys(qPAA []float64, keys []Key, workers int) []float64 {
 	out := make([]float64, len(keys))
 	if len(keys) == 0 {
+		return out
+	}
+	// The table build computes ~2·Cardinality region terms per segment,
+	// while the fallback computes Segments terms per key — so the build
+	// amortizes once the array holds around 2·Cardinality keys (each saved
+	// term costs about what a term computed at build time costs; the
+	// per-key decode work is comparable on both paths).
+	if len(keys) >= 2*s.p.Cardinality() {
+		tbl := s.BuildMinDistTable(qPAA, nil)
+		tbl.KeysInto(keys, out, workers)
 		return out
 	}
 	ranges := shard.Split(len(keys), workers)
@@ -107,9 +125,45 @@ func (s *Summarizer) MinDistsToKeys(qPAA []float64, keys []Key, workers int) []f
 	return out
 }
 
+// minDistsRange is the table-free fallback path: decode each key into a
+// reused scratch word and apply the direct squared kernel. One scratch per
+// shard keeps the per-key cost allocation-free.
 func (s *Summarizer) minDistsRange(qPAA []float64, keys []Key, out []float64, r shard.Range) {
+	scratch := make(SAX, s.p.Segments)
 	for i := r.Lo; i < r.Hi; i++ {
-		sax := Deinterleave(keys[i], s.p.Segments, s.p.CardBits)
-		out[i] = s.MinDistPAAToSAX(qPAA, sax)
+		sax := DeinterleaveInto(keys[i], s.p.CardBits, scratch)
+		out[i] = s.MinDistSqPAAToSAX(qPAA, sax)
+	}
+}
+
+// KeysInto fills out[i] with the squared lower bound for keys[i], sharding
+// across workers goroutines. The table is read-only, so one table serves
+// all shards — and, at the caller's level, all runs of a multi-run index.
+// out must have at least len(keys) entries.
+func (t *MinDistTable) KeysInto(keys []Key, out []float64, workers int) {
+	if len(keys) == 0 {
+		return
+	}
+	if shard.Resolve(workers, len(keys)) == 1 {
+		// Serial fast path: no range slice, no goroutine — the whole pass is
+		// allocation-free.
+		t.keysRange(keys, out, shard.Range{Lo: 0, Hi: len(keys)})
+		return
+	}
+	ranges := shard.Split(len(keys), workers)
+	var wg sync.WaitGroup
+	for _, r := range ranges {
+		wg.Add(1)
+		go func(r shard.Range) {
+			defer wg.Done()
+			t.keysRange(keys, out, r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func (t *MinDistTable) keysRange(keys []Key, out []float64, r shard.Range) {
+	for i := r.Lo; i < r.Hi; i++ {
+		out[i] = t.Key(keys[i])
 	}
 }

@@ -54,18 +54,28 @@ func Interleave(sax SAX, cardBits int) Key {
 // (§4.1) — this is the "easy and efficient to switch back and forth"
 // direction, used to preserve pruning power during queries.
 func Deinterleave(k Key, segments, cardBits int) SAX {
-	sax := make(SAX, segments)
+	return DeinterleaveInto(k, cardBits, make(SAX, segments))
+}
+
+// DeinterleaveInto is Deinterleave into a caller-provided word of the
+// desired segment count, for loops that decode many keys: reusing one
+// scratch word makes per-key decoding allocation-free. dst is zeroed,
+// filled, and returned.
+func DeinterleaveInto(k Key, cardBits int, dst SAX) SAX {
+	for j := range dst {
+		dst[j] = 0
+	}
 	in := 0
 	for i := cardBits - 1; i >= 0; i-- {
-		for j := 0; j < segments; j++ {
+		for j := 0; j < len(dst); j++ {
 			bit := (k[in>>3] >> uint(7-in&7)) & 1
 			if bit != 0 {
-				sax[j] |= 1 << uint(i)
+				dst[j] |= 1 << uint(i)
 			}
 			in++
 		}
 	}
-	return sax
+	return dst
 }
 
 // CommonPrefixBits returns the number of leading interleaved bits shared by

@@ -1,0 +1,122 @@
+package summary
+
+import "fmt"
+
+// MinDistTable is a per-query lookup table for the squared iSAX
+// lower-bounding distance MINDIST. For a fixed query PAA vector, segment
+// j's contribution to the bound depends only on the candidate's symbol
+// prefix in that segment — so the table precomputes width_j · d² for every
+// (segment, prefix-length, prefix) once per query, in
+// O(Segments · Cardinality) time, and every candidate afterwards is a sum
+// of Segments array lookups: no SAX allocation, no breakpoint-region
+// recomputation, no sqrt.
+//
+// Entries are built by the same minDistSqTerm the direct kernels use and
+// are summed in segment order, so every evaluation method returns EXACTLY
+// (bit for bit) what the corresponding MinDistSq kernel returns.
+//
+// A table is immutable after Build and safe for concurrent use by any
+// number of goroutines (the SIMS lower-bound pass shards one table across
+// all query workers).
+type MinDistTable struct {
+	segments int
+	cardBits int
+	// stride is the number of entries per segment: one per prefix at every
+	// prefix length 0..cardBits, i.e. 2^(cardBits+1) - 1.
+	stride int
+	// fullOff is the offset of the full-cardinality level inside a segment's
+	// row: 2^cardBits - 1.
+	fullOff int
+	// entries holds segments × stride squared contributions. Level pb of
+	// segment j starts at j*stride + (1<<pb - 1); the entry for a symbol sym
+	// at prefix length pb is at index (sym >> (cardBits-pb)) within the
+	// level.
+	entries []float64
+}
+
+// BuildMinDistTable builds (or rebuilds, reusing tbl's storage when it has
+// capacity) the per-query table for qPAA, which must have exactly Segments
+// entries from this summarizer's configuration — anything else panics,
+// matching the contract of the direct MINDIST kernels.
+func (s *Summarizer) BuildMinDistTable(qPAA []float64, tbl *MinDistTable) *MinDistTable {
+	if len(qPAA) != s.p.Segments {
+		panic(fmt.Sprintf("summary: query PAA has %d segments, summarizer expects %d", len(qPAA), s.p.Segments))
+	}
+	if tbl == nil {
+		tbl = &MinDistTable{}
+	}
+	b := s.p.CardBits
+	tbl.segments = s.p.Segments
+	tbl.cardBits = b
+	tbl.stride = 2*s.p.Cardinality() - 1
+	tbl.fullOff = s.p.Cardinality() - 1
+	need := tbl.segments * tbl.stride
+	if cap(tbl.entries) < need {
+		tbl.entries = make([]float64, need)
+	}
+	tbl.entries = tbl.entries[:need]
+	for j := 0; j < tbl.segments; j++ {
+		q := qPAA[j]
+		row := tbl.entries[j*tbl.stride : (j+1)*tbl.stride]
+		for pb := 0; pb <= b; pb++ {
+			level := row[(1<<pb)-1:]
+			shift := uint(b - pb)
+			for prefix := 0; prefix < 1<<pb; prefix++ {
+				level[prefix] = s.minDistSqTerm(j, q, uint8(prefix<<shift), pb)
+			}
+		}
+	}
+	return tbl
+}
+
+// Segments returns the segment count the table was built for.
+func (t *MinDistTable) Segments() int { return t.segments }
+
+// Key evaluates the squared lower bound for an interleaved invSAX key,
+// extracting each segment's symbol directly from the key's bit layout —
+// no SAX word is materialized and nothing is allocated. Bit i (counting
+// from the symbol's MSB) of segment j lives at interleaved position
+// i·Segments + j, so segment j's bits are the key bits j, j+w, j+2w, ...
+func (t *MinDistTable) Key(k Key) float64 {
+	acc := 0.0
+	w, b := t.segments, t.cardBits
+	for j := 0; j < w; j++ {
+		sym := 0
+		in := j
+		for i := 0; i < b; i++ {
+			bit := int(k[in>>3]>>uint(7-in&7)) & 1
+			sym = sym<<1 | bit
+			in += w
+		}
+		acc += t.entries[j*t.stride+t.fullOff+sym]
+	}
+	return acc
+}
+
+// Word evaluates the squared lower bound for a full-cardinality SAX word.
+// Exactly equal to MinDistSqPAAToSAX on the query the table was built for.
+func (t *MinDistTable) Word(sax SAX) float64 {
+	acc := 0.0
+	for j, sym := range sax {
+		acc += t.entries[j*t.stride+t.fullOff+int(sym)]
+	}
+	return acc
+}
+
+// Prefix evaluates the squared lower bound for an iSAX node: syms[j] holds
+// segment j's prefix in its high bits and bits[j] says how many of them
+// are fixed (nil bits means fully specified). Exactly equal to
+// MinDistSqPAAToPrefix on the query the table was built for.
+func (t *MinDistTable) Prefix(syms SAX, bits []uint8) float64 {
+	if bits == nil {
+		return t.Word(syms)
+	}
+	acc := 0.0
+	b := uint(t.cardBits)
+	for j, sym := range syms {
+		pb := int(bits[j])
+		off := (1 << pb) - 1
+		acc += t.entries[j*t.stride+off+int(sym>>(b-uint(pb)))]
+	}
+	return acc
+}

@@ -149,8 +149,20 @@ func (s *Summarizer) Region(sym uint8, prefixBits int) (lo, hi float64) {
 // MinDistPAAToSAX returns the classic iSAX lower bound on the Euclidean
 // distance between the series behind paa (the query) and ANY series whose
 // SAX word is sax. Both must come from this summarizer's configuration.
+//
+// Query hot paths should prefer MinDistSqPAAToSAX (or a per-query
+// MinDistTable) and compare in squared space; this sqrt form is kept for
+// reporting and for callers mixing the bound with true distances.
 func (s *Summarizer) MinDistPAAToSAX(paa []float64, sax SAX) float64 {
-	return s.MinDistPAAToPrefix(paa, sax, nil)
+	return math.Sqrt(s.MinDistSqPAAToPrefix(paa, sax, nil))
+}
+
+// MinDistSqPAAToSAX is MinDistPAAToSAX without the final square root: the
+// SQUARED lower bound. Squaring is monotone on non-negative reals, so
+// comparing squared lower bounds against a squared best-so-far prunes
+// exactly like the sqrt forms — and skips one sqrt per candidate.
+func (s *Summarizer) MinDistSqPAAToSAX(paa []float64, sax SAX) float64 {
+	return s.MinDistSqPAAToPrefix(paa, sax, nil)
 }
 
 // MinDistPAAToPrefix generalizes MinDistPAAToSAX to iSAX nodes: bits[j]
@@ -164,25 +176,45 @@ func (s *Summarizer) MinDistPAAToSAX(paa []float64, sax SAX) float64 {
 // general form of sqrt(n/w)·sqrt(Σ d²) that remains a lower bound when
 // segments have unequal widths.
 func (s *Summarizer) MinDistPAAToPrefix(paa []float64, sax SAX, bits []uint8) float64 {
+	return math.Sqrt(s.MinDistSqPAAToPrefix(paa, sax, bits))
+}
+
+// MinDistSqPAAToPrefix is the squared form of MinDistPAAToPrefix and the
+// single implementation the sqrt wrappers and the MinDistTable builder
+// share: every other evaluation path must sum these exact per-segment
+// terms (width_j · d_j², accumulated in segment order) so that table
+// lookups reproduce it to exact float64 equality.
+func (s *Summarizer) MinDistSqPAAToPrefix(paa []float64, sax SAX, bits []uint8) float64 {
 	acc := 0.0
 	for j, q := range paa {
 		pb := s.p.CardBits
 		if bits != nil {
 			pb = int(bits[j])
 		}
-		lo, hi := s.Region(sax[j], pb)
-		var d float64
-		switch {
-		case q < lo:
-			d = lo - q
-		case q > hi:
-			d = q - hi
-		}
-		if d != 0 {
-			acc += float64(s.SegmentWidth(j)) * d * d
-		}
+		acc += s.minDistSqTerm(j, q, sax[j], pb)
 	}
-	return math.Sqrt(acc)
+	return acc
+}
+
+// minDistSqTerm computes segment j's contribution to the squared MINDIST:
+// width_j · d², where d is the gap between the query PAA value q and the
+// value region of sym's pb-bit prefix. This is the one place the term's
+// floating-point expression lives — MinDistTable entries are built by
+// calling it, which is what makes table evaluation exactly equal to the
+// direct kernels.
+func (s *Summarizer) minDistSqTerm(j int, q float64, sym uint8, pb int) float64 {
+	lo, hi := s.Region(sym, pb)
+	var d float64
+	switch {
+	case q < lo:
+		d = lo - q
+	case q > hi:
+		d = q - hi
+	}
+	if d == 0 {
+		return 0
+	}
+	return float64(s.SegmentWidth(j)) * d * d
 }
 
 // MinDistSAXToSAX lower-bounds the distance between any two series given

@@ -216,6 +216,13 @@ func (t *Trie) MinDist(paa []float64, n *Node) float64 {
 	return t.S.MinDistPAAToPrefix(paa, n.Syms, n.Bits)
 }
 
+// MinDistSq is the squared form of MinDist. Relative node comparisons
+// (best-first ordering, leaf selection) are identical in squared space —
+// sqrt preserves order — and skip one sqrt per node visited.
+func (t *Trie) MinDistSq(paa []float64, n *Node) float64 {
+	return t.S.MinDistSqPAAToPrefix(paa, n.Syms, n.Bits)
+}
+
 // Leaves returns all leaves, root children in ascending root-key order,
 // children in their stored order (z-order for bottom-up builds).
 func (t *Trie) Leaves() []*Node {
@@ -260,19 +267,19 @@ func (t *Trie) AvgLeafFill() float64 {
 
 // BestLeaf returns the leaf with the smallest MINDIST to the query PAA —
 // the approximate-search target when the exact subtree for the query's word
-// is missing. Returns nil for an empty trie.
+// is missing. Returns nil for an empty trie. The walk compares squared
+// bounds (the selected leaf is the same either way).
 func (t *Trie) BestLeaf(paa []float64) *Node {
 	var best *Node
 	bestDist := math.Inf(1)
 	var walk func(n *Node)
 	walk = func(n *Node) {
-		if t.MinDist(paa, n) >= bestDist {
+		d := t.MinDistSq(paa, n)
+		if d >= bestDist {
 			return // the node bound already exceeds the best leaf found
 		}
 		if n.Leaf {
-			if d := t.MinDist(paa, n); d < bestDist {
-				best, bestDist = n, d
-			}
+			best, bestDist = n, d
 			return
 		}
 		for _, c := range n.Children {

@@ -224,15 +224,16 @@ func (ix *Index) ExactSearch(q series.Series) (Result, error) {
 		}
 		width := ix.levelWidth[l]
 		res.CoeffsRead += int64(width) * ix.count
+		qLevel := qc[coeffCursor : coeffCursor+width]
 		for i := int64(0); i < ix.count; i++ {
 			if !alive[i] {
 				continue
 			}
-			acc := partial[i]
-			for k := 0; k < width; k++ {
-				d := qc[coeffCursor+k] - col[i*int64(width)+int64(k)]
-				acc += d * d
-			}
+			// Parseval: extending the partial squared distance by this
+			// level's coefficients tightens the lower bound. The blocked
+			// kernel accumulates in coefficient order, bit-identical to the
+			// scalar loop it replaces.
+			acc := series.AddSquaredED(partial[i], qLevel, col[i*int64(width):(i+1)*int64(width)])
 			partial[i] = acc
 			if acc > bsfSq {
 				alive[i] = false

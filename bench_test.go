@@ -122,6 +122,27 @@ func BenchmarkFig10cSeismic(b *testing.B) { runFigure(b, experiments.Fig10cSeism
 
 func BenchmarkIndexSizeTable(b *testing.B) { runFigure(b, experiments.IndexSizeTable) }
 
+// BenchmarkReopen measures the durable-lifecycle payoff on a 100k-series
+// index: serving the first exact query by reopening from the manifest vs
+// re-bulk-loading from the raw dataset (the only option before PR 5). The
+// regenerated table (also available as `benchrunner -figure Reopen`)
+// reports both costs per variant plus the reopen's read volume; the
+// benchmark time is dominated by the rebuild arm, so the speedup column is
+// the number to watch.
+func BenchmarkReopen(b *testing.B) {
+	sc := experiments.DefaultScale()
+	sc.BaseCount = 100000
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.Reopen(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			tb.Print(os.Stdout)
+		}
+	}
+}
+
 // BenchmarkQueryThroughput measures concurrent exact-query throughput on
 // one SHARED TreeIndex handle over a 100k-series dataset: the fixed query
 // batch is drained by `workers` client goroutines. Handles are safe for

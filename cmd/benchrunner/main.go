@@ -81,6 +81,7 @@ func main() {
 		{"QueryThroughput", experiments.QueryThroughput},
 		{"IngestLatency", experiments.IngestLatency},
 		{"DistanceKernels", experiments.DistanceKernels},
+		{"Reopen", experiments.Reopen},
 	}
 
 	want := map[string]bool{}

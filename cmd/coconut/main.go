@@ -1,23 +1,33 @@
-// Command coconut builds and queries Coconut indexes over raw data series
-// files on disk.
+// Command coconut builds and queries persisted Coconut indexes over raw
+// data series files on disk. Building and querying are separate
+// invocations over a persisted directory: build commits a versioned,
+// checksummed manifest next to the index files, and later query/info/
+// stream invocations reopen the index from that manifest — the dataset is
+// never re-indexed, and the build-time parameters (series length,
+// summarization, leaf size, variant) are read back from the manifest, so
+// they need not be repeated.
 //
-// Build a Coconut-Tree over a dataset (see cmd/datagen for producing one):
+// Build an index over a dataset (see cmd/datagen for producing one):
 //
 //	coconut build -dir ./data -data walk.bin -name myidx -len 256
+//	coconut build -dir ./data -data walk.bin -name mytrie -len 256 -variant trie
+//	coconut build -dir ./data -data walk.bin -name mylsm -len 256 -variant lsm
 //
-// Query it (the query file holds one or more series in the raw format):
+// Query it from a fresh process (the query file holds one or more series
+// in the raw format):
 //
-//	coconut query -dir ./data -data walk.bin -name myidx -len 256 -queries q.bin
+//	coconut query -dir ./data -name myidx -queries q.bin
 //
-// Show index statistics:
+// Show the manifest and index statistics:
 //
-//	coconut info -dir ./data -data walk.bin -name myidx -len 256
+//	coconut info -dir ./data -name myidx
 //
-// Stream new series into a Coconut-LSM index with background compaction,
-// reporting ingest latency percentiles:
+// Stream new series into the persisted Coconut-LSM index with background
+// compaction, reporting ingest latency percentiles (the runs survive the
+// process — a later stream or query picks up where this one stopped):
 //
-//	coconut stream -dir ./data -data walk.bin -name mylsm -len 256 \
-//	    -append extra.bin -background -compaction-workers 4
+//	coconut stream -dir ./data -name mylsm -append extra.bin \
+//	    -background -compaction-workers 4
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/experiments"
 	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
@@ -40,6 +51,7 @@ import (
 type config struct {
 	fs                *storage.OSFS
 	opt               core.Options
+	variant           string
 	dataFile          string
 	queries           string
 	radius            int
@@ -54,8 +66,9 @@ type config struct {
 func parseFlags(args []string) (*config, error) {
 	fl := flag.NewFlagSet("coconut", flag.ContinueOnError)
 	dir := fl.String("dir", ".", "directory holding the dataset and index files")
-	data := fl.String("data", "", "raw dataset file name (required)")
+	data := fl.String("data", "", "raw dataset file name (required for build)")
 	name := fl.String("name", "coconut", "index name prefix")
+	variant := fl.String("variant", "tree", "index variant to build: tree, trie, or lsm")
 	length := fl.Int("len", 256, "series length")
 	segments := fl.Int("segments", 16, "SAX segments")
 	cardBits := fl.Int("cardbits", 8, "bits per SAX symbol")
@@ -74,9 +87,6 @@ func parseFlags(args []string) (*config, error) {
 	compactionWorkers := fl.Int("compaction-workers", 2, "background compaction pool size (stream command)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
-	}
-	if *data == "" {
-		return nil, errors.New("-data is required")
 	}
 	fs, err := storage.NewOSFS(*dir)
 	if err != nil {
@@ -101,6 +111,7 @@ func parseFlags(args []string) (*config, error) {
 			Workers:        *workers,
 			QueryWorkers:   *queryWorkers,
 		},
+		variant:           *variant,
 		dataFile:          *data,
 		queries:           *queries,
 		radius:            *radius,
@@ -143,45 +154,204 @@ func main() {
 }
 
 func runBuild(cfg *config) error {
-	start := time.Now()
-	ix, err := core.BuildTree(cfg.opt)
-	if err != nil {
-		return err
+	if cfg.dataFile == "" {
+		return errors.New("-data is required for build")
 	}
-	defer ix.Close()
-	fmt.Printf("built Coconut-Tree %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
-		cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
-		byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
-	return nil
+	start := time.Now()
+	switch cfg.variant {
+	case "tree":
+		ix, err := core.BuildTree(cfg.opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built Coconut-Tree %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
+			cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
+			byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
+		return ix.Close()
+	case "trie":
+		ix, err := core.BuildTrie(cfg.opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built Coconut-Trie %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
+			cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
+			byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
+		return ix.Close()
+	case "lsm":
+		ix, err := lsm.Build(cfg.lsmOptions())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built Coconut-LSM %q: %d series across %d runs, %s on disk, in %v\n",
+			cfg.opt.Name, ix.Count(), ix.NumRuns(), byteSize(ix.SizeBytes()),
+			time.Since(start).Round(time.Millisecond))
+		return ix.Close()
+	}
+	return fmt.Errorf("unknown variant %q (want tree, trie, or lsm)", cfg.variant)
+}
+
+// openOptions derives the open-time options from the persisted manifest:
+// the summarization, dataset file, materialization, and leaf capacity come
+// from the store, so query/info/stream need only -dir and -name.
+func openOptions(cfg *config) (core.Options, *manifest.Manifest, error) {
+	m, err := core.LoadManifest(cfg.fs, cfg.opt.Name)
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	if cfg.dataFile != "" && cfg.dataFile != m.RawName {
+		return core.Options{}, nil, fmt.Errorf("%w: -data %q, stored index was built over %q",
+			manifest.ErrConfigMismatch, cfg.dataFile, m.RawName)
+	}
+	s, err := summary.NewSummarizer(summary.Params{
+		SeriesLen: m.SeriesLen, Segments: m.Segments, CardBits: m.CardBits,
+	})
+	if err != nil {
+		return core.Options{}, nil, err
+	}
+	opt := cfg.opt
+	opt.S = s
+	opt.RawName = m.RawName
+	opt.Materialized = m.Materialized
+	if m.LeafCap != 0 {
+		opt.LeafCap = m.LeafCap
+	}
+	return opt, m, nil
+}
+
+func (cfg *config) lsmOptions() lsm.Options {
+	return lsm.Options{
+		FS:                   cfg.fs,
+		Name:                 cfg.opt.Name,
+		S:                    cfg.opt.S,
+		RawName:              cfg.opt.RawName,
+		MemBudgetBytes:       cfg.opt.MemBudgetBytes,
+		Workers:              cfg.opt.Workers,
+		QueryWorkers:         cfg.opt.QueryWorkers,
+		BackgroundCompaction: cfg.background,
+		CompactionWorkers:    cfg.compactionWorkers,
+	}
 }
 
 func runInfo(cfg *config) error {
-	ix, err := core.OpenTree(cfg.opt)
+	opt, m, err := openOptions(cfg)
 	if err != nil {
 		return err
 	}
-	defer ix.Close()
-	fmt.Printf("index %q\n  series:    %d\n  leaves:    %d\n  leaf fill: %.0f%%\n  height:    %d\n  size:      %s\n",
-		cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100, ix.Height(), byteSize(ix.SizeBytes()))
+	fmt.Printf("index %q (%s)\n  dataset:   %s\n  series:    %d\n  summarization: len=%d segments=%d cardbits=%d\n  materialized:  %v\n",
+		cfg.opt.Name, m.Variant, m.RawName, m.Count, m.SeriesLen, m.Segments, m.CardBits, m.Materialized)
+	switch m.Variant {
+	case manifest.VariantTree:
+		ix, err := core.OpenTree(opt)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		fmt.Printf("  leaves:    %d\n  leaf fill: %.0f%%\n  height:    %d\n  size:      %s\n",
+			ix.NumLeaves(), ix.AvgLeafFill()*100, ix.Height(), byteSize(ix.SizeBytes()))
+	case manifest.VariantTrie:
+		ix, err := core.OpenTrie(opt)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		fmt.Printf("  leaves:    %d\n  leaf fill: %.0f%%\n  size:      %s\n",
+			ix.NumLeaves(), ix.AvgLeafFill()*100, byteSize(ix.SizeBytes()))
+	case manifest.VariantLSM:
+		fmt.Printf("  runs:      %d\n", len(m.LSM.Runs))
+		for _, r := range m.LSM.Runs {
+			tier := fmt.Sprintf("%d", r.Tier)
+			if r.Tier == lsm.BulkTier {
+				tier = "bulk"
+			}
+			fmt.Printf("    %-24s tier=%-4s %d records\n", r.Name, tier, r.Count)
+		}
+	}
 	return nil
+}
+
+// queryFuncs adapts the three reopened variants to a common query surface.
+type queryFuncs struct {
+	seriesLen int
+	exact     func(series.Series) (core.Result, error)
+	approx    func(series.Series) (core.Result, error)
+	knn       func(series.Series, int) ([]core.Neighbor, core.Result, error)
+	close     func() error
+}
+
+func openForQuery(cfg *config) (*queryFuncs, error) {
+	opt, m, err := openOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seriesLen := opt.S.Params().SeriesLen
+	switch m.Variant {
+	case manifest.VariantTree:
+		ix, err := core.OpenTree(opt)
+		if err != nil {
+			return nil, err
+		}
+		return &queryFuncs{
+			seriesLen: seriesLen,
+			exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
+			approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
+			knn: func(q series.Series, k int) ([]core.Neighbor, core.Result, error) {
+				return ix.ExactSearchKNN(q, k, cfg.radius)
+			},
+			close: ix.Close,
+		}, nil
+	case manifest.VariantTrie:
+		ix, err := core.OpenTrie(opt)
+		if err != nil {
+			return nil, err
+		}
+		return &queryFuncs{
+			seriesLen: seriesLen,
+			exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
+			approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
+			close:     ix.Close,
+		}, nil
+	case manifest.VariantLSM:
+		lopt := cfg.lsmOptions()
+		lopt.S, lopt.RawName = opt.S, opt.RawName
+		ix, err := lsm.Open(lopt)
+		if err != nil {
+			return nil, err
+		}
+		conv := func(r lsm.Result) core.Result {
+			return core.Result{Pos: r.Pos, Dist: r.Dist, VisitedRecords: r.VisitedRecords}
+		}
+		return &queryFuncs{
+			seriesLen: seriesLen,
+			exact: func(q series.Series) (core.Result, error) {
+				r, err := ix.ExactSearch(q)
+				return conv(r), err
+			},
+			approx: func(q series.Series) (core.Result, error) {
+				r, err := ix.ApproxSearch(q)
+				return conv(r), err
+			},
+			close: ix.Close,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown stored variant %q", m.Variant)
 }
 
 func runQuery(cfg *config) error {
 	if cfg.queries == "" {
 		return errors.New("-queries is required for query")
 	}
-	ix, err := core.OpenTree(cfg.opt)
+	ix, err := openForQuery(cfg)
 	if err != nil {
 		return err
 	}
-	defer ix.Close()
+	defer ix.close()
 
 	qf, err := cfg.fs.Open(cfg.queries)
 	if err != nil {
 		return err
 	}
 	defer qf.Close()
-	r := series.NewReader(storage.NewSequentialReader(qf, 0, -1, 0), cfg.opt.S.Params().SeriesLen)
+	r := series.NewReader(storage.NewSequentialReader(qf, 0, -1, 0), ix.seriesLen)
 	qnum := 0
 	for {
 		q, err := r.Next()
@@ -194,7 +364,10 @@ func runQuery(cfg *config) error {
 		q.ZNormalize()
 		start := time.Now()
 		if cfg.k > 1 {
-			ns, stats, err := ix.ExactSearchKNN(q, cfg.k, cfg.radius)
+			if ix.knn == nil {
+				return errors.New("-k > 1 is only supported on tree indexes")
+			}
+			ns, stats, err := ix.knn(q, cfg.k)
 			if err != nil {
 				return err
 			}
@@ -208,9 +381,9 @@ func runQuery(cfg *config) error {
 		}
 		var res core.Result
 		if cfg.approx {
-			res, err = ix.ApproxSearch(q, cfg.radius)
+			res, err = ix.approx(q)
 		} else {
-			res, err = ix.ExactSearch(q, cfg.radius)
+			res, err = ix.exact(q)
 		}
 		if err != nil {
 			return err
@@ -227,39 +400,54 @@ func runQuery(cfg *config) error {
 	return nil
 }
 
-// runStream bulk-loads a Coconut-LSM index over the dataset, then streams
-// the series of -append into it batch by batch, reporting per-Append
-// latency percentiles — synchronous compaction inside Append by default,
-// background tier-concurrent compaction with -background.
+// runStream streams the series of -append into a Coconut-LSM index batch
+// by batch, reporting per-Append latency percentiles — synchronous
+// compaction inside Append by default, background tier-concurrent
+// compaction with -background. A persisted index (manifest present) is
+// reopened and continues its deterministic flush/compaction sequence;
+// otherwise the index is first bulk-loaded over -data.
 func runStream(cfg *config) error {
 	if cfg.appendFile == "" {
 		return errors.New("-append is required for stream")
 	}
 	start := time.Now()
-	ix, err := lsm.Build(lsm.Options{
-		FS:                   cfg.fs,
-		Name:                 cfg.opt.Name,
-		S:                    cfg.opt.S,
-		RawName:              cfg.dataFile,
-		MemBudgetBytes:       cfg.opt.MemBudgetBytes,
-		Workers:              cfg.opt.Workers,
-		QueryWorkers:         cfg.opt.QueryWorkers,
-		BackgroundCompaction: cfg.background,
-		CompactionWorkers:    cfg.compactionWorkers,
-	})
-	if err != nil {
-		return err
+	var ix *lsm.Index
+	seriesLen := cfg.opt.S.Params().SeriesLen
+	if cfg.fs.Exists(manifest.FileName(cfg.opt.Name)) {
+		opt, m, err := openOptions(cfg)
+		if err != nil {
+			return err
+		}
+		if err := m.CheckVariant(manifest.VariantLSM); err != nil {
+			return err
+		}
+		lopt := cfg.lsmOptions()
+		lopt.S, lopt.RawName = opt.S, opt.RawName
+		seriesLen = opt.S.Params().SeriesLen
+		if ix, err = lsm.Open(lopt); err != nil {
+			return err
+		}
+		fmt.Printf("reopened LSM index %q: %d series across %d runs in %v\n",
+			cfg.opt.Name, ix.Count(), ix.NumRuns(), time.Since(start).Round(time.Millisecond))
+	} else {
+		if cfg.dataFile == "" {
+			return errors.New("-data is required to bulk-load a new stream index")
+		}
+		var err error
+		if ix, err = lsm.Build(cfg.lsmOptions()); err != nil {
+			return err
+		}
+		fmt.Printf("bulk-loaded LSM index %q: %d series in %v\n",
+			cfg.opt.Name, ix.Count(), time.Since(start).Round(time.Millisecond))
 	}
 	defer ix.Close()
-	fmt.Printf("bulk-loaded LSM index %q: %d series in %v\n",
-		cfg.opt.Name, ix.Count(), time.Since(start).Round(time.Millisecond))
 
 	af, err := cfg.fs.Open(cfg.appendFile)
 	if err != nil {
 		return err
 	}
 	defer af.Close()
-	r := series.NewReader(storage.NewSequentialReader(af, 0, -1, 0), cfg.opt.S.Params().SeriesLen)
+	r := series.NewReader(storage.NewSequentialReader(af, 0, -1, 0), seriesLen)
 	var (
 		lats     []time.Duration
 		appended int64

@@ -70,6 +70,19 @@
 // the on-disk state is byte-identical to synchronous compaction — a
 // background compaction failure is sticky and surfaces on the next
 // Insert/Flush/Sync/Close.
+//
+// # Persistence
+//
+// Every build commits a versioned, checksummed manifest alongside the
+// index files, and Close leaves a fully durable index behind: a later
+// process reopens it with OpenTreeIndex, OpenTrieIndex, or OpenLSMIndex
+// and gets byte-identical answers without re-reading the raw dataset
+// (LSM run key arrays reload from the run files themselves). Manifest
+// commits are atomic (write-temp + rename), so a crash never leaves a
+// torn manifest — at worst the last committed state reopens. On reopen,
+// unset Config fields (series length, segments, leaf size, data file)
+// are adopted from the manifest; explicitly conflicting values fail
+// loudly rather than misread the stored bytes.
 package coconut
 
 import (
@@ -79,9 +92,24 @@ import (
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/dataset"
 	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Typed persistence errors, re-exported so callers can branch on reopen
+// failures with errors.Is.
+var (
+	// ErrCorruptManifest reports a manifest (or an index file it
+	// describes) that failed checksum or structural validation.
+	ErrCorruptManifest = manifest.ErrCorruptManifest
+	// ErrVersionMismatch reports a manifest written by an incompatible
+	// format version.
+	ErrVersionMismatch = manifest.ErrVersionMismatch
+	// ErrConfigMismatch reports a Config that conflicts with the stored
+	// index (different summarization, materialization, or dataset file).
+	ErrConfigMismatch = manifest.ErrConfigMismatch
 )
 
 // Series is one data series: an ordered sequence of float64 values. Inputs
@@ -225,6 +253,41 @@ func (c *Config) toCore() (core.Options, error) {
 	}, nil
 }
 
+// mergeStored loads the manifest of the persisted index cfg names and
+// adopts stored parameters into unset Config fields, so reopening needs
+// only Storage and Name. Explicitly set fields are left alone — the Open
+// paths fail loudly (ErrConfigMismatch) if they conflict with the store.
+func (c *Config) mergeStored(want manifest.Variant) error {
+	if c.Storage == nil {
+		return errors.New("coconut: nil Storage")
+	}
+	m, err := core.LoadManifest(c.Storage, c.Name)
+	if err != nil {
+		return err
+	}
+	if err := m.CheckVariant(want); err != nil {
+		return fmt.Errorf("coconut: %w", err)
+	}
+	if c.SeriesLen == 0 {
+		c.SeriesLen = m.SeriesLen
+	}
+	if c.Segments == 0 {
+		c.Segments = m.Segments
+	}
+	if c.CardinalityBits == 0 {
+		c.CardinalityBits = m.CardBits
+	}
+	if c.DataFile == "" {
+		c.DataFile = m.RawName
+	}
+	if c.LeafSize == 0 && m.LeafCap != 0 {
+		c.LeafSize = m.LeafCap
+	}
+	// Materialization is a property of the stored bytes, not a knob.
+	c.Materialized = m.Materialized
+	return nil
+}
+
 // Result is a search answer.
 type Result struct {
 	// Position is the ordinal of the nearest series in the dataset file.
@@ -265,6 +328,25 @@ func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
 	return &TreeIndex{ix: ix}, nil
 }
 
+// OpenTreeIndex reopens a Coconut-Tree previously built (and Closed) over
+// cfg.Storage, reconstructing the handle from the persisted manifest and
+// B+-tree without touching the raw dataset. Unset Config fields are
+// adopted from the manifest; conflicting ones fail with ErrConfigMismatch.
+func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
+	if err := cfg.mergeStored(manifest.VariantTree); err != nil {
+		return nil, err
+	}
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.OpenTree(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeIndex{ix: ix}, nil
+}
+
 // Search returns the exact nearest neighbor of q (CoconutTreeSIMS).
 func (t *TreeIndex) Search(q Series) (Result, error) {
 	r, err := t.ix.ExactSearch(q, 1)
@@ -294,7 +376,12 @@ func (t *TreeIndex) LeafFill() float64 { return t.ix.AvgLeafFill() }
 // SizeBytes returns the on-device index size.
 func (t *TreeIndex) SizeBytes() int64 { return t.ix.SizeBytes() }
 
-// Close releases the index's file handles.
+// Sync persists metadata made stale by Insert (the B+-tree directory and
+// the manifest) so a crash afterwards loses nothing. Close syncs too.
+func (t *TreeIndex) Sync() error { return t.ix.Sync() }
+
+// Close persists pending metadata and releases the index's file handles;
+// the index can later be reopened with OpenTreeIndex.
 func (t *TreeIndex) Close() error { return t.ix.Close() }
 
 // TrieIndex is a Coconut-Trie index: prefix-split, bottom-up bulk-loaded,
@@ -311,6 +398,27 @@ func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
 		return nil, err
 	}
 	ix, err := core.BuildTrie(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TrieIndex{ix: ix}, nil
+}
+
+// OpenTrieIndex reopens a Coconut-Trie previously built (and Closed) over
+// cfg.Storage: the sorted summary array reloads from the index's own
+// contiguous leaves and the in-memory trie is reconstructed and verified
+// against the manifest — the raw dataset is never read. Unset Config
+// fields are adopted from the manifest; conflicting ones fail with
+// ErrConfigMismatch.
+func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
+	if err := cfg.mergeStored(manifest.VariantTrie); err != nil {
+		return nil, err
+	}
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.OpenTrie(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -399,6 +507,39 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 	return &LSMIndex{ix: ix}, nil
 }
 
+// OpenLSMIndex reopens a Coconut-LSM previously built (and Closed) over
+// cfg.Storage: every run's key array reloads from the run file itself —
+// never the raw dataset — and the deterministic compaction cursors are
+// restored, so subsequent Inserts continue the exact flush/compaction
+// sequence a never-closed index would have produced. Unset Config fields
+// are adopted from the manifest; conflicting ones fail with
+// ErrConfigMismatch.
+func OpenLSMIndex(cfg Config) (*LSMIndex, error) {
+	if err := cfg.mergeStored(manifest.VariantLSM); err != nil {
+		return nil, err
+	}
+	opt, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := lsm.Open(lsm.Options{
+		FS:                   opt.FS,
+		Name:                 opt.Name,
+		S:                    opt.S,
+		RawName:              opt.RawName,
+		MemBudgetBytes:       opt.MemBudgetBytes,
+		Workers:              opt.Workers,
+		QueryWorkers:         opt.QueryWorkers,
+		BackgroundCompaction: cfg.BackgroundCompaction,
+		CompactionWorkers:    cfg.CompactionWorkers,
+		MaxPendingRuns:       cfg.MaxPendingRuns,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LSMIndex{ix: ix}, nil
+}
+
 // Search returns the exact nearest neighbor of q.
 func (l *LSMIndex) Search(q Series) (Result, error) {
 	r, err := l.ix.ExactSearch(q)
@@ -432,7 +573,9 @@ func (l *LSMIndex) NumRuns() int { return l.ix.NumRuns() }
 // SizeBytes returns the total size of all runs.
 func (l *LSMIndex) SizeBytes() int64 { return l.ix.SizeBytes() }
 
-// Close releases file handles.
+// Close flushes the memtable, drains background compactions, commits the
+// manifest, and releases file handles; the index can later be reopened
+// with OpenLSMIndex.
 func (l *LSMIndex) Close() error { return l.ix.Close() }
 
 // ZNormalize z-normalizes s in place and returns it. Queries against the

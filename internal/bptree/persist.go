@@ -30,6 +30,11 @@ func (t *Tree) Save() error {
 	if err := t.flushCache(); err != nil {
 		return err
 	}
+	// The meta (and the manifest committed after it) describe the leaf
+	// file's contents; fsync the leaves before either references them.
+	if err := t.f.Sync(); err != nil {
+		return err
+	}
 	size := 4*5 + 8*3 + len(t.leafDir)*(8+4+t.cfg.KeyLen)
 	buf := make([]byte, 0, size)
 	buf = binary.LittleEndian.AppendUint32(buf, metaMagic)
@@ -49,7 +54,34 @@ func (t *Tree) Save() error {
 		}
 		buf = append(buf, sep...)
 	}
-	return storage.WriteFileAll(t.cfg.FS, t.cfg.metaFileName(), buf)
+	// Atomic commit: a crash mid-save must leave the previous meta file
+	// readable, never a torn one.
+	return storage.WriteFileAtomic(t.cfg.FS, t.cfg.metaFileName(), buf)
+}
+
+// Geometry is the persisted shape of a tree, exposed so the index manifest
+// can record it and cross-check it on reopen.
+type Geometry struct {
+	RecordSize int
+	KeyLen     int
+	LeafCap    int
+	Fanout     int
+	NumLeaves  int
+	NextPage   int64
+	Count      int64
+}
+
+// Geometry returns the tree's current shape.
+func (t *Tree) Geometry() Geometry {
+	return Geometry{
+		RecordSize: t.cfg.RecordSize,
+		KeyLen:     t.cfg.KeyLen,
+		LeafCap:    t.cfg.LeafCap,
+		Fanout:     t.cfg.Fanout,
+		NumLeaves:  len(t.leafDir),
+		NextPage:   t.nextPage,
+		Count:      t.count,
+	}
 }
 
 // Open loads a previously saved tree. cfg.FS and cfg.Name locate the files;

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coconut-db/coconut/internal/bptree"
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/trie"
+)
+
+// This file is the durable-lifecycle glue for the core index variants:
+// every Build ends by committing a versioned, checksummed manifest
+// (internal/manifest) describing the on-device layout, and the Open paths
+// reconstruct a queryable handle from the manifest plus the index files
+// alone — the raw dataset is opened for query-time fetches but never
+// re-read to rebuild the index.
+
+// LoadManifest reads the manifest of a persisted index. It is exposed so
+// the public API and the CLI can adopt stored parameters (summarization,
+// leaf capacity, dataset file) before constructing open options.
+func LoadManifest(fs storage.FS, name string) (*manifest.Manifest, error) {
+	m, err := manifest.Load(fs, name)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading manifest for %q: %w", name, err)
+	}
+	return m, nil
+}
+
+// checkOpenConfig runs the loud config-mismatch detection shared by the
+// Open paths: the caller's summarization scheme, materialization, and
+// dataset file must match the stored manifest exactly.
+func checkOpenConfig(opt *Options, m *manifest.Manifest, want manifest.Variant) error {
+	if err := m.CheckVariant(want); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := m.CheckParams(opt.S.Params(), opt.Materialized, opt.RawName); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	// The leaf capacity shapes the on-device page geometry; the stored
+	// value is the only one that can interpret the pages, so a conflicting
+	// caller value is as fatal as a summarization mismatch. (The public
+	// API and the CLI adopt the stored value for unset fields before
+	// reaching here.)
+	if opt.LeafCap != m.LeafCap {
+		return fmt.Errorf("core: %w: leaf capacity %d, stored index was built with %d",
+			manifest.ErrConfigMismatch, opt.LeafCap, m.LeafCap)
+	}
+	return nil
+}
+
+// treeManifest assembles the manifest for a TreeIndex from the live
+// B+-tree geometry.
+func treeManifest(opt Options, g bptree.Geometry) *manifest.Manifest {
+	p := opt.S.Params()
+	return &manifest.Manifest{
+		Variant:      manifest.VariantTree,
+		SeriesLen:    p.SeriesLen,
+		Segments:     p.Segments,
+		CardBits:     p.CardBits,
+		Materialized: opt.Materialized,
+		LeafCap:      g.LeafCap,
+		RawName:      opt.RawName,
+		Count:        g.Count,
+		Tree: &manifest.TreeLayout{
+			RecordSize: g.RecordSize,
+			KeyLen:     g.KeyLen,
+			LeafCap:    g.LeafCap,
+			Fanout:     g.Fanout,
+			FillFactor: opt.FillFactor,
+			NumLeaves:  g.NumLeaves,
+			NextPage:   g.NextPage,
+		},
+	}
+}
+
+// writeManifest commits the tree's manifest (called with the meta already
+// saved, so manifest and B+-tree meta describe the same state).
+func (ix *TreeIndex) writeManifest() error {
+	return manifest.Commit(ix.opt.FS, ix.opt.Name, treeManifest(ix.opt, ix.bt.Geometry()))
+}
+
+// checkTreeGeometry cross-checks the reopened B+-tree against the
+// manifest. A disagreement in the build-time shape (record size, key
+// length, leaf capacity, fan-out) means the directory holds files from
+// different builds and is unusable. The mutable fields (leaf count, page
+// cursor, record count) may legitimately be NEWER in the meta than in the
+// manifest: Sync commits the meta first, so a crash between the two
+// atomic commits leaves that exact state. checkTreeGeometry reports it as
+// stale=true and OpenTree heals by recommitting the manifest from the
+// live tree — both commits are individually atomic, so every reachable
+// crash state reopens.
+func checkTreeGeometry(opt Options, m *manifest.Manifest, g bptree.Geometry) (stale bool, err error) {
+	t := m.Tree
+	if t == nil {
+		return false, fmt.Errorf("core: %w: tree manifest without tree layout", manifest.ErrCorruptManifest)
+	}
+	if g.RecordSize != t.RecordSize || g.KeyLen != t.KeyLen || g.LeafCap != t.LeafCap ||
+		g.Fanout != t.Fanout {
+		return false, fmt.Errorf("core: %w: B+-tree meta does not match manifest (mixed build)",
+			manifest.ErrCorruptManifest)
+	}
+	if g.RecordSize != opt.recordSize() {
+		return false, fmt.Errorf("core: %w: stored record size %d, configuration implies %d",
+			manifest.ErrCorruptManifest, g.RecordSize, opt.recordSize())
+	}
+	// Inserts only grow the tree, so a meta that is BEHIND the manifest
+	// cannot come from the commit ordering above — reject it.
+	if g.Count < m.Count || g.NumLeaves < t.NumLeaves || g.NextPage < t.NextPage {
+		return false, fmt.Errorf("core: %w: B+-tree meta is older than the manifest",
+			manifest.ErrCorruptManifest)
+	}
+	stale = g.NumLeaves != t.NumLeaves || g.NextPage != t.NextPage || g.Count != m.Count
+	return stale, nil
+}
+
+// writeManifest commits the trie's manifest from its leaf directory.
+func (ix *TrieIndex) writeManifest() error {
+	p := ix.opt.S.Params()
+	leaves := make([]manifest.TrieLeaf, len(ix.leaves))
+	for i, l := range ix.leaves {
+		leaves[i] = manifest.TrieLeaf{Count: l.Count, PageStart: l.PageStart, PageNum: l.PageNum}
+	}
+	m := &manifest.Manifest{
+		Variant:      manifest.VariantTrie,
+		SeriesLen:    p.SeriesLen,
+		Segments:     p.Segments,
+		CardBits:     p.CardBits,
+		Materialized: ix.opt.Materialized,
+		LeafCap:      ix.opt.LeafCap,
+		RawName:      ix.opt.RawName,
+		Count:        ix.count,
+		Trie:         &manifest.TrieLayout{Pages: ix.nextPage, Leaves: leaves},
+	}
+	return manifest.Commit(ix.opt.FS, ix.opt.Name, m)
+}
+
+// OpenTrie reopens a previously built Coconut-Trie from its manifest and
+// contiguous leaf file. The sorted summary array is reloaded by one
+// sequential pass over the leaves, and the in-memory trie structure — a
+// pure function of the sorted keys and the leaf capacity — is rebuilt and
+// cross-checked leaf by leaf against the manifest's directory. The raw
+// dataset file is opened for query-time fetches but never read here.
+func OpenTrie(opt Options) (*TrieIndex, error) {
+	opt.Variant = Trie
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	m, err := LoadManifest(opt.FS, opt.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkOpenConfig(&opt, m, manifest.VariantTrie); err != nil {
+		return nil, err
+	}
+	if m.Trie == nil {
+		return nil, fmt.Errorf("core: %w: trie manifest without trie layout", manifest.ErrCorruptManifest)
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	lf, err := opt.FS.Open(opt.Name + ".leaves")
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	tr, err := trie.New(opt.S, opt.LeafCap)
+	if err != nil {
+		raw.Close()
+		lf.Close()
+		return nil, err
+	}
+	ix := &TrieIndex{opt: opt, tr: tr, leafFile: lf, rawFile: raw, leafOrd: make(map[*trie.Node]int)}
+
+	// One sequential pass over the persisted leaves reloads the sorted
+	// summary array (keys live in the leaf records; the raw file is not
+	// touched).
+	for li, l := range m.Trie.Leaves {
+		recs, err := ix.readLeafPages(l.PageStart, l.PageNum)
+		if err != nil {
+			ix.closeAll()
+			return nil, err
+		}
+		if int64(len(recs)) != l.Count {
+			ix.closeAll()
+			return nil, fmt.Errorf("core: %w: leaf %d holds %d records, manifest says %d",
+				manifest.ErrCorruptManifest, li, len(recs), l.Count)
+		}
+		for _, rec := range recs {
+			key, pos, _ := decodeRecord(rec, false)
+			ix.keys = append(ix.keys, key)
+			ix.positions = append(ix.positions, pos)
+		}
+	}
+	ix.count = int64(len(ix.keys))
+	if ix.count != m.Count {
+		ix.closeAll()
+		return nil, fmt.Errorf("core: %w: leaves hold %d records, manifest says %d",
+			manifest.ErrCorruptManifest, ix.count, m.Count)
+	}
+	for i := 1; i < len(ix.keys); i++ {
+		if ix.keys[i].Less(ix.keys[i-1]) {
+			ix.closeAll()
+			return nil, fmt.Errorf("core: %w: leaf records out of key order", manifest.ErrCorruptManifest)
+		}
+	}
+
+	// Rebuild the in-memory trie and verify it reproduces the persisted
+	// leaf directory exactly — the structure is deterministic, so any
+	// disagreement means the manifest and the leaf file are from
+	// different builds.
+	ix.buildStructure()
+	if len(ix.leaves) != len(m.Trie.Leaves) || ix.nextPage != m.Trie.Pages {
+		ix.closeAll()
+		return nil, fmt.Errorf("core: %w: rebuilt trie has %d leaves over %d pages, manifest says %d over %d",
+			manifest.ErrCorruptManifest, len(ix.leaves), ix.nextPage, len(m.Trie.Leaves), m.Trie.Pages)
+	}
+	for i, l := range ix.leaves {
+		want := m.Trie.Leaves[i]
+		if l.Count != want.Count || l.PageStart != want.PageStart || l.PageNum != want.PageNum {
+			ix.closeAll()
+			return nil, fmt.Errorf("core: %w: rebuilt leaf %d (%d records at page %d+%d) does not match manifest (%d at %d+%d)",
+				manifest.ErrCorruptManifest, i, l.Count, l.PageStart, l.PageNum,
+				want.Count, want.PageStart, want.PageNum)
+		}
+	}
+	return ix, nil
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/coconut-db/coconut/internal/bptree"
 	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
@@ -46,6 +47,9 @@ type TreeIndex struct {
 	positions []int64
 	// simsDirty marks the summary array stale after inserts.
 	simsDirty bool
+	// metaDirty marks the persisted meta (B+-tree directory + manifest)
+	// stale after inserts; Sync/Close rewrite both.
+	metaDirty bool
 	// leafIdx maps a leaf page id to its chain position (lazily rebuilt).
 	leafIdx map[int64]int
 }
@@ -129,16 +133,34 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 	}
 	ix.bt = bt
 	ix.count = bt.Count()
+	// The manifest commit is the durability point: from here on the index
+	// can be reopened with OpenTree without touching the raw dataset.
+	if err := ix.writeManifest(); err != nil {
+		bt.Close()
+		raw.Close()
+		return nil, err
+	}
 	return ix, nil
 }
 
-// OpenTree reopens a previously built (and Saved) Coconut-Tree. The options
-// must name the same FS, Name, RawName, summarizer configuration, and
-// materialization as the build; the tree geometry is restored from the
+// OpenTree reopens a previously built Coconut-Tree from its manifest and
+// persisted B+-tree. The options must name the same FS, Name, RawName,
+// summarizer configuration, and materialization as the build — mismatches
+// fail loudly with manifest.ErrConfigMismatch, and a manifest that
+// disagrees with the B+-tree meta (stale or mixed builds) fails with
+// manifest.ErrCorruptManifest. The tree geometry is restored from the
 // persisted metadata and the in-memory summary array is rebuilt lazily on
-// the first exact query.
+// the first exact query — from the index's own leaves, never from the raw
+// dataset.
 func OpenTree(opt Options) (*TreeIndex, error) {
 	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	m, err := LoadManifest(opt.FS, opt.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkOpenConfig(&opt, m, manifest.VariantTree); err != nil {
 		return nil, err
 	}
 	raw, err := opt.FS.Open(opt.RawName)
@@ -150,7 +172,22 @@ func OpenTree(opt Options) (*TreeIndex, error) {
 		raw.Close()
 		return nil, err
 	}
+	stale, err := checkTreeGeometry(opt, m, bt.Geometry())
+	if err != nil {
+		bt.Close()
+		raw.Close()
+		return nil, err
+	}
 	ix := &TreeIndex{opt: opt, bt: bt, rawFile: raw, count: bt.Count(), simsDirty: true}
+	if stale {
+		// Crash window between meta save and manifest commit: the meta is
+		// newer. Heal by recommitting the manifest from the live tree.
+		if err := ix.writeManifest(); err != nil {
+			bt.Close()
+			raw.Close()
+			return nil, err
+		}
+	}
 	return ix, nil
 }
 
@@ -189,13 +226,46 @@ func (ix *TreeIndex) SizeBytes() int64 {
 	return ix.bt.SizeBytes() + ix.bt.MetaSizeBytes()
 }
 
-// Close releases file handles. It must not race in-flight queries; the
-// handle lock makes it wait for them.
+// Sync persists any metadata made stale by inserts — the B+-tree leaf
+// directory and the index manifest — so a subsequent OpenTree observes the
+// inserted records. A freshly built or unmodified handle syncs for free.
+func (ix *TreeIndex) Sync() error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
+	return ix.syncLocked()
+}
+
+func (ix *TreeIndex) syncLocked() error {
+	if !ix.metaDirty {
+		return nil
+	}
+	// Inserted raw bytes first (leaf records reference their positions),
+	// then the leaf file + meta (bt.Save syncs both), then the manifest.
+	if err := ix.rawFile.Sync(); err != nil {
+		return err
+	}
+	if err := ix.bt.Save(); err != nil {
+		return err
+	}
+	if err := ix.writeManifest(); err != nil {
+		return err
+	}
+	ix.metaDirty = false
+	return nil
+}
+
+// Close persists pending metadata (see Sync) and releases the file
+// handles. It must not race in-flight queries; the handle lock makes it
+// wait for them.
 func (ix *TreeIndex) Close() error {
 	ix.qmu.Lock()
 	defer ix.qmu.Unlock()
+	syncErr := ix.syncLocked()
 	err1 := ix.bt.Close()
 	err2 := ix.rawFile.Close()
+	if syncErr != nil {
+		return syncErr
+	}
 	if err1 != nil {
 		return err1
 	}
@@ -622,6 +692,7 @@ func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
 	}
 	ix.count += int64(len(batch))
 	ix.simsDirty = true
+	ix.metaDirty = true
 	ix.leafIdx = nil
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
@@ -146,7 +147,31 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 
 	// insertBottomUp + CompactSubtree: group by the first w bits (the iSAX
 	// root fan-out), then recursively partition.
-	p := opt.S.Params()
+	ix.buildStructure()
+
+	// Contiguous leaf write-out: one sequential pass over the sorted file.
+	if err := ix.writeLeaves(sortedName); err != nil {
+		ix.closeAll()
+		return nil, err
+	}
+	_ = opt.FS.Remove(sortedName)
+	// The manifest commit is the durability point: from here on the index
+	// can be reopened with OpenTrie without touching the raw dataset.
+	if err := ix.writeManifest(); err != nil {
+		ix.closeAll()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// buildStructure (re)builds the in-memory trie over the sorted key array:
+// top-level groups share their full first-bit-per-segment prefix (the iSAX
+// root fan-out), and each group partitions recursively along interleaved
+// bits. It is a pure function of (keys, LeafCap, summarization), which is
+// what lets OpenTrie reconstruct the exact build-time structure from the
+// persisted leaves and cross-check it against the manifest.
+func (ix *TrieIndex) buildStructure() {
+	p := ix.opt.S.Params()
 	totalBits := p.Segments * p.CardBits
 	lo := 0
 	for lo < len(ix.keys) {
@@ -159,14 +184,6 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 		ix.tr.Root[ix.tr.RootKey(summary.Deinterleave(rootPrefix, p.Segments, p.CardBits))] = n
 		lo = hi
 	}
-
-	// Contiguous leaf write-out: one sequential pass over the sorted file.
-	if err := ix.writeLeaves(sortedName); err != nil {
-		ix.closeAll()
-		return nil, err
-	}
-	_ = opt.FS.Remove(sortedName)
-	return ix, nil
 }
 
 func (ix *TrieIndex) closeAll() {
@@ -262,19 +279,37 @@ func (ix *TrieIndex) writeLeaves(sortedName string) error {
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// The manifest committed after this write-out references these pages;
+	// they must be on stable storage first.
+	return ix.leafFile.Sync()
 }
 
 // readLeafRecords loads one leaf's raw record bytes.
 func (ix *TrieIndex) readLeafRecords(leaf *trie.Node) ([][]byte, error) {
-	buf := make([]byte, leaf.PageNum*ix.pageSize())
-	if n, err := ix.leafFile.ReadAt(buf, leaf.PageStart*ix.pageSize()); n != len(buf) {
+	return ix.readLeafPages(leaf.PageStart, leaf.PageNum)
+}
+
+// readLeafPages loads the records of a leaf given its page extent — the
+// form OpenTrie uses before any trie.Node exists.
+func (ix *TrieIndex) readLeafPages(pageStart, pageNum int64) ([][]byte, error) {
+	buf := make([]byte, pageNum*ix.pageSize())
+	if n, err := ix.leafFile.ReadAt(buf, pageStart*ix.pageSize()); n != len(buf) {
 		if err == nil {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, fmt.Errorf("core: read trie leaf: %w", err)
 	}
 	cnt := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	// The header is not covered by the manifest checksum; bound it by the
+	// leaf's page capacity so a flipped bit fails loudly instead of
+	// walking the decode loop off the end of the buffer.
+	if int64(cnt) > pageNum*int64(ix.opt.LeafCap) {
+		return nil, fmt.Errorf("core: %w: leaf header claims %d records in %d pages of %d",
+			manifest.ErrCorruptManifest, cnt, pageNum, ix.opt.LeafCap)
+	}
 	recSize := ix.opt.recordSize()
 	pageBytes := int(ix.pageSize())
 	out := make([][]byte, 0, cnt)

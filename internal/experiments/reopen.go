@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/lsm"
+)
+
+// Reopen regenerates the durable-lifecycle comparison: for each index
+// variant, the cost of serving the first exact query by re-bulk-loading
+// the index from the raw dataset (the only option before manifests) vs
+// reopening it from the committed manifest. Both paths end with the same
+// exact query, and the answers must match bit for bit — reopening is a
+// pure I/O savings, not an approximation. The LSM index is reopened with
+// several runs on disk so the run-metadata reload (key arrays from run
+// files, never the raw dataset) is what is being measured.
+func Reopen(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "Reopen",
+		Title:  fmt.Sprintf("first exact query, re-bulk-load vs reopen from manifest (N=%d)", sc.BaseCount),
+		Header: []string{"variant", "rebuild+query", "reopen+query", "speedup", "reopen MB read"},
+	}
+	e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+	if err != nil {
+		return nil, err
+	}
+	q := e.queries(1)[0]
+	budget := budgetFor(sc, sc.BaseCount, 0.25)
+
+	type answer struct {
+		pos  int64
+		dist float64
+	}
+	addRow := func(variant string, build, open Cost, built, reopened answer) error {
+		if built != reopened {
+			return fmt.Errorf("reopen %s: answers diverge: built (#%d, %v), reopened (#%d, %v)",
+				variant, built.pos, built.dist, reopened.pos, reopened.dist)
+		}
+		speedup := float64(build.Total()) / float64(open.Total())
+		t.Add(variant, ms(build.Total()), ms(open.Total()),
+			fmt.Sprintf("%.1fx", speedup), mb(open.IO.BytesRead))
+		return nil
+	}
+
+	// Coconut-Tree and Coconut-Trie: build+query vs open+query.
+	opt, err := e.coreOptions(false, budget)
+	if err != nil {
+		return nil, err
+	}
+	{
+		var built, reopened answer
+		buildCost, err := measure(e.fs, func() error {
+			ix, err := core.BuildTree(opt)
+			if err != nil {
+				return err
+			}
+			defer ix.Close()
+			res, err := ix.ExactSearch(q, 1)
+			built = answer{res.Pos, res.Dist}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		openCost, err := measure(e.fs, func() error {
+			ix, err := core.OpenTree(opt)
+			if err != nil {
+				return err
+			}
+			defer ix.Close()
+			res, err := ix.ExactSearch(q, 1)
+			reopened = answer{res.Pos, res.Dist}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow("Coconut-Tree", buildCost, openCost, built, reopened); err != nil {
+			return nil, err
+		}
+	}
+	{
+		var built, reopened answer
+		buildCost, err := measure(e.fs, func() error {
+			ix, err := core.BuildTrie(opt)
+			if err != nil {
+				return err
+			}
+			defer ix.Close()
+			res, err := ix.ExactSearch(q, 0)
+			built = answer{res.Pos, res.Dist}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		openCost, err := measure(e.fs, func() error {
+			ix, err := core.OpenTrie(opt)
+			if err != nil {
+				return err
+			}
+			defer ix.Close()
+			res, err := ix.ExactSearch(q, 0)
+			reopened = answer{res.Pos, res.Dist}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow("Coconut-Trie", buildCost, openCost, built, reopened); err != nil {
+			return nil, err
+		}
+	}
+
+	// Coconut-LSM: bulk load, then stream enough appends to leave several
+	// runs behind, so the reopen reloads real run metadata.
+	lopt := lsm.Options{
+		FS: e.fs, Name: "coconut-lsm", S: opt.S, RawName: rawName,
+		MemBudgetBytes: budget, Workers: sc.Workers, QueryWorkers: sc.QueryWorkers,
+	}
+	extra := dataset.Generate(dataset.NewRandomWalk(), sc.BaseCount/10+1, sc.SeriesLen, sc.Seed+7)
+	var built answer
+	var runs int
+	buildCost, err := measure(e.fs, func() error {
+		ix, err := lsm.Build(lopt)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		batch := len(extra)/4 + 1
+		for lo := 0; lo < len(extra); lo += batch {
+			hi := lo + batch
+			if hi > len(extra) {
+				hi = len(extra)
+			}
+			if err := ix.Append(extra[lo:hi]); err != nil {
+				return err
+			}
+			if err := ix.Flush(); err != nil {
+				return err
+			}
+		}
+		if err := ix.Sync(); err != nil {
+			return err
+		}
+		runs = ix.NumRuns()
+		res, err := ix.ExactSearch(q)
+		built = answer{res.Pos, res.Dist}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var reopened answer
+	openCost, err := measure(e.fs, func() error {
+		ix, err := lsm.Open(lopt)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		if ix.NumRuns() != runs {
+			return fmt.Errorf("reopened %d runs, want %d", ix.NumRuns(), runs)
+		}
+		res, err := ix.ExactSearch(q)
+		reopened = answer{res.Pos, res.Dist}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow(fmt.Sprintf("Coconut-LSM (%d runs)", runs), buildCost, openCost, built, reopened); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

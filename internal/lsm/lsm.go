@@ -31,6 +31,7 @@ import (
 
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
@@ -131,9 +132,10 @@ type Result struct {
 	VisitedRuns    int64
 }
 
-// bulkTier is the tier of the initial bulk-loaded run: effectively maximal,
-// so ingest-time compactions never try to fold it.
-const bulkTier = 1 << 30
+// BulkTier is the tier of the initial bulk-loaded run: effectively
+// maximal, so ingest-time compactions never try to fold it. Exported for
+// consumers of manifest run listings (cmd/coconut info).
+const BulkTier = 1 << 30
 
 // run is one immutable sorted run.
 type run struct {
@@ -201,6 +203,16 @@ type Index struct {
 	// claimed — the formation cursor: group k covers tierSeq [k*Fanout,
 	// (k+1)*Fanout) and is ready once every member has arrived.
 	groupsClaimed map[int]int
+	// committedGroups[t] is the durable cursor: the number of tier-t groups
+	// whose merged output has been swapped in and manifest-committed. Swaps
+	// land strictly in group order (landLocked parks out-of-order finishes),
+	// so this single number fully describes recovery: groups below it are
+	// done and their inputs deleted, groups at or above it are still on
+	// disk as input runs and will re-form after a crash.
+	committedGroups map[int]int
+	// parked[t][k] holds a finished merge of tier-t group k waiting for
+	// groups < k to commit first.
+	parked map[int]map[int]*finishedSwap
 	// inflight counts claimed-but-unfinished compactions; bgErr is the
 	// sticky first background failure.
 	inflight int
@@ -225,7 +237,9 @@ func Build(opt Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{opt: opt, rawFile: raw, groupsClaimed: map[int]int{}}
+	ix := &Index{opt: opt, rawFile: raw,
+		groupsClaimed: map[int]int{}, committedGroups: map[int]int{},
+		parked: map[int]map[int]*finishedSwap{}}
 	ix.cond = sync.NewCond(&ix.mu)
 
 	// Summarize + sort the existing data into run 0 (tier determined by
@@ -233,7 +247,7 @@ func Build(opt Options) (*Index, error) {
 	// in-memory key array is captured by teeing the sort's final pass, so
 	// the run is not read back after being written.
 	name := ix.runName()
-	r := &run{name: name, tier: bulkTier, seq: ix.nextSeq}
+	r := &run{name: name, tier: BulkTier, seq: ix.nextSeq}
 	src, err := core.SummaryRecordReader(opt.S, raw, false, opt.Workers)
 	if err != nil {
 		raw.Close()
@@ -255,22 +269,38 @@ func Build(opt Options) (*Index, error) {
 	}
 	ix.nextSeq++
 	if n > 0 {
+		if err := syncFile(opt.FS, name); err != nil {
+			raw.Close()
+			return nil, err
+		}
 		r.count = int64(len(r.keys))
 		ix.runs = append(ix.runs, r)
 	} else {
 		_ = opt.FS.Remove(name)
 	}
 	ix.count = n
-	if opt.BackgroundCompaction {
-		ix.background = true
-		ix.bgWake = make(chan struct{}, 1)
-		ix.bgQuit = make(chan struct{})
-		for w := 0; w < opt.CompactionWorkers; w++ {
-			ix.bgWG.Add(1)
-			go ix.compactorLoop()
-		}
+	// Durability point: the manifest makes the bulk-loaded run reopenable
+	// with Open without re-reading the dataset.
+	if err := ix.commitManifestLocked(); err != nil {
+		raw.Close()
+		return nil, err
 	}
+	ix.startPool()
 	return ix, nil
+}
+
+// startPool launches the background compaction workers when configured.
+func (ix *Index) startPool() {
+	if !ix.opt.BackgroundCompaction {
+		return
+	}
+	ix.background = true
+	ix.bgWake = make(chan struct{}, 1)
+	ix.bgQuit = make(chan struct{})
+	for w := 0; w < ix.opt.CompactionWorkers; w++ {
+		ix.bgWG.Add(1)
+		go ix.compactorLoop()
+	}
 }
 
 func (ix *Index) runName() string {
@@ -384,6 +414,12 @@ func (ix *Index) flushLocked() error {
 		}
 		return lePosLess(ix.mem[a].pos, ix.mem[b].pos)
 	})
+	// The run's positions point into raw bytes this process appended; they
+	// must reach stable storage before a run (and manifest) references
+	// them, or a power loss could leave a durable index over lost data.
+	if err := ix.rawFile.Sync(); err != nil {
+		return err
+	}
 	name := ix.runName()
 	f, err := ix.opt.FS.Create(name)
 	if err != nil {
@@ -407,6 +443,12 @@ func (ix *Index) flushLocked() error {
 		f.Close()
 		return err
 	}
+	// The manifest commit below will reference this run; its bytes must be
+	// on stable storage first.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
@@ -414,6 +456,13 @@ func (ix *Index) flushLocked() error {
 	ix.runs = append(ix.runs, r)
 	ix.nextSeq++
 	ix.tier0Seq++
+	// Commit the manifest before compacting: the new run is durable the
+	// moment Flush's structural change exists, and every later compaction
+	// swap commits again before deleting its inputs — so the on-disk
+	// manifest always references files that exist.
+	if err := ix.commitManifestLocked(); err != nil {
+		return err
+	}
 	if !ix.background {
 		return ix.compactPendingLocked()
 	}
@@ -459,16 +508,24 @@ type compactJob struct {
 // arrived. When claim is set the group is claimed (runs marked, cursor
 // advanced); otherwise this is a readiness probe for the drain barrier.
 //
+// Claiming is adaptive to write bursts: tiers are scanned lowest first, so
+// tier-0 merge groups always pop ahead of higher tiers, and while the
+// tier-0 backlog exceeds MaxPendingRuns (backpressure territory) claiming
+// defers higher tiers entirely — the whole pool drains the burst before
+// any long high-tier merge is started. The readiness probe never filters:
+// the drain barrier must see every outstanding group.
+//
 // Groups are pure functions of the flush sequence — which runs, in which
 // order, merge into which output name — so the quiesced state is identical
-// whether compactions run inline, on one background worker, or on many.
+// whether compactions run inline, on one background worker, or on many,
+// and scheduling order (burst-deferred or not) never changes it.
 func (ix *Index) findGroupLocked(claim bool) *compactJob {
 	if ix.bgErr != nil {
 		return nil
 	}
 	byTier := map[int][]*run{}
 	for _, r := range ix.runs {
-		if r.tier == bulkTier || r.claimed {
+		if r.tier == BulkTier || r.claimed {
 			continue
 		}
 		byTier[r.tier] = append(byTier[r.tier], r)
@@ -478,7 +535,11 @@ func (ix *Index) findGroupLocked(claim bool) *compactJob {
 		tiers = append(tiers, tier)
 	}
 	sort.Ints(tiers)
+	tier0Only := claim && ix.tier0CountLocked() > ix.opt.MaxPendingRuns
 	for _, tier := range tiers {
+		if tier0Only && tier > 0 {
+			break
+		}
 		k := ix.groupsClaimed[tier]
 		lo := k * ix.opt.Fanout
 		group := make([]*run, 0, ix.opt.Fanout)
@@ -511,6 +572,47 @@ func (ix *Index) findGroupLocked(claim bool) *compactJob {
 	return nil
 }
 
+// finishedSwap is a completed merge whose swap is pending its same-tier
+// predecessors.
+type finishedSwap struct {
+	job    *compactJob
+	newRun *run
+}
+
+// landLocked installs a finished compaction, enforcing that same-tier
+// swaps commit in group order: a merge that finishes before its
+// predecessor parks until the predecessor lands. This keeps the durable
+// committedGroups cursor truthful — a manifest never claims group k is
+// done while group k-1 is still merging, so a crash-reopen re-forms
+// exactly the unfinished groups and no run is ever stranded below the
+// cursor. A parked swap always has an in-flight or parked predecessor, so
+// the drain barrier's inflight count still covers it.
+func (ix *Index) landLocked(job *compactJob, newRun *run) error {
+	tier := job.inTier
+	if ix.parked[tier] == nil {
+		ix.parked[tier] = map[int]*finishedSwap{}
+	}
+	ix.parked[tier][job.group] = &finishedSwap{job: job, newRun: newRun}
+	for {
+		next, ok := ix.parked[tier][ix.committedGroups[tier]]
+		if !ok {
+			return nil
+		}
+		delete(ix.parked[tier], ix.committedGroups[tier])
+		// Advance the cursor BEFORE the swap commits the manifest: the
+		// committed manifest deletes this group's inputs from the run set,
+		// so it must also record the group as done — otherwise a reopen
+		// would wait forever for a window whose runs no longer exist. If
+		// the commit fails the failure is sticky and the durable state
+		// remains the previous manifest, where the cursor and the inputs
+		// are still consistent.
+		ix.committedGroups[tier]++
+		if err := ix.swapLocked(next.job, next.newRun); err != nil {
+			return err
+		}
+	}
+}
+
 // runCompaction merge-sorts a claimed group via the parallel sorter's merge
 // machinery — strictly sequential reads and writes, memory budget and
 // worker pool shared with the bulk-load path. The in-memory key array is
@@ -536,15 +638,34 @@ func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := syncFile(ix.opt.FS, job.outName); err != nil {
+		return nil, err
+	}
 	newRun.count = int64(len(newRun.keys))
 	return newRun, nil
 }
 
+// syncFile fsyncs an already-written file so a manifest may reference it.
+func syncFile(fs storage.FS, name string) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	if cerr := f.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
 // swapLocked installs a finished compaction: the merged run replaces its
 // inputs at the position of the oldest one (ix.runs stays sorted by seq —
-// a group always covers a contiguous age range), and the input files are
-// deleted only after the swap.
-func (ix *Index) swapLocked(job *compactJob, newRun *run) {
+// a group always covers a contiguous age range), the manifest is committed
+// with the new run set, and only then are the input files deleted — so at
+// every instant the on-disk manifest references only files that exist, and
+// a crash between commit and deletion merely leaks orphan inputs the next
+// Open ignores.
+func (ix *Index) swapLocked(job *compactJob, newRun *run) error {
 	dropped := make(map[*run]bool, len(job.inputs))
 	for _, r := range job.inputs {
 		dropped[r] = true
@@ -562,9 +683,20 @@ func (ix *Index) swapLocked(job *compactJob, newRun *run) {
 		keep = append(keep, r)
 	}
 	ix.runs = keep
+	if err := ix.commitManifestLocked(); err != nil {
+		// The merged run is installed in memory, but durably the LAST GOOD
+		// manifest — which references the inputs — stays authoritative, so
+		// the input files must remain on disk for a future reopen. Make
+		// the failure sticky: no later commit may land and supersede them.
+		if ix.bgErr == nil {
+			ix.bgErr = err
+		}
+		return err
+	}
 	for _, r := range job.inputs {
 		_ = ix.opt.FS.Remove(r.name)
 	}
+	return nil
 }
 
 // compactPendingLocked is the synchronous path: claim and merge groups
@@ -586,7 +718,9 @@ func (ix *Index) compactPendingLocked() error {
 			ix.groupsClaimed[job.inTier] = job.group
 			return err
 		}
-		ix.swapLocked(job, newRun)
+		if err := ix.landLocked(job, newRun); err != nil {
+			return err
+		}
 	}
 }
 
@@ -625,6 +759,9 @@ func (ix *Index) compactorLoop() {
 			newRun, err := ix.runCompaction(job)
 			ix.mu.Lock()
 			ix.inflight--
+			if err == nil {
+				err = ix.landLocked(job, newRun)
+			}
 			if err != nil {
 				if ix.bgErr == nil {
 					ix.bgErr = err
@@ -632,8 +769,6 @@ func (ix *Index) compactorLoop() {
 				for _, r := range job.inputs {
 					r.claimed = false
 				}
-			} else {
-				ix.swapLocked(job, newRun)
 			}
 			ix.cond.Broadcast()
 			ix.mu.Unlock()
@@ -699,12 +834,15 @@ func (ix *Index) SizeBytes() int64 {
 	return total
 }
 
-// Close drains in-flight background compactions (surfacing any pending
+// Close flushes the memtable (so every appended series is durable in a
+// run), drains in-flight background compactions (surfacing any pending
 // background error), stops the compaction pool, and releases the raw file
 // handle, waiting for in-flight queries. The drain makes Close a quiescence
-// point: the on-disk runs left behind are deterministic.
+// point: the on-disk runs left behind are deterministic and exactly what
+// the committed manifest describes, so Open reconstructs this index.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
+	flushErr := ix.flushLocked()
 	drainErr := ix.drainLocked()
 	var quit chan struct{}
 	if ix.background {
@@ -719,10 +857,76 @@ func (ix *Index) Close() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	closeErr := ix.rawFile.Close()
+	if flushErr != nil {
+		return flushErr
+	}
 	if drainErr != nil {
 		return drainErr
 	}
 	return closeErr
+}
+
+// tierCursorsLocked snapshots the committed-groups cursor of every tier.
+// Persisting the committed cursor (not the claim cursor) means a crash
+// mid-merge reopens with every unfinished group unclaimed, so each
+// re-forms and re-merges to the same deterministic output — and because
+// landLocked commits same-tier swaps strictly in group order, the cursor
+// can never run ahead of an unfinished group.
+func (ix *Index) tierCursorsLocked() []manifest.TierCursor {
+	tiers := make([]int, 0, len(ix.committedGroups))
+	for tier := range ix.committedGroups {
+		tiers = append(tiers, tier)
+	}
+	sort.Ints(tiers)
+	out := make([]manifest.TierCursor, 0, len(tiers))
+	for _, tier := range tiers {
+		if groups := ix.committedGroups[tier]; groups > 0 {
+			out = append(out, manifest.TierCursor{Tier: tier, Groups: groups})
+		}
+	}
+	return out
+}
+
+// commitManifestLocked atomically commits the manifest describing the
+// current run set and scheduling cursors. Callers hold mu; every commit
+// happens before any input-file deletion it supersedes, so the on-disk
+// manifest only ever references files that exist.
+func (ix *Index) commitManifestLocked() error {
+	p := ix.opt.S.Params()
+	var total int64
+	runs := make([]manifest.RunInfo, len(ix.runs))
+	for i, r := range ix.runs {
+		ri := manifest.RunInfo{
+			Name:    r.name,
+			Tier:    r.tier,
+			TierSeq: r.tierSeq,
+			Seq:     r.seq,
+			Count:   r.count,
+		}
+		if len(r.keys) > 0 {
+			ri.MinKey = r.keys[0]
+			ri.MaxKey = r.keys[len(r.keys)-1]
+		}
+		runs[i] = ri
+		total += r.count
+	}
+	m := &manifest.Manifest{
+		Variant:   manifest.VariantLSM,
+		SeriesLen: p.SeriesLen,
+		Segments:  p.Segments,
+		CardBits:  p.CardBits,
+		RawName:   ix.opt.RawName,
+		Count:     total,
+		LSM: &manifest.LSMLayout{
+			Fanout:   ix.opt.Fanout,
+			NextRun:  ix.nextRun,
+			NextSeq:  ix.nextSeq,
+			Tier0Seq: ix.tier0Seq,
+			Cursors:  ix.tierCursorsLocked(),
+			Runs:     runs,
+		},
+	}
+	return manifest.Commit(ix.opt.FS, ix.opt.Name, m)
 }
 
 func (ix *Index) readRaw(pos int64, dst series.Series) error {

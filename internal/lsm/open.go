@@ -1,0 +1,161 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Open reopens a persisted Coconut-LSM index from its manifest: every
+// run's in-memory key array is reloaded by one sequential pass over the
+// run file itself — the raw dataset is opened for query-time fetches but
+// never read — and the scheduling counters (run naming, seq, tierSeq,
+// compaction-group cursors) are restored so subsequent flushes and
+// compactions continue the exact deterministic sequence a never-closed
+// index would have produced.
+//
+// Configuration mismatches (summarization parameters, dataset file, tier
+// fanout) fail loudly with manifest.ErrConfigMismatch; a run file whose
+// size, record count, key range, or sort order disagrees with the manifest
+// fails with manifest.ErrCorruptManifest.
+func Open(opt Options) (*Index, error) {
+	if opt.FS == nil || opt.Name == "" || opt.S == nil {
+		return nil, errors.New("lsm: open needs FS, Name, and summarizer")
+	}
+	m, err := manifest.Load(opt.FS, opt.Name)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: loading manifest for %q: %w", opt.Name, err)
+	}
+	if err := m.CheckVariant(manifest.VariantLSM); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if m.LSM == nil {
+		return nil, fmt.Errorf("lsm: %w: lsm manifest without lsm layout", manifest.ErrCorruptManifest)
+	}
+	if opt.RawName == "" {
+		opt.RawName = m.RawName
+	}
+	if err := m.CheckParams(opt.S.Params(), false, opt.RawName); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	// The tier fanout shapes the deterministic compaction DAG; the stored
+	// value is authoritative. Adopt it when the caller left it unset, and
+	// fail loudly on an explicit conflict.
+	if opt.Fanout == 0 {
+		opt.Fanout = m.LSM.Fanout
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Fanout != m.LSM.Fanout {
+		return nil, fmt.Errorf("lsm: %w: fanout %d, stored index was built with %d",
+			manifest.ErrConfigMismatch, opt.Fanout, m.LSM.Fanout)
+	}
+
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{opt: opt, rawFile: raw,
+		groupsClaimed: map[int]int{}, committedGroups: map[int]int{},
+		parked: map[int]map[int]*finishedSwap{}}
+	ix.cond = sync.NewCond(&ix.mu)
+
+	lastSeq := int64(-1)
+	for i, ri := range m.LSM.Runs {
+		if ri.Seq < lastSeq {
+			raw.Close()
+			return nil, fmt.Errorf("lsm: %w: runs out of age order", manifest.ErrCorruptManifest)
+		}
+		lastSeq = ri.Seq
+		r, err := loadRun(opt.FS, ri)
+		if err != nil {
+			raw.Close()
+			return nil, fmt.Errorf("lsm: reloading run %d (%s): %w", i, ri.Name, err)
+		}
+		ix.runs = append(ix.runs, r)
+		ix.count += r.count
+	}
+	if ix.count != m.Count {
+		raw.Close()
+		return nil, fmt.Errorf("lsm: %w: runs hold %d records, manifest says %d",
+			manifest.ErrCorruptManifest, ix.count, m.Count)
+	}
+	ix.nextRun = m.LSM.NextRun
+	ix.nextSeq = m.LSM.NextSeq
+	ix.tier0Seq = m.LSM.Tier0Seq
+	for _, c := range m.LSM.Cursors {
+		// Committed groups are also the claim floor: everything below the
+		// durable cursor is done, everything above re-forms and re-merges.
+		ix.groupsClaimed[c.Tier] = c.Groups
+		ix.committedGroups[c.Tier] = c.Groups
+	}
+	ix.startPool()
+	// A crash between a manifest commit and the next can leave compaction
+	// groups ready but unmerged; nudge the pool (or fold them inline) so
+	// the reopened index converges to the same fixpoint.
+	if ix.background {
+		ix.kick()
+	} else {
+		ix.mu.Lock()
+		err := ix.compactPendingLocked()
+		ix.mu.Unlock()
+		if err != nil {
+			ix.rawFile.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// loadRun reloads one immutable run's in-memory key array from its file —
+// a single sequential read — and verifies it against the manifest's
+// integrity bounds: exact byte size, record count, first/last key, and
+// sortedness under the refined (key, encoded position) order.
+func loadRun(fs storage.FS, ri manifest.RunInfo) (*run, error) {
+	f, err := fs.Open(ri.Name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size != ri.Count*recordSize {
+		return nil, fmt.Errorf("%w: run file is %d bytes, manifest says %d records of %d bytes",
+			manifest.ErrCorruptManifest, size, ri.Count, recordSize)
+	}
+	r := &run{name: ri.Name, tier: ri.Tier, count: ri.Count, seq: ri.Seq, tierSeq: ri.TierSeq}
+	r.keys = make([]summary.Key, 0, ri.Count)
+	r.positions = make([]int64, 0, ri.Count)
+	sr := storage.NewSequentialReader(f, 0, size, 0)
+	rec := make([]byte, recordSize)
+	for i := int64(0); i < ri.Count; i++ {
+		if _, err := io.ReadFull(sr, rec); err != nil {
+			return nil, fmt.Errorf("%w: short run file: %v", manifest.ErrCorruptManifest, err)
+		}
+		r.capture(rec)
+	}
+	if len(r.keys) == 0 {
+		return nil, fmt.Errorf("%w: empty run", manifest.ErrCorruptManifest)
+	}
+	if r.keys[0] != ri.MinKey || r.keys[len(r.keys)-1] != ri.MaxKey {
+		return nil, fmt.Errorf("%w: run key range does not match manifest", manifest.ErrCorruptManifest)
+	}
+	if !sort.SliceIsSorted(r.keys, func(a, b int) bool {
+		if c := r.keys[a].Compare(r.keys[b]); c != 0 {
+			return c < 0
+		}
+		return lePosLess(r.positions[a], r.positions[b])
+	}) {
+		return nil, fmt.Errorf("%w: run records out of order", manifest.ErrCorruptManifest)
+	}
+	return r, nil
+}

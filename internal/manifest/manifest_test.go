@@ -1,0 +1,223 @@
+package manifest
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+func sampleTree() *Manifest {
+	return &Manifest{
+		Variant: VariantTree, SeriesLen: 256, Segments: 16, CardBits: 8,
+		Materialized: true, LeafCap: 2000, RawName: "walk.bin", Count: 123456,
+		Tree: &TreeLayout{RecordSize: 2072, KeyLen: 16, LeafCap: 2000,
+			Fanout: 64, FillFactor: 0.9, NumLeaves: 69, NextPage: 69},
+	}
+}
+
+func sampleTrie() *Manifest {
+	return &Manifest{
+		Variant: VariantTrie, SeriesLen: 64, Segments: 8, CardBits: 8,
+		LeafCap: 50, RawName: "conf.bin", Count: 30,
+		Trie: &TrieLayout{Pages: 3, Leaves: []TrieLeaf{
+			{Count: 10, PageStart: 0, PageNum: 1},
+			{Count: 20, PageStart: 1, PageNum: 2},
+		}},
+	}
+}
+
+func sampleLSM() *Manifest {
+	var lo, hi summary.Key
+	hi[0], hi[15] = 0xff, 0x7f
+	return &Manifest{
+		Variant: VariantLSM, SeriesLen: 128, Segments: 16, CardBits: 8,
+		LeafCap: 2000, RawName: "data.bin", Count: 300,
+		LSM: &LSMLayout{
+			Fanout: 4, NextRun: 7, NextSeq: 9, Tier0Seq: 6,
+			Cursors: []TierCursor{{Tier: 0, Groups: 1}, {Tier: 1, Groups: 0}},
+			Runs: []RunInfo{
+				{Name: "ix.run.000000", Tier: 1 << 30, TierSeq: 0, Seq: 0, Count: 200, MinKey: lo, MaxKey: hi},
+				{Name: "ix.cmp.t0.000000", Tier: 1, TierSeq: 0, Seq: 1, Count: 80, MinKey: lo, MaxKey: hi},
+				{Name: "ix.run.000005", Tier: 0, TierSeq: 4, Seq: 5, Count: 20, MinKey: lo, MaxKey: hi},
+			},
+		},
+	}
+}
+
+func samples() []*Manifest {
+	return []*Manifest{sampleTree(), sampleTrie(), sampleLSM()}
+}
+
+// TestRoundTrip: every variant encodes and decodes back to itself.
+func TestRoundTrip(t *testing.T) {
+	for _, m := range samples() {
+		data, err := m.Encode()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Variant, err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Variant, err)
+		}
+		assertEqual(t, m, got)
+	}
+}
+
+func assertEqual(t *testing.T, want, got *Manifest) {
+	t.Helper()
+	if want.Variant != got.Variant || want.SeriesLen != got.SeriesLen ||
+		want.Segments != got.Segments || want.CardBits != got.CardBits ||
+		want.Materialized != got.Materialized || want.LeafCap != got.LeafCap ||
+		want.RawName != got.RawName || want.Count != got.Count {
+		t.Fatalf("header mismatch: want %+v, got %+v", want, got)
+	}
+	switch want.Variant {
+	case VariantTree:
+		if *want.Tree != *got.Tree {
+			t.Fatalf("tree layout mismatch: want %+v, got %+v", *want.Tree, *got.Tree)
+		}
+	case VariantTrie:
+		if want.Trie.Pages != got.Trie.Pages || len(want.Trie.Leaves) != len(got.Trie.Leaves) {
+			t.Fatalf("trie layout mismatch: want %+v, got %+v", want.Trie, got.Trie)
+		}
+		for i := range want.Trie.Leaves {
+			if want.Trie.Leaves[i] != got.Trie.Leaves[i] {
+				t.Fatalf("trie leaf %d mismatch", i)
+			}
+		}
+	case VariantLSM:
+		w, g := want.LSM, got.LSM
+		if w.Fanout != g.Fanout || w.NextRun != g.NextRun || w.NextSeq != g.NextSeq ||
+			w.Tier0Seq != g.Tier0Seq || len(w.Cursors) != len(g.Cursors) || len(w.Runs) != len(g.Runs) {
+			t.Fatalf("lsm layout mismatch: want %+v, got %+v", w, g)
+		}
+		for i := range w.Runs {
+			if w.Runs[i] != g.Runs[i] {
+				t.Fatalf("run %d mismatch: want %+v, got %+v", i, w.Runs[i], g.Runs[i])
+			}
+		}
+	}
+}
+
+// TestCorruptionDetection: the targeted corruption suite the issue asks
+// for — truncation, a flipped checksum-protected byte, a flipped checksum
+// byte, and a stale version must all decode to typed errors, never panic
+// or a silent misread.
+func TestCorruptionDetection(t *testing.T) {
+	for _, m := range samples() {
+		data, err := m.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Truncation at every prefix length.
+		for n := 0; n < len(data); n++ {
+			if _, err := Decode(data[:n]); !errors.Is(err, ErrCorruptManifest) {
+				t.Fatalf("%s: truncation to %d bytes: got %v, want ErrCorruptManifest",
+					m.Variant, n, err)
+			}
+		}
+
+		// Every single-byte flip must be caught — header flips by the
+		// structural checks, payload flips by the CRC.
+		for i := range data {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x40
+			_, err := Decode(mut)
+			if err == nil {
+				t.Fatalf("%s: byte %d flip decoded successfully", m.Variant, i)
+			}
+			if !errors.Is(err, ErrCorruptManifest) && !errors.Is(err, ErrVersionMismatch) {
+				t.Fatalf("%s: byte %d flip: untyped error %v", m.Variant, i, err)
+			}
+		}
+
+		// A stale (future) version is a version mismatch, not corruption.
+		mut := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(mut[4:], version+1)
+		if _, err := Decode(mut); !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("%s: future version: got %v, want ErrVersionMismatch", m.Variant, err)
+		}
+	}
+}
+
+// TestCommitAtomicity: a fault during the temp write must leave the
+// previous manifest untouched and no temporary behind; only the rename
+// publishes the new version.
+func TestCommitAtomicity(t *testing.T) {
+	fs := storage.NewMemFS()
+	first := sampleTree()
+	if err := Commit(fs, "ix", first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleTree()
+	second.Count = 999
+
+	boom := errors.New("boom")
+	fs.SetFault(func(op storage.Op, name string, off int64, n int) error {
+		if op == storage.OpWrite && name == FileName("ix")+".tmp" {
+			return boom
+		}
+		return nil
+	})
+	if err := Commit(fs, "ix", second); !errors.Is(err, boom) {
+		t.Fatalf("commit under fault: got %v, want boom", err)
+	}
+	fs.SetFault(nil)
+	if fs.Exists(FileName("ix") + ".tmp") {
+		t.Fatal("failed commit left a temporary behind")
+	}
+	got, err := Load(fs, "ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != first.Count {
+		t.Fatalf("failed commit clobbered the live manifest: count %d", got.Count)
+	}
+
+	// And a successful commit replaces it atomically.
+	if err := Commit(fs, "ix", second); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(fs, "ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 999 {
+		t.Fatalf("commit did not publish the new manifest: count %d", got.Count)
+	}
+}
+
+// TestCheckParams: the loud config-mismatch detection.
+func TestCheckParams(t *testing.T) {
+	m := sampleTree()
+	ok := summary.Params{SeriesLen: 256, Segments: 16, CardBits: 8}
+	if err := m.CheckParams(ok, true, "walk.bin"); err != nil {
+		t.Fatalf("matching params rejected: %v", err)
+	}
+	bad := []struct {
+		p   summary.Params
+		mat bool
+		raw string
+	}{
+		{summary.Params{SeriesLen: 128, Segments: 16, CardBits: 8}, true, "walk.bin"},
+		{summary.Params{SeriesLen: 256, Segments: 8, CardBits: 8}, true, "walk.bin"},
+		{summary.Params{SeriesLen: 256, Segments: 16, CardBits: 4}, true, "walk.bin"},
+		{ok, false, "walk.bin"},
+		{ok, true, "other.bin"},
+	}
+	for i, b := range bad {
+		if err := m.CheckParams(b.p, b.mat, b.raw); !errors.Is(err, ErrConfigMismatch) {
+			t.Fatalf("case %d: got %v, want ErrConfigMismatch", i, err)
+		}
+	}
+	if err := m.CheckVariant(VariantTree); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckVariant(VariantLSM); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("variant mismatch: got %v", err)
+	}
+}

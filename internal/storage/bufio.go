@@ -148,6 +148,36 @@ func WriteFileAll(fs FS, name string, data []byte) error {
 	return nil
 }
 
+// WriteFileAtomic commits data to name through a write-temp-fsync-rename
+// sequence: the bytes are written to a sibling temporary file, synced to
+// stable storage, and the temporary is renamed over name in one atomic
+// step (OSFS also fsyncs the directory). A power loss at any point leaves
+// either the previous version of name or the complete new one — never a
+// torn write — at the cost of briefly holding both copies on the device.
+func WriteFileAtomic(fs FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteAt(data, 0)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = fs.Remove(tmp)
+		return werr
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // ReadFileAll reads the entire content of name from fs.
 func ReadFileAll(fs FS, name string) ([]byte, error) {
 	f, err := fs.Open(name)

@@ -17,6 +17,7 @@ const (
 	OpRead   Op = "read"
 	OpWrite  Op = "write"
 	OpRemove Op = "remove"
+	OpRename Op = "rename"
 )
 
 // FaultFn is a fault-injection hook: returning a non-nil error makes the
@@ -104,6 +105,25 @@ func (fs *MemFS) Remove(name string) error {
 		return fmt.Errorf("storage: remove %q: %w", name, ErrNotExist)
 	}
 	delete(fs.files, name)
+	return nil
+}
+
+// Rename atomically moves oldname to newname, displacing any existing file
+// at newname — the in-memory equivalent of POSIX rename: the swap happens
+// under the file-system lock, so observers see either the old or the new
+// file set, never an intermediate state.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	if err := fs.checkFault(OpRename, oldname, 0, 0); err != nil {
+		return fmt.Errorf("storage: rename %q: %w", oldname, err)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("storage: rename %q: %w", oldname, ErrNotExist)
+	}
+	fs.files[newname] = d
+	delete(fs.files, oldname)
 	return nil
 }
 
@@ -238,5 +258,8 @@ func (f *memFile) Truncate(size int64) error {
 	f.d.data = grown
 	return nil
 }
+
+// Sync is a no-op: MemFS bytes are always "stable".
+func (f *memFile) Sync() error { return nil }
 
 func (f *memFile) Close() error { return nil }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // OSFS is a VFS backed by a directory on the host file system. It provides
@@ -62,10 +63,52 @@ func (fs *OSFS) Remove(name string) error {
 	return nil
 }
 
+// Rename atomically moves oldname to newname via the OS rename system
+// call, displacing any existing file at newname, then fsyncs the directory
+// so the rename itself is durable. On POSIX file systems rename is atomic,
+// which makes write-temp-then-rename a crash-safe commit.
+func (fs *OSFS) Rename(oldname, newname string) error {
+	if err := os.Rename(fs.path(oldname), fs.path(newname)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("storage: rename %q: %w", oldname, ErrNotExist)
+		}
+		return fmt.Errorf("storage: rename %q: %w", oldname, err)
+	}
+	d, err := os.Open(fs.root)
+	if err != nil {
+		return fmt.Errorf("storage: rename %q: syncing directory: %w", oldname, err)
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if serr != nil {
+		return fmt.Errorf("storage: rename %q: syncing directory: %w", oldname, serr)
+	}
+	return nil
+}
+
 // Exists reports whether the named file exists.
 func (fs *OSFS) Exists(name string) bool {
 	_, err := os.Stat(fs.path(name))
 	return err == nil
+}
+
+// Names returns every regular file in the backing directory, sorted — the
+// same listing MemFS.Names provides, used by the backend parity tests.
+func (fs *OSFS) Names() []string {
+	entries, err := os.ReadDir(fs.root)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 type osFile struct {
@@ -97,5 +140,8 @@ func (f *osFile) Size() (int64, error) {
 }
 
 func (f *osFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+// Sync flushes the file to stable storage via fsync.
+func (f *osFile) Sync() error { return f.f.Sync() }
 
 func (f *osFile) Close() error { return f.f.Close() }

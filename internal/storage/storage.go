@@ -36,6 +36,11 @@ type File interface {
 	Size() (int64, error)
 	// Truncate changes the size of the file.
 	Truncate(size int64) error
+	// Sync flushes the file's contents to stable storage (fsync). The
+	// durable-lifecycle commit protocol syncs every file before a manifest
+	// references it, so a power loss cannot leave a committed manifest
+	// pointing at unwritten bytes.
+	Sync() error
 }
 
 // FS is the virtual file system interface.
@@ -46,6 +51,11 @@ type FS interface {
 	Open(name string) (File, error)
 	// Remove deletes a file.
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname (POSIX rename
+	// semantics: if newname exists it is displaced in one step, and a crash
+	// leaves either the old or the new content under newname, never a mix).
+	// It is the commit primitive for crash-safe metadata updates.
+	Rename(oldname, newname string) error
 	// Exists reports whether a file exists.
 	Exists(name string) bool
 	// Stats returns the accumulated I/O statistics of this file system.

@@ -32,6 +32,19 @@ func main() {
 	jsonFlag := flag.String("json", "", "also write the regenerated tables to this file as JSON")
 	flag.Parse()
 
+	if *workersFlag < 0 {
+		fmt.Fprintf(os.Stderr, "-workers must be at least 1, got %d (0 selects all CPUs)\n", *workersFlag)
+		os.Exit(2)
+	}
+	if *queryWorkersFlag < 0 {
+		fmt.Fprintf(os.Stderr, "-query-workers must be at least 1, got %d (0 selects all CPUs)\n", *queryWorkersFlag)
+		os.Exit(2)
+	}
+	if *compactionWorkersFlag < 0 {
+		fmt.Fprintf(os.Stderr, "-compaction-workers must be at least 1, got %d (0 takes the default)\n", *compactionWorkersFlag)
+		os.Exit(2)
+	}
+
 	var sc experiments.Scale
 	switch *scaleFlag {
 	case "tiny":
@@ -82,6 +95,7 @@ func main() {
 		{"IngestLatency", experiments.IngestLatency},
 		{"DistanceKernels", experiments.DistanceKernels},
 		{"Reopen", experiments.Reopen},
+		{"PartitionScaling", experiments.PartitionScaling},
 	}
 
 	want := map[string]bool{}

@@ -43,6 +43,7 @@ import (
 	"github.com/coconut-db/coconut/internal/experiments"
 	"github.com/coconut-db/coconut/internal/lsm"
 	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/partition"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
@@ -54,6 +55,7 @@ type config struct {
 	variant           string
 	dataFile          string
 	queries           string
+	partitions        int
 	radius            int
 	approx            bool
 	k                 int
@@ -78,6 +80,7 @@ func parseFlags(args []string) (*config, error) {
 	workers := fl.Int("workers", 0, "construction workers (0 = all CPUs)")
 	queryWorkers := fl.Int("query-workers", 0, "per-query fan-out for exact search (0 = all CPUs)")
 	queries := fl.String("queries", "", "query series file (raw format)")
+	partitions := fl.Int("partitions", 1, "key-range partitions to build (1 = single index; open adopts the stored layout)")
 	radius := fl.Int("radius", 1, "approximate-search leaf radius")
 	approx := fl.Bool("approx", false, "run approximate instead of exact search")
 	k := fl.Int("k", 1, "number of nearest neighbors to return")
@@ -87,6 +90,15 @@ func parseFlags(args []string) (*config, error) {
 	compactionWorkers := fl.Int("compaction-workers", 2, "background compaction pool size (stream command)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
+	}
+	if *partitions < 1 {
+		return nil, fmt.Errorf("-partitions must be at least 1, got %d", *partitions)
+	}
+	if *workers < 0 {
+		return nil, fmt.Errorf("-workers must be at least 1, got %d (0 selects all CPUs)", *workers)
+	}
+	if *queryWorkers < 0 {
+		return nil, fmt.Errorf("-query-workers must be at least 1, got %d (0 selects all CPUs)", *queryWorkers)
 	}
 	fs, err := storage.NewOSFS(*dir)
 	if err != nil {
@@ -114,6 +126,7 @@ func parseFlags(args []string) (*config, error) {
 		variant:           *variant,
 		dataFile:          *data,
 		queries:           *queries,
+		partitions:        *partitions,
 		radius:            *radius,
 		approx:            *approx,
 		k:                 *k,
@@ -158,32 +171,71 @@ func runBuild(cfg *config) error {
 		return errors.New("-data is required for build")
 	}
 	start := time.Now()
+	part := ""
+	if cfg.partitions > 1 {
+		part = fmt.Sprintf(" in %d partitions", cfg.partitions)
+	}
 	switch cfg.variant {
 	case "tree":
-		ix, err := core.BuildTree(cfg.opt)
+		var ix interface {
+			Count() int64
+			NumLeaves() int
+			AvgLeafFill() float64
+			SizeBytes() int64
+			Close() error
+		}
+		var err error
+		if cfg.partitions > 1 {
+			ix, err = partition.BuildTree(cfg.opt, cfg.partitions)
+		} else {
+			ix, err = core.BuildTree(cfg.opt)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("built Coconut-Tree %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
-			cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
+		fmt.Printf("built Coconut-Tree %q%s: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
+			cfg.opt.Name, part, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
 			byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
 		return ix.Close()
 	case "trie":
-		ix, err := core.BuildTrie(cfg.opt)
+		var ix interface {
+			Count() int64
+			NumLeaves() int
+			AvgLeafFill() float64
+			SizeBytes() int64
+			Close() error
+		}
+		var err error
+		if cfg.partitions > 1 {
+			ix, err = partition.BuildTrie(cfg.opt, cfg.partitions)
+		} else {
+			ix, err = core.BuildTrie(cfg.opt)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("built Coconut-Trie %q: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
-			cfg.opt.Name, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
+		fmt.Printf("built Coconut-Trie %q%s: %d series, %d leaves (%.0f%% full), %s on disk, in %v\n",
+			cfg.opt.Name, part, ix.Count(), ix.NumLeaves(), ix.AvgLeafFill()*100,
 			byteSize(ix.SizeBytes()), time.Since(start).Round(time.Millisecond))
 		return ix.Close()
 	case "lsm":
-		ix, err := lsm.Build(cfg.lsmOptions())
+		var ix interface {
+			Count() int64
+			NumRuns() int
+			SizeBytes() int64
+			Close() error
+		}
+		var err error
+		if cfg.partitions > 1 {
+			ix, err = partition.BuildLSM(cfg.lsmOptions(), cfg.partitions)
+		} else {
+			ix, err = lsm.Build(cfg.lsmOptions())
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("built Coconut-LSM %q: %d series across %d runs, %s on disk, in %v\n",
-			cfg.opt.Name, ix.Count(), ix.NumRuns(), byteSize(ix.SizeBytes()),
+		fmt.Printf("built Coconut-LSM %q%s: %d series across %d runs, %s on disk, in %v\n",
+			cfg.opt.Name, part, ix.Count(), ix.NumRuns(), byteSize(ix.SizeBytes()),
 			time.Since(start).Round(time.Millisecond))
 		return ix.Close()
 	}
@@ -265,6 +317,15 @@ func runInfo(cfg *config) error {
 			}
 			fmt.Printf("    %-24s tier=%-4s %d records\n", r.Name, tier, r.Count)
 		}
+	case manifest.VariantPartitioned:
+		fmt.Printf("  partitions: %d (%s children)\n", m.Part.Partitions, m.Part.ChildVariant)
+		for _, c := range m.Part.Children {
+			cm, err := core.LoadManifest(cfg.fs, c)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    %-24s %d records\n", c, cm.Count)
+		}
 	}
 	return nil
 }
@@ -332,6 +393,56 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 			},
 			close: ix.Close,
 		}, nil
+	case manifest.VariantPartitioned:
+		switch m.Part.ChildVariant {
+		case manifest.VariantTree:
+			ix, err := partition.OpenTree(opt, 0)
+			if err != nil {
+				return nil, err
+			}
+			return &queryFuncs{
+				seriesLen: seriesLen,
+				exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
+				approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
+				knn: func(q series.Series, k int) ([]core.Neighbor, core.Result, error) {
+					return ix.ExactSearchKNN(q, k, cfg.radius)
+				},
+				close: ix.Close,
+			}, nil
+		case manifest.VariantTrie:
+			ix, err := partition.OpenTrie(opt, 0)
+			if err != nil {
+				return nil, err
+			}
+			return &queryFuncs{
+				seriesLen: seriesLen,
+				exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
+				approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
+				close:     ix.Close,
+			}, nil
+		case manifest.VariantLSM:
+			lopt := cfg.lsmOptions()
+			lopt.S, lopt.RawName = opt.S, opt.RawName
+			ix, err := partition.OpenLSM(lopt, 0)
+			if err != nil {
+				return nil, err
+			}
+			conv := func(r lsm.Result) core.Result {
+				return core.Result{Pos: r.Pos, Dist: r.Dist, VisitedRecords: r.VisitedRecords}
+			}
+			return &queryFuncs{
+				seriesLen: seriesLen,
+				exact: func(q series.Series) (core.Result, error) {
+					r, err := ix.ExactSearch(q)
+					return conv(r), err
+				},
+				approx: func(q series.Series) (core.Result, error) {
+					r, err := ix.ApproxSearch(q)
+					return conv(r), err
+				},
+				close: ix.Close,
+			}, nil
+		}
 	}
 	return nil, fmt.Errorf("unknown stored variant %q", m.Variant)
 }
@@ -411,21 +522,34 @@ func runStream(cfg *config) error {
 		return errors.New("-append is required for stream")
 	}
 	start := time.Now()
-	var ix *lsm.Index
+	var ix interface {
+		Append(batch []series.Series) error
+		Sync() error
+		Count() int64
+		NumRuns() int
+		SizeBytes() int64
+		Close() error
+	}
 	seriesLen := cfg.opt.S.Params().SeriesLen
 	if cfg.fs.Exists(manifest.FileName(cfg.opt.Name)) {
 		opt, m, err := openOptions(cfg)
 		if err != nil {
 			return err
 		}
-		if err := m.CheckVariant(manifest.VariantLSM); err != nil {
-			return err
-		}
 		lopt := cfg.lsmOptions()
 		lopt.S, lopt.RawName = opt.S, opt.RawName
 		seriesLen = opt.S.Params().SeriesLen
-		if ix, err = lsm.Open(lopt); err != nil {
-			return err
+		switch {
+		case m.Variant == manifest.VariantLSM:
+			if ix, err = lsm.Open(lopt); err != nil {
+				return err
+			}
+		case m.Variant == manifest.VariantPartitioned && m.Part.ChildVariant == manifest.VariantLSM:
+			if ix, err = partition.OpenLSM(lopt, 0); err != nil {
+				return err
+			}
+		default:
+			return m.CheckVariant(manifest.VariantLSM)
 		}
 		fmt.Printf("reopened LSM index %q: %d series across %d runs in %v\n",
 			cfg.opt.Name, ix.Count(), ix.NumRuns(), time.Since(start).Round(time.Millisecond))
@@ -434,7 +558,12 @@ func runStream(cfg *config) error {
 			return errors.New("-data is required to bulk-load a new stream index")
 		}
 		var err error
-		if ix, err = lsm.Build(cfg.lsmOptions()); err != nil {
+		if cfg.partitions > 1 {
+			ix, err = partition.BuildLSM(cfg.lsmOptions(), cfg.partitions)
+		} else {
+			ix, err = lsm.Build(cfg.lsmOptions())
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("bulk-loaded LSM index %q: %d series in %v\n",

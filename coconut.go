@@ -93,6 +93,7 @@ import (
 	"github.com/coconut-db/coconut/internal/dataset"
 	"github.com/coconut-db/coconut/internal/lsm"
 	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/partition"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
@@ -211,7 +212,15 @@ type Config struct {
 	// MaxPendingRuns bounds the outstanding tier-0 runs under background
 	// compaction (default 2x the LSM fanout): when flushes outrun the pool,
 	// Insert briefly blocks instead of letting runs pile up unboundedly.
+	// Partitioned indexes divide this budget across partitions.
 	MaxPendingRuns int
+	// Partitions splits the index into N independent key-range partitions
+	// (boundaries chosen from a dataset sample so partitions balance),
+	// built in parallel and queried scatter-gather. 0 or 1 builds a single
+	// index; Open adopts the stored count when 0 and fails with
+	// ErrConfigMismatch when the value conflicts with the stored index.
+	// Search answers are byte-identical for any partition count.
+	Partitions int
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -220,6 +229,9 @@ func (c *Config) toCore() (core.Options, error) {
 	}
 	if c.SeriesLen <= 0 {
 		return core.Options{}, errors.New("coconut: SeriesLen must be positive")
+	}
+	if c.Partitions < 0 {
+		return core.Options{}, fmt.Errorf("coconut: Partitions must be non-negative, got %d", c.Partitions)
 	}
 	p := summary.Params{SeriesLen: c.SeriesLen, Segments: c.Segments, CardBits: c.CardinalityBits}
 	if p.Segments == 0 {
@@ -257,16 +269,34 @@ func (c *Config) toCore() (core.Options, error) {
 // adopts stored parameters into unset Config fields, so reopening needs
 // only Storage and Name. Explicitly set fields are left alone — the Open
 // paths fail loudly (ErrConfigMismatch) if they conflict with the store.
-func (c *Config) mergeStored(want manifest.Variant) error {
+// want is the single-partition variant; a stored PARTITIONED index whose
+// children are that variant is accepted too, reported through the
+// partitioned return (with cfg.Partitions adopted or cross-checked).
+func (c *Config) mergeStored(want manifest.Variant) (partitioned bool, err error) {
 	if c.Storage == nil {
-		return errors.New("coconut: nil Storage")
+		return false, errors.New("coconut: nil Storage")
 	}
 	m, err := core.LoadManifest(c.Storage, c.Name)
 	if err != nil {
-		return err
+		return false, err
 	}
-	if err := m.CheckVariant(want); err != nil {
-		return fmt.Errorf("coconut: %w", err)
+	switch {
+	case m.Variant == want:
+		if c.Partitions >= 2 {
+			return false, fmt.Errorf("coconut: %w: Partitions=%d, stored index is not partitioned",
+				ErrConfigMismatch, c.Partitions)
+		}
+	case m.Variant == manifest.VariantPartitioned && m.Part != nil && m.Part.ChildVariant == want:
+		if c.Partitions != 0 && c.Partitions != m.Part.Partitions {
+			return false, fmt.Errorf("coconut: %w: Partitions=%d, stored index has %d partitions",
+				ErrConfigMismatch, c.Partitions, m.Part.Partitions)
+		}
+		c.Partitions = m.Part.Partitions
+		partitioned = true
+	default:
+		if err := m.CheckVariant(want); err != nil {
+			return false, fmt.Errorf("coconut: %w", err)
+		}
 	}
 	if c.SeriesLen == 0 {
 		c.SeriesLen = m.SeriesLen
@@ -285,7 +315,7 @@ func (c *Config) mergeStored(want manifest.Variant) error {
 	}
 	// Materialization is a property of the stored bytes, not a knob.
 	c.Materialized = m.Materialized
-	return nil
+	return partitioned, nil
 }
 
 // Result is a search answer.
@@ -309,10 +339,27 @@ func fromCore(r core.Result) Result {
 	}
 }
 
+// treeBackend is the surface shared by a single Coconut-Tree and its
+// N-way partitioned composition; both answer byte-identically.
+type treeBackend interface {
+	ExactSearch(q series.Series, radius int) (core.Result, error)
+	ApproxSearch(q series.Series, radius int) (core.Result, error)
+	ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, core.Result, error)
+	InsertBatch(batch []series.Series) error
+	Count() int64
+	NumLeaves() int
+	AvgLeafFill() float64
+	SizeBytes() int64
+	Sync() error
+	Close() error
+}
+
 // TreeIndex is a Coconut-Tree index: balanced, contiguous, densely packed —
-// the paper's recommended design.
+// the paper's recommended design. With Config.Partitions >= 2 it is an
+// N-way key-range-partitioned composition of such trees, built in parallel
+// and queried scatter-gather with byte-identical answers.
 type TreeIndex struct {
-	ix *core.TreeIndex
+	ix treeBackend
 }
 
 // BuildTreeIndex bulk-loads a Coconut-Tree over the dataset.
@@ -320,6 +367,13 @@ func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Partitions >= 2 {
+		ix, err := partition.BuildTree(opt, cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &TreeIndex{ix: ix}, nil
 	}
 	ix, err := core.BuildTree(opt)
 	if err != nil {
@@ -330,15 +384,25 @@ func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
 
 // OpenTreeIndex reopens a Coconut-Tree previously built (and Closed) over
 // cfg.Storage, reconstructing the handle from the persisted manifest and
-// B+-tree without touching the raw dataset. Unset Config fields are
-// adopted from the manifest; conflicting ones fail with ErrConfigMismatch.
+// B+-tree without touching the raw dataset. A partitioned tree reopens
+// through its parent manifest (child by child, never partially). Unset
+// Config fields are adopted from the manifest; conflicting ones fail with
+// ErrConfigMismatch.
 func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
-	if err := cfg.mergeStored(manifest.VariantTree); err != nil {
+	partitioned, err := cfg.mergeStored(manifest.VariantTree)
+	if err != nil {
 		return nil, err
 	}
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if partitioned {
+		ix, err := partition.OpenTree(opt, cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &TreeIndex{ix: ix}, nil
 	}
 	ix, err := core.OpenTree(opt)
 	if err != nil {
@@ -384,11 +448,24 @@ func (t *TreeIndex) Sync() error { return t.ix.Sync() }
 // the index can later be reopened with OpenTreeIndex.
 func (t *TreeIndex) Close() error { return t.ix.Close() }
 
+// trieBackend is the surface shared by a single Coconut-Trie and its
+// N-way partitioned composition.
+type trieBackend interface {
+	ExactSearch(q series.Series, radius int) (core.Result, error)
+	ApproxSearch(q series.Series, radius int) (core.Result, error)
+	Count() int64
+	NumLeaves() int
+	AvgLeafFill() float64
+	SizeBytes() int64
+	Close() error
+}
+
 // TrieIndex is a Coconut-Trie index: prefix-split, bottom-up bulk-loaded,
 // contiguous leaves. Mostly of interest for studying the design space; use
-// TreeIndex for applications.
+// TreeIndex for applications. Config.Partitions >= 2 composes N of them by
+// key range with byte-identical answers.
 type TrieIndex struct {
-	ix *core.TrieIndex
+	ix trieBackend
 }
 
 // BuildTrieIndex bulk-loads a Coconut-Trie over the dataset.
@@ -396,6 +473,13 @@ func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Partitions >= 2 {
+		ix, err := partition.BuildTrie(opt, cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &TrieIndex{ix: ix}, nil
 	}
 	ix, err := core.BuildTrie(opt)
 	if err != nil {
@@ -407,16 +491,25 @@ func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
 // OpenTrieIndex reopens a Coconut-Trie previously built (and Closed) over
 // cfg.Storage: the sorted summary array reloads from the index's own
 // contiguous leaves and the in-memory trie is reconstructed and verified
-// against the manifest — the raw dataset is never read. Unset Config
-// fields are adopted from the manifest; conflicting ones fail with
+// against the manifest — the raw dataset is never read. A partitioned
+// trie reopens through its parent manifest. Unset Config fields are
+// adopted from the manifest; conflicting ones fail with
 // ErrConfigMismatch.
 func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
-	if err := cfg.mergeStored(manifest.VariantTrie); err != nil {
+	partitioned, err := cfg.mergeStored(manifest.VariantTrie)
+	if err != nil {
 		return nil, err
 	}
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
+	}
+	if partitioned {
+		ix, err := partition.OpenTrie(opt, cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &TrieIndex{ix: ix}, nil
 	}
 	ix, err := core.OpenTrie(opt)
 	if err != nil {
@@ -474,13 +567,46 @@ func (t *TreeIndex) SearchKNN(q Series, k int) ([]Neighbor, error) {
 	return out, nil
 }
 
+// lsmBackend is the surface shared by a single Coconut-LSM and its N-way
+// partitioned composition (per-partition memtables and compaction).
+type lsmBackend interface {
+	ExactSearch(q series.Series) (lsm.Result, error)
+	ApproxSearch(q series.Series) (lsm.Result, error)
+	Append(batch []series.Series) error
+	Flush() error
+	Sync() error
+	Count() int64
+	NumRuns() int
+	SizeBytes() int64
+	Close() error
+}
+
 // LSMIndex is Coconut-LSM: the paper's future-work design for update-heavy
 // workloads. Inserts land in a memtable and flush as immutable sorted runs
 // (append-only sequential I/O); tiers compact by merge-sorting —
 // synchronously inside Insert/Flush by default, or on a background pool
 // with Config.BackgroundCompaction. Queries see the memtable and all runs.
+// With Config.Partitions >= 2 inserts route to the owning partition's
+// memtable and each partition compacts independently under the divided
+// global budgets.
 type LSMIndex struct {
-	ix *lsm.Index
+	ix lsmBackend
+}
+
+// toLSM derives the LSM option set from the resolved core options.
+func (c *Config) toLSM(opt core.Options) lsm.Options {
+	return lsm.Options{
+		FS:                   opt.FS,
+		Name:                 opt.Name,
+		S:                    opt.S,
+		RawName:              opt.RawName,
+		MemBudgetBytes:       opt.MemBudgetBytes,
+		Workers:              opt.Workers,
+		QueryWorkers:         opt.QueryWorkers,
+		BackgroundCompaction: c.BackgroundCompaction,
+		CompactionWorkers:    c.CompactionWorkers,
+		MaxPendingRuns:       c.MaxPendingRuns,
+	}
 }
 
 // BuildLSMIndex bulk-loads the initial run over the dataset.
@@ -489,18 +615,14 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := lsm.Build(lsm.Options{
-		FS:                   opt.FS,
-		Name:                 opt.Name,
-		S:                    opt.S,
-		RawName:              opt.RawName,
-		MemBudgetBytes:       opt.MemBudgetBytes,
-		Workers:              opt.Workers,
-		QueryWorkers:         opt.QueryWorkers,
-		BackgroundCompaction: cfg.BackgroundCompaction,
-		CompactionWorkers:    cfg.CompactionWorkers,
-		MaxPendingRuns:       cfg.MaxPendingRuns,
-	})
+	if cfg.Partitions >= 2 {
+		ix, err := partition.BuildLSM(cfg.toLSM(opt), cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &LSMIndex{ix: ix}, nil
+	}
+	ix, err := lsm.Build(cfg.toLSM(opt))
 	if err != nil {
 		return nil, err
 	}
@@ -511,29 +633,27 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 // cfg.Storage: every run's key array reloads from the run file itself —
 // never the raw dataset — and the deterministic compaction cursors are
 // restored, so subsequent Inserts continue the exact flush/compaction
-// sequence a never-closed index would have produced. Unset Config fields
-// are adopted from the manifest; conflicting ones fail with
-// ErrConfigMismatch.
+// sequence a never-closed index would have produced. A partitioned LSM
+// reopens through its parent manifest, each child restoring its own run
+// set. Unset Config fields are adopted from the manifest; conflicting
+// ones fail with ErrConfigMismatch.
 func OpenLSMIndex(cfg Config) (*LSMIndex, error) {
-	if err := cfg.mergeStored(manifest.VariantLSM); err != nil {
+	partitioned, err := cfg.mergeStored(manifest.VariantLSM)
+	if err != nil {
 		return nil, err
 	}
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
 	}
-	ix, err := lsm.Open(lsm.Options{
-		FS:                   opt.FS,
-		Name:                 opt.Name,
-		S:                    opt.S,
-		RawName:              opt.RawName,
-		MemBudgetBytes:       opt.MemBudgetBytes,
-		Workers:              opt.Workers,
-		QueryWorkers:         opt.QueryWorkers,
-		BackgroundCompaction: cfg.BackgroundCompaction,
-		CompactionWorkers:    cfg.CompactionWorkers,
-		MaxPendingRuns:       cfg.MaxPendingRuns,
-	})
+	if partitioned {
+		ix, err := partition.OpenLSM(cfg.toLSM(opt), cfg.Partitions)
+		if err != nil {
+			return nil, err
+		}
+		return &LSMIndex{ix: ix}, nil
+	}
+	ix, err := lsm.Open(cfg.toLSM(opt))
 	if err != nil {
 		return nil, err
 	}

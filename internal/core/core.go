@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
+	"github.com/coconut-db/coconut/internal/window"
 )
 
 // Variant selects the bottom-up index layout.
@@ -63,6 +65,11 @@ type Options struct {
 	S *summary.Summarizer
 	// RawName is the dataset file in raw binary format.
 	RawName string
+	// RecordsName optionally names a pre-summarized (key, position[, raw])
+	// record file to bulk-load from, skipping the summarization pass over
+	// the dataset — the partition scatter path. The raw dataset file named
+	// by RawName is still opened for query-time fetches.
+	RecordsName string
 	// Variant picks Coconut-Tree or Coconut-Trie.
 	Variant Variant
 	// Materialized stores raw series inside the index ("-Full" variants).
@@ -223,8 +230,72 @@ func SummaryRecordReader(s *summary.Summarizer, raw storage.File, materialized b
 	})
 }
 
-// errEmptyIndex is returned when searching an index with no records.
-var errEmptyIndex = errors.New("core: index is empty")
+// ErrEmptyIndex is returned when searching an index with no records.
+var ErrEmptyIndex = errors.New("core: index is empty")
+
+// sortRecords externally sorts the build's record stream into sortedName:
+// from a pre-summarized record file when opt.RecordsName is set (the
+// partition scatter path), otherwise by summarizing the raw dataset.
+func sortRecords(opt *Options, raw storage.File, sortedName string) error {
+	cfg := extsort.Config{
+		FS:         opt.FS,
+		RecordSize: opt.recordSize(),
+		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
+		MemBudget:  opt.MemBudgetBytes,
+		TempPrefix: opt.Name + ".sort",
+		Workers:    opt.Workers,
+	}
+	if opt.RecordsName != "" {
+		rf, err := opt.FS.Open(opt.RecordsName)
+		if err != nil {
+			return err
+		}
+		_, err = extsort.Sort(cfg, storage.NewSequentialReader(rf, 0, -1, 0), sortedName)
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	src, err := SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
+	if err != nil {
+		return err
+	}
+	_, err = extsort.Sort(cfg, src, sortedName)
+	src.Close()
+	return err
+}
+
+// ApproxWindow is one index's contribution to a (possibly cross-partition)
+// approximate search: its window candidates below and at-or-above the
+// query key under the global record order, a fetcher that loads any of
+// them, and the I/O accounting for collecting them. See internal/window
+// for the semantics that make these contributions composable.
+type ApproxWindow struct {
+	// Below and Above are the candidates with key < query key (the source's
+	// trailing half-window) and key >= query key (its leading half-window).
+	Below, Above []window.Cand
+	// Fetch loads one of this source's candidates (serial, per-query).
+	Fetch window.FetchFunc
+	// Leaves counts the leaf pages the window spans (LSM: runs probed).
+	Leaves int64
+}
+
+// leafOfOrd locates the leaf (by directory position) holding the record
+// with global ordinal ord, given each leaf's starting ordinal.
+func leafOfOrd(bases []int, ord int) int {
+	return sort.Search(len(bases), func(i int) bool { return bases[i] > ord }) - 1
+}
+
+// InsertRec is one pre-summarized insert record: the partition layer
+// writes the raw dataset bytes once, assigns global arrival-order
+// positions, and routes these to the owning partition's index.
+type InsertRec struct {
+	// Key is the series' invSAX key; Pos its ordinal in the dataset file.
+	Key summary.Key
+	Pos int64
+	// Raw holds the encoded series bytes; required when materialized.
+	Raw []byte
+}
 
 // readRawAt fetches the series at ordinal pos from a raw dataset file.
 func readRawAt(f storage.File, seriesLen int, pos int64, dst series.Series) error {

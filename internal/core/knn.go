@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -10,87 +9,14 @@ import (
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
-// Neighbor is one k-NN answer.
-type Neighbor struct {
-	// Pos is the series' ordinal in the raw file.
-	Pos int64
-	// Dist is its Euclidean distance to the query. (During the internal
-	// scan phases it holds the SQUARED distance; exactSearchKNN takes the
-	// square roots once, when the final top-k is materialized.)
-	Dist float64
-}
-
-// neighborLess is the total order every k-NN phase uses: ascending distance
-// with ties broken on position. Positions are unique, so the order is
-// strict — which is what makes per-shard heaps reducible to one
-// deterministic answer regardless of how the scan was sharded. The order
-// is the same whether Dist holds squared or Euclidean distances (sqrt is
-// monotone), so the internal squared-space phases and the final converted
-// answers sort identically.
-func neighborLess(a, b Neighbor) bool {
-	if a.Dist != b.Dist {
-		return a.Dist < b.Dist
-	}
-	return a.Pos < b.Pos
-}
-
-// knnHeap is a bounded max-heap under neighborLess, holding the k best
-// candidates so far; the root is the current pruning bound. Positions are
-// deduplicated: the seeding phase and the main scan may both encounter the
-// same record. Because the order is total, the retained set is the exact
-// top-k of everything offered — independent of offer order.
-type knnHeap struct {
-	items []Neighbor
-	k     int
-	seen  map[int64]bool
-}
-
-func (h *knnHeap) Len() int           { return len(h.items) }
-func (h *knnHeap) Less(i, j int) bool { return neighborLess(h.items[j], h.items[i]) }
-func (h *knnHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *knnHeap) Push(x any)         { h.items = append(h.items, x.(Neighbor)) }
-func (h *knnHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
-}
-
-// bound returns the pruning distance: the k-th best so far, or +Inf while
-// fewer than k candidates exist.
-func (h *knnHeap) bound() float64 {
-	if len(h.items) < h.k {
-		return math.Inf(1)
-	}
-	return h.items[0].Dist
-}
-
-// offer considers a candidate, ignoring positions already offered.
-func (h *knnHeap) offer(n Neighbor) {
-	if h.seen == nil {
-		h.seen = make(map[int64]bool)
-	}
-	if h.seen[n.Pos] {
-		return
-	}
-	h.seen[n.Pos] = true
-	if len(h.items) < h.k {
-		heap.Push(h, n)
-		return
-	}
-	if neighborLess(n, h.items[0]) {
-		h.items[0] = n
-		heap.Fix(h, 0)
-	}
-}
-
-// sorted drains the heap into neighborLess order.
-func (h *knnHeap) sorted() []Neighbor {
-	out := append([]Neighbor(nil), h.items...)
-	sort.Slice(out, func(i, j int) bool { return neighborLess(out[i], out[j]) })
-	return out
-}
+// Neighbor is one k-NN answer: a record position and its Euclidean
+// distance to the query. (During the internal scan phases Dist holds the
+// SQUARED distance; the public entry takes the square roots once, when the
+// final top-k is materialized.) The type is the shared shard.Neighbor, so
+// every merge step — per-shard locals, the cross-shard reduce, and the
+// cross-partition gather — ranks under the one (dist, pos) total order
+// shard.KNNHeap implements.
+type Neighbor = shard.Neighbor
 
 // ExactSearchKNN returns the k exact nearest neighbors of q, using the same
 // SIMS machinery as ExactSearch with the k-th-best distance as the pruning
@@ -109,55 +35,12 @@ func (h *knnHeap) sorted() []Neighbor {
 func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	return ix.exactSearchKNN(q, k, radius)
-}
-
-func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
-	stats := Result{Pos: -1, Dist: math.Inf(1)}
-	if k < 1 {
-		k = 1
-	}
-	if ix.count == 0 {
-		return nil, stats, errEmptyIndex
-	}
-	h := &knnHeap{k: k}
-
-	// Seed: scan the target neighborhood, collecting up to k candidates.
-	if err := ix.knnSeed(q, radius, h, &stats); err != nil {
-		return nil, stats, err
-	}
-	if err := ix.ensureSIMS(); err != nil {
-		return nil, stats, err
-	}
-	qPAA, err := ix.opt.S.PAA(q, nil)
+	var kb shard.BSF
+	kb.Init(math.Inf(1))
+	out, stats, err := ix.exactSearchKNN(q, k, radius, &kb)
 	if err != nil {
 		return nil, stats, err
 	}
-	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
-
-	seed := append([]Neighbor(nil), h.items...)
-	var perShard [][]Neighbor
-	if ix.opt.Materialized {
-		perShard, err = ix.knnScanLeaves(q, k, seed, mindists, &stats)
-	} else {
-		perShard, err = ix.knnScanRawFile(q, k, seed, mindists, &stats)
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-	// Reduce in shard order: every shard retained the top-k of (its range ∪
-	// seed) under the total order, so folding the shard heaps recovers the
-	// global top-k exactly.
-	final := &knnHeap{k: k}
-	for _, n := range seed {
-		final.offer(n)
-	}
-	for _, items := range perShard {
-		for _, n := range items {
-			final.offer(n)
-		}
-	}
-	out := final.sorted()
 	// Materialize Euclidean distances: one sqrt per reported neighbor, the
 	// only square roots in the whole k-NN pipeline.
 	for i := range out {
@@ -170,11 +53,72 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int) ([]Neighbor,
 	return out, stats, nil
 }
 
+// ExactSearchKNNShared is the partition-layer entry: the index answers
+// with its OWN exact top-k (self-seeded — the retained set is the true
+// top-k of the local multiset, independent of any seed), while the shared
+// cross-partition bound kb is used for pruning only, with the same strict
+// comparisons as the shared exact bound. Returned neighbors and stats are
+// in SQUARED space.
+func (ix *TreeIndex) ExactSearchKNNShared(q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.exactSearchKNN(q, k, radius, kb)
+}
+
+func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
+	stats := Result{Pos: -1, Dist: math.Inf(1)}
+	if k < 1 {
+		k = 1
+	}
+	if ix.count == 0 {
+		return nil, stats, ErrEmptyIndex
+	}
+	h := shard.NewKNNHeap(k)
+
+	// Seed: scan the target neighborhood, collecting up to k candidates.
+	if err := ix.knnSeed(q, radius, h, &stats); err != nil {
+		return nil, stats, err
+	}
+	kb.Lower(h.Bound())
+	if err := ix.ensureSIMS(); err != nil {
+		return nil, stats, err
+	}
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
+
+	seed := append([]Neighbor(nil), h.Items()...)
+	var perShard [][]Neighbor
+	if ix.opt.Materialized {
+		perShard, err = ix.knnScanLeaves(q, k, seed, mindists, &stats, kb)
+	} else {
+		perShard, err = ix.knnScanRawFile(q, k, seed, mindists, &stats, kb)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	// Reduce in shard order: every shard retained the top-k of (its range ∪
+	// seed) under the total order, so folding the shard heaps recovers the
+	// global top-k exactly.
+	final := shard.NewKNNHeap(k)
+	for _, n := range seed {
+		final.Offer(n)
+	}
+	for _, items := range perShard {
+		for _, n := range items {
+			final.Offer(n)
+		}
+	}
+	return final.Sorted(), stats, nil
+}
+
 // knnScanRawFile is the non-materialized verification scan: candidates that
 // survive the seed bound are remapped to raw-file position order and the
 // position range is partitioned into contiguous shards, each reading its
 // slice of the raw file strictly forward.
-func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result) ([][]Neighbor, error) {
+func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
 	type cand struct {
 		pos int64
 		lb  float64
@@ -189,8 +133,9 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 	for i, lb := range mindists {
 		// Inclusive: a candidate whose lower bound exactly ties the seed
 		// bound can still outrank the seed root under the (dist, pos) total
-		// order, so it must be verified.
-		if lb <= seedBound {
+		// order, so it must be verified. The shared bound prunes strictly
+		// for the same reason.
+		if lb <= seedBound && !kb.Prunes(lb) {
 			cands = append(cands, cand{ix.positions[i], lb})
 		}
 	}
@@ -201,9 +146,9 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 	visited := make([]int64, workers)
 	seriesLen := ix.opt.S.Params().SeriesLen
 	err := shard.Scan(workers, len(cands), func(si int, rr shard.Range, cancelled func() bool) error {
-		lh := &knnHeap{k: k}
+		lh := shard.NewKNNHeap(k)
 		for _, n := range seed {
-			lh.offer(n)
+			lh.Offer(n)
 		}
 		scratch := make(series.Series, seriesLen)
 		for i := rr.Lo; i < rr.Hi; i++ {
@@ -211,8 +156,8 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 				return nil
 			}
 			c := cands[i]
-			if c.lb > lh.bound() {
-				continue // strict: a tie with the bound is still verified
+			if c.lb > lh.Bound() || kb.Prunes(c.lb) {
+				continue // strict: a tie with either bound is still verified
 			}
 			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
 				return err
@@ -226,13 +171,15 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 			// order breaks the tie), and everything abandoned strictly
 			// loses — the evaluated pool's top-k stays invariant across
 			// shard boundaries.
-			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, lh.bound())
+			sq, ok := series.SquaredEDEarlyAbandon(q, scratch, lh.Bound())
 			if !ok {
 				continue
 			}
-			lh.offer(Neighbor{Pos: c.pos, Dist: sq})
+			if lh.Offer(Neighbor{Pos: c.pos, Dist: sq}) {
+				kb.Lower(lh.Bound())
+			}
 		}
-		perShard[si] = lh.items
+		perShard[si] = lh.Items()
 		return nil
 	})
 	for _, v := range visited {
@@ -244,21 +191,15 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 // knnScanLeaves is the materialized verification scan: the leaf directory
 // is partitioned into contiguous shards that skip leaves with no candidate
 // within the shard's bound and scan the rest in place.
-func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result) ([][]Neighbor, error) {
-	dir := ix.bt.LeafDir()
-	bases := make([]int, len(dir))
-	base := 0
-	for i, id := range dir {
-		bases[i] = base
-		base += ix.bt.LeafRecordCount(id)
-	}
+func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
+	dir, bases := ix.leafBases()
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
 	perShard := make([][]Neighbor, workers)
 	visited := make([][2]int64, workers) // records, leaves
 	err := shard.Scan(workers, len(dir), func(si int, rr shard.Range, cancelled func() bool) error {
-		lh := &knnHeap{k: k}
+		lh := shard.NewKNNHeap(k)
 		for _, n := range seed {
-			lh.offer(n)
+			lh.Offer(n)
 		}
 		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
@@ -269,10 +210,10 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 			id := dir[li]
 			cnt := ix.bt.LeafRecordCount(id)
 			lb := bases[li]
-			bound := lh.bound()
+			bound := lh.Bound()
 			any := false
 			for i := lb; i < lb+cnt && i < len(mindists); i++ {
-				if mindists[i] <= bound {
+				if mindists[i] <= bound && !kb.Prunes(mindists[i]) {
 					any = true
 					break
 				}
@@ -286,7 +227,7 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 			}
 			visited[si][1]++
 			for i := 0; i < n; i++ {
-				if lb+i >= len(mindists) || mindists[lb+i] > lh.bound() {
+				if lb+i >= len(mindists) || mindists[lb+i] > lh.Bound() || kb.Prunes(mindists[lb+i]) {
 					continue
 				}
 				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
@@ -295,10 +236,12 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 					return err
 				}
 				visited[si][0]++
-				lh.offer(Neighbor{Pos: pos, Dist: sq})
+				if lh.Offer(Neighbor{Pos: pos, Dist: sq}) {
+					kb.Lower(lh.Bound())
+				}
 			}
 		}
-		perShard[si] = lh.items
+		perShard[si] = lh.Items()
 		return nil
 	})
 	for _, v := range visited {
@@ -309,7 +252,7 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 }
 
 // knnSeed scans the query's target leaf (±radius) into the heap.
-func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Result) error {
+func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *shard.KNNHeap, stats *Result) error {
 	key, err := ix.opt.S.KeyOf(q)
 	if err != nil {
 		return err
@@ -351,7 +294,7 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Res
 			if !ix.opt.Materialized {
 				k, _, _ := decodeRecord(rec, false)
 				sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
-				if ix.opt.S.MinDistSqPAAToSAX(qPAA, sax) > h.bound() {
+				if ix.opt.S.MinDistSqPAAToSAX(qPAA, sax) > h.Bound() {
 					continue
 				}
 			}
@@ -360,7 +303,7 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *knnHeap, stats *Res
 				return err
 			}
 			stats.VisitedRecords++
-			h.offer(Neighbor{Pos: pos, Dist: sq})
+			h.Offer(Neighbor{Pos: pos, Dist: sq})
 		}
 	}
 	return nil

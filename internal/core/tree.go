@@ -14,6 +14,7 @@ import (
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
+	"github.com/coconut-db/coconut/internal/window"
 )
 
 // TreeIndex is Coconut-Tree (Algorithm 3): a balanced B+-tree bulk-loaded
@@ -85,21 +86,7 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 	}
 
 	sortedName := opt.Name + ".sorted"
-	src, err := SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
-	if err != nil {
-		raw.Close()
-		return nil, err
-	}
-	_, err = extsort.Sort(extsort.Config{
-		FS:         opt.FS,
-		RecordSize: opt.recordSize(),
-		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
-		MemBudget:  opt.MemBudgetBytes,
-		TempPrefix: opt.Name + ".sort",
-		Workers:    opt.Workers,
-	}, src, sortedName)
-	src.Close()
-	if err != nil {
+	if err := sortRecords(&opt, raw, sortedName); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("core: sorting summarizations: %w", err)
 	}
@@ -320,11 +307,13 @@ func finishResult(res Result) Result {
 	return res
 }
 
-// ApproxSearch implements Algorithm 4: locate the leaf where the query's
-// invSAX key would reside and examine all leaves within `radius` of it
-// (radius 0 = just the target leaf). Neighboring leaves are physically
-// adjacent thanks to contiguous bulk loading, so the extra reads are
-// sequential. Safe for concurrent use.
+// ApproxSearch implements Algorithm 4 on the sorted summary array: examine
+// the ApproxWindow*(radius+1) records surrounding the query key's insertion
+// position in the global record order — the paper's "all data series in a
+// specific radius from this specific point ... usually a disk page" (§4.3)
+// — fetching them in lower-bound order with early stop. The window depends
+// only on the sorted record multiset, so the answer is identical across
+// layouts (see internal/window). Safe for concurrent use.
 func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
@@ -337,116 +326,131 @@ func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
-		return res, errEmptyIndex
+		return res, ErrEmptyIndex
+	}
+	aw, err := ix.approxWindow(q, radius)
+	if err != nil {
+		return res, err
+	}
+	half := ix.opt.ApproxWindow * (radius + 1) / 2
+	cands := window.Merge(aw.Below, aw.Above, half)
+	pos, sq, visited, err := window.Eval(q, cands, aw.Fetch)
+	res.Pos, res.Dist = pos, sq
+	res.VisitedRecords = visited
+	res.VisitedLeaves = aw.Leaves
+	return res, err
+}
+
+// ApproxWindowCands exposes the tree's window contribution to the
+// partition layer's cross-partition approximate search. The returned
+// fetcher reads index/dataset files after the handle lock is released; the
+// partition layer serializes queries against mutations with its own lock.
+// An empty index contributes nothing.
+func (ix *TreeIndex) ApproxWindowCands(q series.Series, radius int) (ApproxWindow, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	if ix.count == 0 {
+		return ApproxWindow{}, nil
+	}
+	return ix.approxWindow(q, radius)
+}
+
+// approxWindow collects the tree's window contribution: the trailing and
+// leading half-windows around the query key's insertion position in the
+// sorted summary array. Leaves counts the leaf pages the window ordinals
+// span.
+func (ix *TreeIndex) approxWindow(q series.Series, radius int) (ApproxWindow, error) {
+	var aw ApproxWindow
+	if err := ix.ensureSIMS(); err != nil {
+		return aw, err
 	}
 	key, err := ix.opt.S.KeyOf(q)
 	if err != nil {
-		return res, err
+		return aw, err
 	}
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
-		return res, err
+		return aw, err
 	}
-	cur, err := ix.bt.Seek(key[:])
-	if err != nil {
-		return res, err
-	}
-	dir := ix.bt.LeafDir()
-	var center int
-	if cur.Valid() {
-		center = ix.leafIndexOf(cur.LeafID())
-	} else {
-		center = len(dir) - 1 // key past the end: examine the last leaf
-	}
-	lo, hi := center-radius, center+radius
+	p := ix.opt.S.Params()
+	half := ix.opt.ApproxWindow * (radius + 1) / 2
+	ins := sort.Search(len(ix.keys), func(i int) bool { return !ix.keys[i].Less(key) })
+	lo, hi := ins-half, ins+half
 	if lo < 0 {
 		lo = 0
 	}
-	if hi >= len(dir) {
-		hi = len(dir) - 1
+	if hi > len(ix.keys) {
+		hi = len(ix.keys)
 	}
-	p := ix.opt.S.Params()
-	scratch := make(series.Series, p.SeriesLen)
-	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
-
-	if ix.opt.Materialized {
-		// Raw series live in the leaves: scan them directly.
-		for li := lo; li <= hi; li++ {
-			n, err := ix.bt.ReadLeaf(dir[li], buf)
-			if err != nil {
-				return res, err
-			}
-			res.VisitedLeaves++
-			for i := 0; i < n; i++ {
-				rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
-				if err != nil {
-					return res, err
-				}
-				res.VisitedRecords++
-				if sq < res.Dist {
-					res.Dist, res.Pos = sq, pos
-				}
-			}
-		}
-		return res, nil
-	}
-
-	// Non-materialized: every raw fetch is a random I/O into the dataset
-	// file. Per the paper (§4.3), examine the records within a bounded
-	// window of the query's sort position ("usually a disk page" per
-	// radius step), fetching them in lower-bound order with early stop.
-	type cand struct {
-		pos int64
-		lb  float64
-		seq int
-	}
-	var cands []cand
-	insIdx := 0
-	seq := 0
 	saxScratch := make(summary.SAX, p.Segments)
-	for li := lo; li <= hi; li++ {
-		n, err := ix.bt.ReadLeaf(dir[li], buf)
-		if err != nil {
-			return res, err
-		}
-		res.VisitedLeaves++
-		for i := 0; i < n; i++ {
-			rec := buf[i*ix.opt.recordSize() : (i+1)*ix.opt.recordSize()]
-			k, pos, _ := decodeRecord(rec, false)
-			if k.Less(key) {
-				insIdx = seq + 1
-			}
-			sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
-			cands = append(cands, cand{pos, ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), seq})
-			seq++
+	for i := lo; i < hi; i++ {
+		sax := summary.DeinterleaveInto(ix.keys[i], p.CardBits, saxScratch)
+		c := window.Cand{Key: ix.keys[i], Pos: ix.positions[i], LB: ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), Ord: i}
+		if i < ins {
+			aw.Below = append(aw.Below, c)
+		} else {
+			aw.Above = append(aw.Above, c)
 		}
 	}
-	window := ix.opt.ApproxWindow * (radius + 1)
-	kept := cands[:0]
-	for _, c := range cands {
-		if c.seq-insIdx < window/2 && insIdx-c.seq < window/2 {
-			kept = append(kept, c)
+	if lo < hi {
+		_, bases := ix.leafBases()
+		aw.Leaves = int64(leafOfOrd(bases, hi-1) - leafOfOrd(bases, lo) + 1)
+	}
+	aw.Fetch = ix.windowFetch()
+	return aw, nil
+}
+
+// leafBases returns the leaf directory and each leaf's starting ordinal in
+// the global record order.
+func (ix *TreeIndex) leafBases() ([]int64, []int) {
+	dir := ix.bt.LeafDir()
+	bases := make([]int, len(dir))
+	base := 0
+	for i, id := range dir {
+		bases[i] = base
+		base += ix.bt.LeafRecordCount(id)
+	}
+	return dir, bases
+}
+
+// windowFetch returns the per-query window candidate fetcher:
+// non-materialized indexes read the raw dataset (exactly one read per
+// visited record — what Result.VisitedRecords counts), materialized
+// indexes read their own leaves, caching each page for the duration of the
+// query and never touching the raw dataset.
+func (ix *TreeIndex) windowFetch() window.FetchFunc {
+	seriesLen := ix.opt.S.Params().SeriesLen
+	if !ix.opt.Materialized {
+		return func(c window.Cand, dst series.Series) error {
+			return readRawAt(ix.rawFile, seriesLen, c.Pos, dst)
 		}
 	}
-	sort.Slice(kept, func(a, b int) bool { return kept[a].lb < kept[b].lb })
-	for _, c := range kept {
-		if c.lb >= res.Dist {
-			break
+	recSize := ix.opt.recordSize()
+	var (
+		dir   []int64
+		bases []int
+		cache map[int][]byte
+	)
+	return func(c window.Cand, dst series.Series) error {
+		if cache == nil {
+			dir, bases = ix.leafBases()
+			cache = make(map[int][]byte)
 		}
-		if err := readRawAt(ix.rawFile, p.SeriesLen, c.pos, scratch); err != nil {
-			return res, err
-		}
-		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist)
+		li := leafOfOrd(bases, c.Ord)
+		buf, ok := cache[li]
 		if !ok {
-			continue
+			b := make([]byte, ix.opt.LeafCap*recSize)
+			n, err := ix.bt.ReadLeaf(dir[li], b)
+			if err != nil {
+				return err
+			}
+			buf = b[:n*recSize]
+			cache[li] = buf
 		}
-		if sq < res.Dist {
-			res.Dist, res.Pos = sq, c.pos
-		}
+		_, _, raw := decodeRecord(buf[(c.Ord-bases[li])*recSize:(c.Ord-bases[li]+1)*recSize], true)
+		series.DecodeInto(raw, dst)
+		return nil
 	}
-	return res, nil
 }
 
 // ensureSIMS rebuilds the in-memory sorted summary array after updates by
@@ -497,6 +501,15 @@ func (ix *TreeIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	return ix.exactVerify(q, res, &bound)
+}
+
+// exactVerify is the SIMS verification phase: res carries the (squared)
+// seed answer, bound the shared best-so-far — the query's own when
+// monolithic, the cross-partition bound when scatter-gathered.
+func (ix *TreeIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	if err := ix.ensureSIMS(); err != nil {
 		return res, err
 	}
@@ -507,9 +520,24 @@ func (ix *TreeIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	if ix.opt.Materialized {
-		return ix.simsOverLeaves(q, mindists, res)
+		return ix.simsOverLeaves(q, mindists, res, bound)
 	}
-	return ix.simsOverRawFile(q, mindists, res)
+	return ix.simsOverRawFile(q, mindists, res, bound)
+}
+
+// ExactVerify runs only the verification phase against an externally
+// computed seed (the partition layer's global approximate answer) and a
+// shared cross-partition bound. The returned Result is in SQUARED space
+// and its counters cover this index's verification work only; an index
+// that finds no improvement returns the seed unchanged.
+func (ix *TreeIndex) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	res := Result{Pos: seedPos, Dist: seedSq}
+	if ix.count == 0 {
+		return res, nil
+	}
+	return ix.exactVerify(q, res, bound)
 }
 
 // applyScan folds a ScanReduce result into res.
@@ -528,17 +556,9 @@ func applyScan(res Result, pos int64, dist float64, vr, vl int64) Result {
 // keeps the reduced answer identical to a serial scan. mindists and all
 // Dist fields are squared distances; the pruning logic is oblivious to the
 // space because sqrt preserves order.
-func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
-	dir := ix.bt.LeafDir()
-	bases := make([]int, len(dir))
-	base := 0
-	for i, id := range dir {
-		bases[i] = base
-		base += ix.bt.LeafRecordCount(id)
-	}
+func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
+	dir, bases := ix.leafBases()
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
-	var bound shard.BSF
-	bound.Init(res.Dist)
 	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(dir), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
@@ -590,22 +610,20 @@ func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 // position range is partitioned into contiguous shards (each still reads
 // its slice of the raw file in ascending position order). A shared
 // best-so-far bound lets shards prune each other's candidates.
-func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Result) (Result, error) {
+func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	type cand struct {
 		pos int64
 		lb  float64
 	}
 	cands := make([]cand, 0, 256)
 	for i, lb := range mindists {
-		if lb < res.Dist {
+		if lb < res.Dist && !bound.Prunes(lb) {
 			cands = append(cands, cand{ix.positions[i], lb})
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 	seriesLen := ix.opt.S.Params().SeriesLen
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	var bound shard.BSF
-	bound.Init(res.Dist)
 	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, seriesLen)
 		for i := r.Lo; i < r.Hi; i++ {
@@ -656,12 +674,7 @@ func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
 	}
 	pos := end / sz
 
-	type pending struct {
-		key summary.Key
-		pos int64
-		raw []byte
-	}
-	pend := make([]pending, 0, len(batch))
+	recs := make([]InsertRec, 0, len(batch))
 	encoded := make([]byte, 0, sz)
 	for _, s := range batch {
 		if len(s) != p.SeriesLen {
@@ -675,22 +688,40 @@ func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
 		if err != nil {
 			return err
 		}
-		pd := pending{key: key, pos: pos}
+		rec := InsertRec{Key: key, Pos: pos}
 		if ix.opt.Materialized {
-			pd.raw = append([]byte(nil), encoded...)
+			rec.Raw = append([]byte(nil), encoded...)
 		}
-		pend = append(pend, pd)
+		recs = append(recs, rec)
 		pos++
 	}
-	sort.Slice(pend, func(a, b int) bool { return pend[a].key.Less(pend[b].key) })
+	return ix.insertRecsLocked(recs)
+}
+
+// InsertRecords inserts pre-summarized records whose raw bytes were
+// already written to the shared dataset file by the partition layer.
+func (ix *TreeIndex) InsertRecords(recs []InsertRec) error {
+	ix.qmu.Lock()
+	defer ix.qmu.Unlock()
+	return ix.insertRecsLocked(append([]InsertRec(nil), recs...))
+}
+
+// insertRecsLocked is the shared tail of the insert paths: sort the batch
+// by key to concentrate leaf touches, insert top-down with median splits,
+// and mark the lazily rebuilt state stale. recs is sorted in place.
+func (ix *TreeIndex) insertRecsLocked(recs []InsertRec) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Key.Less(recs[b].Key) })
 	rec := make([]byte, ix.opt.recordSize())
-	for _, pd := range pend {
-		encodeRecord(rec, pd.key, pd.pos, pd.raw)
+	for _, r := range recs {
+		encodeRecord(rec, r.Key, r.Pos, r.Raw)
 		if err := ix.bt.Insert(rec); err != nil {
 			return err
 		}
 	}
-	ix.count += int64(len(batch))
+	ix.count += int64(len(recs))
 	ix.simsDirty = true
 	ix.metaDirty = true
 	ix.leafIdx = nil

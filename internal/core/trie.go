@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -15,6 +14,7 @@ import (
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 	"github.com/coconut-db/coconut/internal/trie"
+	"github.com/coconut-db/coconut/internal/window"
 )
 
 // TrieIndex is Coconut-Trie (Algorithm 2): an iSAX-style prefix trie built
@@ -91,21 +91,7 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 	}
 
 	sortedName := opt.Name + ".sorted"
-	src, err := SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
-	if err != nil {
-		raw.Close()
-		return nil, err
-	}
-	_, err = extsort.Sort(extsort.Config{
-		FS:         opt.FS,
-		RecordSize: opt.recordSize(),
-		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
-		MemBudget:  opt.MemBudgetBytes,
-		TempPrefix: opt.Name + ".sort",
-		Workers:    opt.Workers,
-	}, src, sortedName)
-	src.Close()
-	if err != nil {
+	if err := sortRecords(&opt, raw, sortedName); err != nil {
 		raw.Close()
 		return nil, fmt.Errorf("core: sorting summarizations: %w", err)
 	}
@@ -389,10 +375,11 @@ func (ix *TrieIndex) recordSquaredDistance(q series.Series, rec []byte, scratch 
 	return pos, sq, nil
 }
 
-// ApproxSearch descends to the most promising leaf and examines it plus
-// `radius` neighbors on each side (neighbors are physically adjacent —
-// contiguity is Coconut-Trie's improvement over the state of the art).
-// Safe for concurrent use.
+// ApproxSearch examines the ApproxWindow*(radius+1) records surrounding
+// the query key's insertion position in the sorted summary array, fetching
+// them in lower-bound order with early stop. The window depends only on
+// the sorted record multiset, so the answer is identical across layouts
+// (see internal/window). Safe for concurrent use.
 func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
@@ -405,109 +392,101 @@ func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
 func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
-		return res, errEmptyIndex
+		return res, ErrEmptyIndex
 	}
-	word, err := ix.opt.S.SAXOf(q)
+	aw, err := ix.approxWindow(q, radius)
 	if err != nil {
 		return res, err
+	}
+	half := ix.opt.ApproxWindow * (radius + 1) / 2
+	cands := window.Merge(aw.Below, aw.Above, half)
+	pos, sq, visited, err := window.Eval(q, cands, aw.Fetch)
+	res.Pos, res.Dist = pos, sq
+	res.VisitedRecords = visited
+	res.VisitedLeaves = aw.Leaves
+	return res, err
+}
+
+// ApproxWindowCands exposes the trie's window contribution to the
+// partition layer's cross-partition approximate search (see
+// TreeIndex.ApproxWindowCands for the locking contract). An empty index
+// contributes nothing.
+func (ix *TrieIndex) ApproxWindowCands(q series.Series, radius int) (ApproxWindow, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	if ix.count == 0 {
+		return ApproxWindow{}, nil
+	}
+	return ix.approxWindow(q, radius)
+}
+
+// approxWindow collects the trie's window contribution: the trailing and
+// leading half-windows around the query key's insertion position in the
+// sorted summary array. Leaves counts the leaf pages the window ordinals
+// span.
+func (ix *TrieIndex) approxWindow(q series.Series, radius int) (ApproxWindow, error) {
+	var aw ApproxWindow
+	key, err := ix.opt.S.KeyOf(q)
+	if err != nil {
+		return aw, err
 	}
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
-		return res, err
+		return aw, err
 	}
-	leaf := ix.tr.Descend(word)
-	if leaf == nil || !leaf.Leaf {
-		leaf = ix.tr.BestLeaf(qPAA)
-	}
-	if leaf == nil {
-		return res, errors.New("core: no leaf found")
-	}
-	center := ix.leafOrd[leaf]
-	lo, hi := center-radius, center+radius
+	p := ix.opt.S.Params()
+	half := ix.opt.ApproxWindow * (radius + 1) / 2
+	ins := sort.Search(len(ix.keys), func(i int) bool { return !ix.keys[i].Less(key) })
+	lo, hi := ins-half, ins+half
 	if lo < 0 {
 		lo = 0
 	}
-	if hi >= len(ix.leaves) {
-		hi = len(ix.leaves) - 1
+	if hi > len(ix.keys) {
+		hi = len(ix.keys)
 	}
-	p := ix.opt.S.Params()
-	scratch := make(series.Series, p.SeriesLen)
-
-	if ix.opt.Materialized {
-		for li := lo; li <= hi; li++ {
-			recs, err := ix.readLeafRecords(ix.leaves[li])
-			if err != nil {
-				return res, err
-			}
-			res.VisitedLeaves++
-			for _, rec := range recs {
-				pos, sq, err := ix.recordSquaredDistance(q, rec, scratch)
-				if err != nil {
-					return res, err
-				}
-				res.VisitedRecords++
-				if sq < res.Dist {
-					res.Dist, res.Pos = sq, pos
-				}
-			}
-		}
-		return res, nil
-	}
-
-	// Non-materialized: bounded window around the query's sort position,
-	// fetched in lower-bound order with early stop (see
-	// TreeIndex.ApproxSearch).
-	qKey := ix.opt.S.KeyFromSAX(word)
-	type cand struct {
-		pos int64
-		lb  float64
-		seq int
-	}
-	var cands []cand
-	insIdx := 0
-	seq := 0
 	saxScratch := make(summary.SAX, p.Segments)
-	for li := lo; li <= hi; li++ {
-		recs, err := ix.readLeafRecords(ix.leaves[li])
-		if err != nil {
-			return res, err
-		}
-		res.VisitedLeaves++
-		for _, rec := range recs {
-			k, pos, _ := decodeRecord(rec, false)
-			if k.Less(qKey) {
-				insIdx = seq + 1
-			}
-			sax := summary.DeinterleaveInto(k, p.CardBits, saxScratch)
-			cands = append(cands, cand{pos, ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), seq})
-			seq++
+	for i := lo; i < hi; i++ {
+		sax := summary.DeinterleaveInto(ix.keys[i], p.CardBits, saxScratch)
+		c := window.Cand{Key: ix.keys[i], Pos: ix.positions[i], LB: ix.opt.S.MinDistSqPAAToSAX(qPAA, sax), Ord: i}
+		if i < ins {
+			aw.Below = append(aw.Below, c)
+		} else {
+			aw.Above = append(aw.Above, c)
 		}
 	}
-	window := ix.opt.ApproxWindow * (radius + 1)
-	kept := cands[:0]
-	for _, c := range cands {
-		if c.seq-insIdx < window/2 && insIdx-c.seq < window/2 {
-			kept = append(kept, c)
+	if lo < hi {
+		aw.Leaves = int64(leafOfOrd(ix.leafStart, hi-1) - leafOfOrd(ix.leafStart, lo) + 1)
+	}
+	aw.Fetch = ix.windowFetch()
+	return aw, nil
+}
+
+// windowFetch returns the per-query window candidate fetcher (see
+// TreeIndex.windowFetch): raw-dataset reads when non-materialized, cached
+// leaf-page reads when materialized.
+func (ix *TrieIndex) windowFetch() window.FetchFunc {
+	seriesLen := ix.opt.S.Params().SeriesLen
+	if !ix.opt.Materialized {
+		return func(c window.Cand, dst series.Series) error {
+			return readRawAt(ix.rawFile, seriesLen, c.Pos, dst)
 		}
 	}
-	sort.Slice(kept, func(a, b int) bool { return kept[a].lb < kept[b].lb })
-	for _, c := range kept {
-		if c.lb >= res.Dist {
-			break
-		}
-		if err := readRawAt(ix.rawFile, p.SeriesLen, c.pos, scratch); err != nil {
-			return res, err
-		}
-		res.VisitedRecords++
-		sq, ok := series.SquaredEDEarlyAbandon(q, scratch, res.Dist)
+	cache := make(map[int][][]byte)
+	return func(c window.Cand, dst series.Series) error {
+		li := leafOfOrd(ix.leafStart, c.Ord)
+		recs, ok := cache[li]
 		if !ok {
-			continue
+			var err error
+			recs, err = ix.readLeafRecords(ix.leaves[li])
+			if err != nil {
+				return err
+			}
+			cache[li] = recs
 		}
-		if sq < res.Dist {
-			res.Dist, res.Pos = sq, c.pos
-		}
+		_, _, raw := decodeRecord(recs[c.Ord-ix.leafStart[li]], true)
+		series.DecodeInto(raw, dst)
+		return nil
 	}
-	return res, nil
 }
 
 // ExactSearch runs the SIMS algorithm over the trie: approximate seed,
@@ -529,6 +508,14 @@ func (ix *TrieIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	return ix.exactVerify(q, res, &bound)
+}
+
+// exactVerify is the SIMS verification phase with an externally supplied
+// shared bound (see TreeIndex.exactVerify).
+func (ix *TrieIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return res, err
@@ -536,18 +523,30 @@ func (ix *TrieIndex) exactSearch(q series.Series, radius int) (Result, error) {
 	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	if ix.opt.Materialized {
-		return ix.simsOverLeaves(q, mindists, res)
+		return ix.simsOverLeaves(q, mindists, res, bound)
 	}
-	return ix.simsOverRawFile(q, mindists, res)
+	return ix.simsOverRawFile(q, mindists, res, bound)
+}
+
+// ExactVerify runs only the verification phase against an externally
+// computed seed and a shared cross-partition bound (see
+// TreeIndex.ExactVerify). Returned Result is SQUARED, counters cover this
+// index's verification work only.
+func (ix *TrieIndex) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	res := Result{Pos: seedPos, Dist: seedSq}
+	if ix.count == 0 {
+		return res, nil
+	}
+	return ix.exactVerify(q, res, bound)
 }
 
 // simsOverLeaves shards the materialized verification scan over contiguous
 // runs of trie leaves; see TreeIndex.simsOverLeaves for the determinism
 // contract.
-func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Result) (Result, error) {
+func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(ix.leaves))
-	var bound shard.BSF
-	bound.Init(res.Dist)
 	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(ix.leaves), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 		for li := r.Lo; li < r.Hi; li++ {
@@ -594,22 +593,20 @@ func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 
 // simsOverRawFile shards the non-materialized position-ordered raw scan;
 // see TreeIndex.simsOverRawFile.
-func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Result) (Result, error) {
+func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	type cand struct {
 		pos int64
 		lb  float64
 	}
 	cands := make([]cand, 0, 256)
 	for i, lb := range mindists {
-		if lb < res.Dist {
+		if lb < res.Dist && !bound.Prunes(lb) {
 			cands = append(cands, cand{ix.positions[i], lb})
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 	seriesLen := ix.opt.S.Params().SeriesLen
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	var bound shard.BSF
-	bound.Init(res.Dist)
 	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, seriesLen)
 		for i := r.Lo; i < r.Hi; i++ {

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/partition"
+	"github.com/coconut-db/coconut/internal/series"
+)
+
+// partitionSweep is the partition counts the scaling figure measures; the
+// first entry is the single-index baseline.
+var partitionSweep = []int{1, 2, 4, 8}
+
+// PartitionScaling regenerates the partitioned-architecture figure: the
+// same dataset is indexed as one Coconut-Tree and as N key-range
+// partitions, then serves the same exact and approximate workload
+// through the scatter-gather layer. Every answer must match the
+// single-index baseline bit for bit — partitioning is a layout change,
+// never an approximation — so the figure doubles as a conformance check.
+//
+// The worker budget is pinned to the partition count (P partitions build
+// and query with P workers, children serial inside), making partitioning
+// itself the parallelism axis: the P=1 row is the fully serial baseline,
+// and the CPU-speedup columns show what the parallel partition builds and
+// the scatter-gather fan-out buy. The simulated HDD is a serial device,
+// so its Total column instead exposes the architecture's I/O overhead
+// (scatter pass, per-partition files).
+func PartitionScaling(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "PartitionScaling",
+		Title: fmt.Sprintf("N-way partitioned Coconut-Tree vs single index (N=%d, workers = partitions)",
+			sc.BaseCount),
+		Header: []string{"partitions", "build", "build cpu", "cpu speedup", "exact avg/q", "exact cpu/q", "cpu speedup", "approx avg/q"},
+	}
+
+	type answer struct {
+		pos  int64
+		dist float64
+	}
+	type backend interface {
+		ExactSearch(q series.Series, radius int) (core.Result, error)
+		ApproxSearch(q series.Series, radius int) (core.Result, error)
+		Close() error
+	}
+
+	var base []answer
+	var baseBuild, baseExact time.Duration
+	for _, parts := range partitionSweep {
+		e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+		if err != nil {
+			return nil, err
+		}
+		queries := e.queries(sc.Queries)
+		opt, err := e.coreOptions(false, budgetFor(sc, sc.BaseCount, 0.25))
+		if err != nil {
+			return nil, err
+		}
+		opt.Workers, opt.QueryWorkers = parts, parts
+		var ix backend
+		buildCost, err := measure(e.fs, func() error {
+			var err error
+			if parts == 1 {
+				ix, err = core.BuildTree(opt)
+			} else {
+				ix, err = partition.BuildTree(opt, parts)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("partitions=%d: build: %w", parts, err)
+		}
+		var answers []answer
+		exactCost, err := measure(e.fs, func() error {
+			for _, q := range queries {
+				res, err := ix.ExactSearch(q, 1)
+				if err != nil {
+					return err
+				}
+				answers = append(answers, answer{res.Pos, res.Dist})
+			}
+			return nil
+		})
+		var approxCost Cost
+		if err == nil {
+			approxCost, err = measure(e.fs, func() error {
+				for _, q := range queries {
+					res, aerr := ix.ApproxSearch(q, 1)
+					if aerr != nil {
+						return aerr
+					}
+					answers = append(answers, answer{res.Pos, res.Dist})
+				}
+				return nil
+			})
+		}
+		if cerr := ix.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("partitions=%d: %w", parts, err)
+		}
+		if parts == 1 {
+			base = answers
+			baseBuild, baseExact = buildCost.Wall, exactCost.Wall
+		} else {
+			for i := range base {
+				if base[i] != answers[i] {
+					return nil, fmt.Errorf("partitions=%d: answer %d diverges from baseline: got (#%d, %v), want (#%d, %v)",
+						parts, i, answers[i].pos, answers[i].dist, base[i].pos, base[i].dist)
+				}
+			}
+		}
+		perQ := func(d time.Duration) time.Duration { return d / time.Duration(len(queries)) }
+		// The simulated HDD is a serial device, so parallel builds and
+		// scatter-gather queries only show their scaling in CPU wall time.
+		speedup := func(b, cur time.Duration) string {
+			if parts == 1 {
+				return "1.0x"
+			}
+			return fmt.Sprintf("%.1fx", float64(b)/float64(cur))
+		}
+		t.Add(fmt.Sprintf("%d", parts),
+			ms(buildCost.Total()), ms(buildCost.Wall), speedup(baseBuild, buildCost.Wall),
+			ms(perQ(exactCost.Total())), ms(perQ(exactCost.Wall)), speedup(baseExact, exactCost.Wall),
+			ms(perQ(approxCost.Total())))
+	}
+	return t, nil
+}

@@ -36,6 +36,7 @@ import (
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
+	"github.com/coconut-db/coconut/internal/window"
 )
 
 // recordSize is the fixed run record size: key + position.
@@ -51,6 +52,10 @@ type Options struct {
 	S *summary.Summarizer
 	// RawName is the dataset file (grows on Append).
 	RawName string
+	// RecordsName optionally names a pre-summarized (key, position) record
+	// file for the initial bulk load, skipping the summarization pass — the
+	// partition scatter path. The raw dataset still backs query fetches.
+	RecordsName string
 	// MemBudgetBytes bounds the memtable (and the initial bulk sort).
 	MemBudgetBytes int64
 	// Fanout is the tiering factor: a tier holding Fanout runs compacts
@@ -248,12 +253,7 @@ func Build(opt Options) (*Index, error) {
 	// the run is not read back after being written.
 	name := ix.runName()
 	r := &run{name: name, tier: BulkTier, seq: ix.nextSeq}
-	src, err := core.SummaryRecordReader(opt.S, raw, false, opt.Workers)
-	if err != nil {
-		raw.Close()
-		return nil, err
-	}
-	n, err := extsort.Sort(extsort.Config{
+	cfg := extsort.Config{
 		FS:         opt.FS,
 		RecordSize: recordSize,
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
@@ -261,11 +261,34 @@ func Build(opt Options) (*Index, error) {
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
 		Tee:        r.capture,
-	}, src, name)
-	src.Close()
-	if err != nil {
-		raw.Close()
-		return nil, err
+	}
+	var n int64
+	if opt.RecordsName != "" {
+		rf, err := opt.FS.Open(opt.RecordsName)
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+		n, err = extsort.Sort(cfg, storage.NewSequentialReader(rf, 0, -1, 0), name)
+		if cerr := rf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+	} else {
+		src, err := core.SummaryRecordReader(opt.S, raw, false, opt.Workers)
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+		n, err = extsort.Sort(cfg, src, name)
+		src.Close()
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
 	}
 	ix.nextSeq++
 	if n > 0 {
@@ -371,6 +394,37 @@ func (ix *Index) Append(batch []series.Series) error {
 				return fmt.Errorf("lsm: raw file size %d not aligned", end)
 			}
 			pos = end / sz
+		}
+	}
+	return nil
+}
+
+// Entry is one pre-summarized record routed to this index by the
+// partition layer; its raw series bytes are already in the shared dataset
+// file at ordinal Pos.
+type Entry struct {
+	Key summary.Key
+	Pos int64
+}
+
+// AppendEntries adds pre-summarized records whose raw bytes were already
+// written through the partition layer's own handle on the same dataset
+// file. Only the memtable grows here (flushing when full); flushLocked's
+// rawFile.Sync covers the partition-written bytes because both handles
+// name the same file.
+func (ix *Index) AppendEntries(entries []Entry) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.bgErr != nil {
+		return ix.bgErr
+	}
+	for _, e := range entries {
+		ix.mem = append(ix.mem, memEntry{key: e.Key, pos: e.Pos})
+		ix.count++
+		if len(ix.mem) >= ix.memCapacity() {
+			if err := ix.flushLocked(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -943,11 +997,13 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 	return nil
 }
 
-// ApproxSearch examines, in every run, a window of records around where the
-// query's key would sort (plus the whole memtable), and returns the best.
-// Runs are independent sorted files, so multi-run queries probe them
-// concurrently across QueryWorkers; per-run results merge in run order, so
-// the answer is identical to a serial probe. Safe for concurrent use.
+// ApproxSearch merges, from every run and the memtable, a half-window of
+// records on each side of where the query's key sorts, and evaluates the
+// merged window best-lower-bound-first with early abandoning (see
+// internal/window). The merged window is a pure function of the record
+// multiset, so the answer is identical for any run layout — before or
+// after flushes and compactions, and across partition counts. Safe for
+// concurrent use.
 func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -964,82 +1020,97 @@ func (ix *Index) approxLocked(q series.Series) (Result, error) {
 	if ix.count == 0 {
 		return res, errors.New("lsm: index is empty")
 	}
-	key, err := ix.opt.S.KeyOf(q)
+	below, above, runs, err := ix.windowCandsLocked(q)
 	if err != nil {
 		return res, err
 	}
-	// try fetches one raw position into scratch and folds its squared
-	// distance into out — shared by the run probes and the memtable pass
-	// below.
-	try := func(pos int64, scratch series.Series, out *Result) error {
-		if err := ix.readRaw(pos, scratch); err != nil {
-			return err
-		}
-		out.VisitedRecords++
-		sq, err := series.SquaredED(q, scratch)
-		if err != nil {
-			return err
-		}
-		if sq < out.Dist {
-			out.Dist, out.Pos = sq, pos
-		}
-		return nil
+	res.VisitedRuns = runs
+	cands := window.Merge(below, above, ix.opt.Window/2)
+	pos, sq, visited, err := window.Eval(q, cands, func(c window.Cand, dst series.Series) error {
+		return ix.readRaw(c.Pos, dst)
+	})
+	res.Pos, res.Dist, res.VisitedRecords = pos, sq, visited
+	return res, err
+}
+
+// windowCandsLocked collects this index's window contributions: for each
+// run a binary search finds where the query key sorts and the surrounding
+// half-windows become candidates; the (unsorted) memtable's records are
+// classified per side, ordered, and trimmed to the half-window. Per-source
+// trimming never changes the merged global window — a record in the global
+// trailing half is necessarily in its own source's trailing half. Lower
+// bounds come from one per-query MinDist table shared by every source.
+func (ix *Index) windowCandsLocked(q series.Series) (below, above []window.Cand, runs int64, err error) {
+	key, err := ix.opt.S.KeyOf(q)
+	if err != nil {
+		return nil, nil, 0, err
 	}
-	// probe scans one run's window with a private scratch buffer.
-	probe := func(r *run, scratch series.Series, out *Result) error {
+	qPAA, err := ix.opt.S.PAA(q, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tbl := ix.opt.S.BuildMinDistTable(qPAA, nil)
+	half := ix.opt.Window / 2
+	for _, r := range ix.runs {
 		idx := sort.Search(len(r.keys), func(i int) bool { return !r.keys[i].Less(key) })
-		lo, hi := idx-ix.opt.Window/2, idx+ix.opt.Window/2
+		lo, hi := idx-half, idx+half
 		if lo < 0 {
 			lo = 0
 		}
 		if hi > len(r.keys) {
 			hi = len(r.keys)
 		}
-		out.VisitedRuns++
-		for i := lo; i < hi; i++ {
-			if err := try(r.positions[i], scratch, out); err != nil {
-				return err
-			}
+		for i := lo; i < idx; i++ {
+			below = append(below, window.Cand{Key: r.keys[i], Pos: r.positions[i], LB: tbl.Key(r.keys[i])})
 		}
-		return nil
-	}
-	// Seed every slot up front: a shard cancelled by a sibling's error never
-	// reaches its runs, and a zero-value Result would read as a real answer
-	// at position 0.
-	outs := make([]Result, len(ix.runs))
-	for i := range outs {
-		outs[i] = Result{Pos: -1, Dist: math.Inf(1)}
-	}
-	err = shard.Scan(shard.Resolve(ix.opt.QueryWorkers, len(ix.runs)), len(ix.runs),
-		func(si int, rr shard.Range, cancelled func() bool) error {
-			scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
-			for i := rr.Lo; i < rr.Hi; i++ {
-				if cancelled() {
-					return nil
-				}
-				if err := probe(ix.runs[i], scratch, &outs[i]); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	for _, o := range outs {
-		res.VisitedRuns += o.VisitedRuns
-		res.VisitedRecords += o.VisitedRecords
-		if o.Pos >= 0 && o.Dist < res.Dist {
-			res.Dist, res.Pos = o.Dist, o.Pos
+		for i := idx; i < hi; i++ {
+			above = append(above, window.Cand{Key: r.keys[i], Pos: r.positions[i], LB: tbl.Key(r.keys[i])})
 		}
+		runs++
 	}
-	if err != nil {
-		return res, err
-	}
-	scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
+	var mb, ma []window.Cand
 	for _, e := range ix.mem {
-		if err := try(e.pos, scratch, &res); err != nil {
-			return res, err
+		c := window.Cand{Key: e.key, Pos: e.pos, LB: tbl.Key(e.key)}
+		if e.key.Less(key) {
+			mb = append(mb, c)
+		} else {
+			ma = append(ma, c)
 		}
 	}
-	return res, nil
+	sort.Slice(mb, func(i, j int) bool { return window.Less(mb[i], mb[j]) })
+	sort.Slice(ma, func(i, j int) bool { return window.Less(ma[i], ma[j]) })
+	if len(mb) > half {
+		mb = mb[len(mb)-half:]
+	}
+	if len(ma) > half {
+		ma = ma[:half]
+	}
+	below = append(below, mb...)
+	above = append(above, ma...)
+	return below, above, runs, nil
+}
+
+// ApproxWindowCands is the partition-layer entry: this index's window
+// contributions for q, to be merged with the other partitions' before one
+// global evaluation. An empty index contributes nothing (no error — the
+// cross-partition window may still be non-empty). The Leaves counter
+// reports runs probed.
+func (ix *Index) ApproxWindowCands(q series.Series) (core.ApproxWindow, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var aw core.ApproxWindow
+	if ix.count == 0 {
+		return aw, nil
+	}
+	below, above, runs, err := ix.windowCandsLocked(q)
+	if err != nil {
+		return aw, err
+	}
+	aw.Below, aw.Above, aw.Leaves = below, above, runs
+	aw.Fetch = func(c window.Cand, dst series.Series) error {
+		return ix.readRaw(c.Pos, dst)
+	}
+	return aw, nil
 }
 
 // ExactSearch is SIMS over the union of all runs' in-memory key arrays and
@@ -1063,6 +1134,29 @@ func (ix *Index) exactLocked(q series.Series) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	var bound shard.BSF
+	bound.Init(res.Dist)
+	return ix.exactVerifyLocked(q, res, &bound)
+}
+
+// ExactVerify is the partition-layer entry: verify the seed (seedPos,
+// seedSq — SQUARED) against this index's records, pruning with the shared
+// cross-partition bound, and return the best in squared space with
+// verify-phase counters only. An empty index returns the seed unchanged.
+func (ix *Index) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	res := Result{Pos: seedPos, Dist: seedSq}
+	if ix.count == 0 {
+		return res, nil
+	}
+	return ix.exactVerifyLocked(q, res, bound)
+}
+
+// exactVerifyLocked is the verification phase: lower-bound every record,
+// then scan the surviving candidates in position order, tightening res
+// (and the shared bound) as closer records are found.
+func (ix *Index) exactVerifyLocked(q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return res, err
@@ -1096,7 +1190,7 @@ func (ix *Index) exactLocked(q series.Series) (Result, error) {
 				tbl.KeysInto(r.keys, lbs, innerWorkers)
 				var cs []cand
 				for j, lb := range lbs {
-					if lb < res.Dist {
+					if lb < res.Dist && !bound.Prunes(lb) {
 						cs = append(cs, cand{r.positions[j], lb})
 					}
 				}
@@ -1114,15 +1208,13 @@ func (ix *Index) exactLocked(q series.Series) (Result, error) {
 	for _, e := range ix.mem {
 		// Key-direct table evaluation: no SAX word is materialized for the
 		// memtable pass either.
-		if lb := tbl.Key(e.key); lb < res.Dist {
+		if lb := tbl.Key(e.key); lb < res.Dist && !bound.Prunes(lb) {
 			cands = append(cands, cand{e.pos, lb})
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	var bound shard.BSF
-	bound.Init(res.Dist)
 	pos, dist, vr, _, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(rr shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, p.SeriesLen)
 		for i := rr.Lo; i < rr.Hi; i++ {

@@ -45,11 +45,13 @@ var (
 // Variant names the index layout a manifest describes.
 type Variant string
 
-// The three persistable index variants.
+// The three persistable index variants, plus the partitioned parent
+// layout that composes N of them.
 const (
-	VariantTree Variant = "tree"
-	VariantTrie Variant = "trie"
-	VariantLSM  Variant = "lsm"
+	VariantTree        Variant = "tree"
+	VariantTrie        Variant = "trie"
+	VariantLSM         Variant = "lsm"
+	VariantPartitioned Variant = "partitioned"
 )
 
 const (
@@ -124,6 +126,26 @@ type LSMLayout struct {
 	Runs     []RunInfo
 }
 
+// PartitionLayout is the parent manifest of a partitioned index: N child
+// indexes of one variant, split by invSAX key range. Boundaries holds the
+// N-1 split keys (strictly increasing); child i owns keys in
+// [Boundaries[i-1], Boundaries[i]), with the first and last ranges open
+// below and above. Children names the per-partition child indexes, each
+// with its own manifest committed by the PR 5 machinery BEFORE the parent
+// is committed — so a parent manifest that exists always references fully
+// durable children.
+//
+// The parent is immutable after the build: mutable state (LSM run sets,
+// insert counts) lives in the child manifests, which stay authoritative,
+// so the parent's Count is the count at build time only and reopen does
+// not cross-check it against the children.
+type PartitionLayout struct {
+	ChildVariant Variant
+	Partitions   int
+	Boundaries   []summary.Key
+	Children     []string
+}
+
 // Manifest is the versioned description of one persisted index.
 type Manifest struct {
 	// Variant selects which layout section is populated.
@@ -146,6 +168,7 @@ type Manifest struct {
 	Tree *TreeLayout
 	Trie *TrieLayout
 	LSM  *LSMLayout
+	Part *PartitionLayout
 }
 
 // FileName returns the manifest file for an index name prefix.
@@ -153,7 +176,9 @@ func FileName(indexName string) string { return indexName + ".manifest" }
 
 // Encode serializes m with the version header and CRC32-C trailer.
 func (m *Manifest) Encode() ([]byte, error) {
-	if m.Variant != VariantTree && m.Variant != VariantTrie && m.Variant != VariantLSM {
+	switch m.Variant {
+	case VariantTree, VariantTrie, VariantLSM, VariantPartitioned:
+	default:
 		return nil, fmt.Errorf("manifest: unknown variant %q", m.Variant)
 	}
 	// The decoder caps string fields at maxStringLen; refuse to commit a
@@ -226,6 +251,28 @@ func (m *Manifest) Encode() ([]byte, error) {
 			w.u64(uint64(r.Count))
 			w.bytes(r.MinKey[:])
 			w.bytes(r.MaxKey[:])
+		}
+	case VariantPartitioned:
+		if m.Part == nil {
+			return nil, errors.New("manifest: partitioned variant without partition layout")
+		}
+		p := m.Part
+		if len(p.Boundaries) != p.Partitions-1 || len(p.Children) != p.Partitions {
+			return nil, fmt.Errorf("manifest: partition layout shape mismatch (%d partitions, %d boundaries, %d children)",
+				p.Partitions, len(p.Boundaries), len(p.Children))
+		}
+		for _, c := range p.Children {
+			if len(c) > maxStringLen {
+				return nil, fmt.Errorf("manifest: child name is %d bytes, max %d", len(c), maxStringLen)
+			}
+		}
+		w.str(string(p.ChildVariant))
+		w.u32(uint32(p.Partitions))
+		for _, b := range p.Boundaries {
+			w.bytes(b[:])
+		}
+		for _, c := range p.Children {
+			w.str(c)
 		}
 	}
 	payload := w.buf
@@ -326,6 +373,25 @@ func Decode(data []byte) (*Manifest, error) {
 			l.Runs = append(l.Runs, ri)
 		}
 		m.LSM = l
+	case VariantPartitioned:
+		p := &PartitionLayout{}
+		p.ChildVariant = Variant(r.str())
+		p.Partitions = int(r.u32())
+		// Boundaries and child names are sized by Partitions; bound the
+		// claimed count by what the payload could possibly hold (a key per
+		// boundary plus a length-prefixed name per child).
+		if r.err == nil && (p.Partitions < 2 || p.Partitions-1 > r.remaining()/(summary.KeySize+4)) {
+			return nil, fmt.Errorf("%w: impossible partition count %d", ErrCorruptManifest, p.Partitions)
+		}
+		for i := 0; i < p.Partitions-1 && r.err == nil; i++ {
+			var k summary.Key
+			r.keyInto(&k)
+			p.Boundaries = append(p.Boundaries, k)
+		}
+		for i := 0; i < p.Partitions && r.err == nil; i++ {
+			p.Children = append(p.Children, r.str())
+		}
+		m.Part = p
 	default:
 		if r.err == nil {
 			return nil, fmt.Errorf("%w: unknown variant %q", ErrCorruptManifest, m.Variant)
@@ -383,6 +449,30 @@ func (m *Manifest) validate() error {
 		if total != m.Count {
 			return fmt.Errorf("%w: run counts sum to %d, manifest count is %d",
 				ErrCorruptManifest, total, m.Count)
+		}
+	}
+	if m.Part != nil {
+		p := m.Part
+		switch p.ChildVariant {
+		case VariantTree, VariantTrie, VariantLSM:
+		default:
+			return fmt.Errorf("%w: impossible child variant %q", ErrCorruptManifest, p.ChildVariant)
+		}
+		if p.Partitions < 2 || len(p.Boundaries) != p.Partitions-1 || len(p.Children) != p.Partitions {
+			return fmt.Errorf("%w: partition layout shape mismatch (%d partitions, %d boundaries, %d children)",
+				ErrCorruptManifest, p.Partitions, len(p.Boundaries), len(p.Children))
+		}
+		for i := 1; i < len(p.Boundaries); i++ {
+			if p.Boundaries[i].Compare(p.Boundaries[i-1]) <= 0 {
+				return fmt.Errorf("%w: partition boundaries out of order", ErrCorruptManifest)
+			}
+		}
+		seen := make(map[string]bool, len(p.Children))
+		for _, c := range p.Children {
+			if c == "" || seen[c] {
+				return fmt.Errorf("%w: empty or duplicate partition child name", ErrCorruptManifest)
+			}
+			seen[c] = true
 		}
 	}
 	return nil

@@ -1,0 +1,324 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// LSM is an N-way partitioned Coconut-LSM: streaming writes route to the
+// owning partition's memtable, each partition compacts independently
+// (background pools and pending-run budgets divided from the global
+// configuration), and queries scatter-gather like the other variants.
+type LSM struct {
+	s       *summary.Summarizer
+	workers int
+	bounds  []summary.Key
+	kids    []*lsm.Index
+	g       gather
+
+	// mu serializes appends: raw-file writes assign global arrival-order
+	// positions before entries route to their owning partition's memtable.
+	mu      sync.Mutex
+	rawFile storage.File
+}
+
+// lsmChildOptions derives partition i's options: the global memory,
+// compaction-worker, and pending-run budgets divide across partitions so
+// aggregate resource use matches the unpartitioned configuration.
+func lsmChildOptions(opt lsm.Options, i, parts, buildPar int) lsm.Options {
+	co := opt
+	co.Name = childName(opt.Name, i)
+	co.MemBudgetBytes = divideBudget(opt.MemBudgetBytes, parts, 64<<10)
+	co.Workers = shard.PerGroup(opt.Workers, buildPar)
+	co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, parts)
+	co.CompactionWorkers = shard.PerGroup(opt.CompactionWorkers, parts)
+	if opt.MaxPendingRuns > 0 {
+		co.MaxPendingRuns = opt.MaxPendingRuns / parts
+		if co.MaxPendingRuns < 1 {
+			co.MaxPendingRuns = 1
+		}
+	}
+	return co
+}
+
+// BuildLSM bulk-loads an N-way partitioned Coconut-LSM: one summarization
+// pass scatters (key, position) records by key range, each partition sorts
+// its records into an initial run in parallel, and the parent manifest
+// commits last.
+func BuildLSM(opt lsm.Options, parts int) (*LSM, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 partitions, got %d", parts)
+	}
+	bounds, err := selectBoundaries(opt.FS, opt.RawName, opt.S, parts)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	src, err := core.SummaryRecordReader(opt.S, raw, false, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	names := make([]string, parts)
+	children := make([]string, parts)
+	for i := range names {
+		names[i] = scatterName(opt.Name, i)
+		children[i] = childName(opt.Name, i)
+	}
+	total, err := scatter(opt.FS, src, summary.KeySize+8, bounds, names)
+	src.Close()
+	raw.Close()
+	if err != nil {
+		removeScatter(opt.FS, opt.Name, parts)
+		return nil, err
+	}
+	kids := make([]*lsm.Index, parts)
+	buildPar := shard.Resolve(opt.Workers, parts)
+	err = shard.FanOut(buildPar, parts, func(i int, cancelled func() bool) error {
+		if cancelled() {
+			return nil
+		}
+		co := lsmChildOptions(opt, i, parts, buildPar)
+		co.RecordsName = scatterName(opt.Name, i)
+		ix, err := lsm.Build(co)
+		if err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+		kids[i] = ix
+		return nil
+	})
+	removeScatter(opt.FS, opt.Name, parts)
+	if err == nil {
+		err = commitParent(opt.FS, opt.Name, manifest.VariantLSM, opt.S,
+			false, 0, opt.RawName, total, bounds, children)
+	}
+	var rawFile storage.File
+	if err == nil {
+		rawFile, err = opt.FS.Open(opt.RawName)
+	}
+	if err != nil {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+		return nil, err
+	}
+	return newLSM(opt, bounds, kids, rawFile), nil
+}
+
+// OpenLSM reopens a partitioned Coconut-LSM from its parent manifest; each
+// child restores its own run set and compaction cursors from its child
+// manifest (which stays authoritative for mutable state). parts == 0
+// adopts the stored partition count; a non-zero mismatch fails with
+// manifest.ErrConfigMismatch. Never returns a partial handle.
+func OpenLSM(opt lsm.Options, parts int) (*LSM, error) {
+	m, err := loadParent(opt.FS, opt.Name, manifest.VariantLSM, parts,
+		opt.S.Params(), false, opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Part.Partitions
+	kids := make([]*lsm.Index, n)
+	closeKids := func() {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+	}
+	for i, cname := range m.Part.Children {
+		co := lsmChildOptions(opt, i, n, n)
+		co.Name = cname
+		ix, err := lsm.Open(co)
+		if err != nil {
+			closeKids()
+			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
+		}
+		kids[i] = ix
+	}
+	rawFile, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		closeKids()
+		return nil, err
+	}
+	return newLSM(opt, m.Part.Boundaries, kids, rawFile), nil
+}
+
+func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile storage.File) *LSM {
+	l := &LSM{
+		s:       opt.S,
+		workers: opt.Workers,
+		bounds:  bounds,
+		kids:    kids,
+		rawFile: rawFile,
+	}
+	sks := make([]searcher, len(kids))
+	for i, k := range kids {
+		sks[i] = lsmChild{k}
+	}
+	w := opt.Window
+	if w <= 0 {
+		w = 100
+	}
+	l.g = gather{
+		kids:    sks,
+		workers: opt.QueryWorkers,
+		half:    func(int) int { return w / 2 },
+	}
+	return l
+}
+
+type lsmChild struct{ ix *lsm.Index }
+
+func (c lsmChild) count() int64 { return c.ix.Count() }
+func (c lsmChild) approxWindow(q series.Series, _ int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCands(q)
+}
+func (c lsmChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	r, err := c.ix.ExactVerify(q, seedPos, seedSq, bound)
+	return core.Result{Pos: r.Pos, Dist: r.Dist, VisitedRecords: r.VisitedRecords, VisitedLeaves: r.VisitedRuns}, err
+}
+
+// fromCore maps the gather result back into the LSM result shape (runs
+// probed travel in the VisitedLeaves slot internally).
+func lsmResult(r core.Result) lsm.Result {
+	return lsm.Result{Pos: r.Pos, Dist: r.Dist, VisitedRecords: r.VisitedRecords, VisitedRuns: r.VisitedLeaves}
+}
+
+// ExactSearch returns the exact nearest neighbor of q via scatter-gather
+// SIMS, identical to a single-partition index's answer.
+func (l *LSM) ExactSearch(q series.Series) (lsm.Result, error) {
+	r, err := l.g.exactSq(q, 0)
+	r.Dist = math.Sqrt(r.Dist)
+	return lsmResult(r), err
+}
+
+// ApproxSearch returns the approximate nearest neighbor from the merged
+// cross-partition window.
+func (l *LSM) ApproxSearch(q series.Series) (lsm.Result, error) {
+	r, err := l.g.approxSq(q, 0)
+	r.Dist = math.Sqrt(r.Dist)
+	return lsmResult(r), err
+}
+
+// Append adds new series: raw bytes go to the shared dataset file under
+// the partition-level lock (assigning global arrival-order positions),
+// then each record routes to its owning partition's memtable — partitions
+// flush and compact independently.
+func (l *LSM) Append(batch []series.Series) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	p := l.s.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	end, err := l.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if end%sz != 0 {
+		return fmt.Errorf("partition: raw file size %d not aligned", end)
+	}
+	for _, s := range batch {
+		if len(s) != p.SeriesLen {
+			return fmt.Errorf("partition: series length %d, want %d", len(s), p.SeriesLen)
+		}
+	}
+	keys, err := l.s.KeysOf(batch, l.workers)
+	if err != nil {
+		return err
+	}
+	pos := end / sz
+	perChild := make([][]lsm.Entry, len(l.kids))
+	enc := make([]byte, 0, sz)
+	for i := range batch {
+		enc = series.AppendEncode(enc[:0], batch[i])
+		if _, err := l.rawFile.WriteAt(enc, pos*sz); err != nil {
+			return err
+		}
+		pi := route(l.bounds, keys[i])
+		perChild[pi] = append(perChild[pi], lsm.Entry{Key: keys[i], Pos: pos})
+		pos++
+	}
+	return shard.FanOut(shard.Resolve(l.workers, len(l.kids)), len(l.kids),
+		func(i int, cancelled func() bool) error {
+			if cancelled() || len(perChild[i]) == 0 {
+				return nil
+			}
+			return l.kids[i].AppendEntries(perChild[i])
+		})
+}
+
+// Flush forces every partition's memtable to disk.
+func (l *LSM) Flush() error {
+	for _, k := range l.kids {
+		if err := k.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes every partition and drains its background compactions —
+// the global quiescence barrier.
+func (l *LSM) Sync() error {
+	for _, k := range l.kids {
+		if err := k.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions returns the partition count.
+func (l *LSM) Partitions() int { return len(l.kids) }
+
+// Count returns the number of indexed series across all partitions.
+func (l *LSM) Count() int64 { return l.g.total() }
+
+// NumRuns returns the total on-disk run count across partitions.
+func (l *LSM) NumRuns() int {
+	n := 0
+	for _, k := range l.kids {
+		n += k.NumRuns()
+	}
+	return n
+}
+
+// SizeBytes returns the total size of all runs across partitions.
+func (l *LSM) SizeBytes() int64 {
+	var n int64
+	for _, k := range l.kids {
+		n += k.SizeBytes()
+	}
+	return n
+}
+
+// Close flushes, drains, and closes every partition, then releases the
+// raw handle.
+func (l *LSM) Close() error {
+	var first error
+	for _, k := range l.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := l.rawFile.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,380 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+// Tree is an N-way partitioned Coconut-Tree: N independent core.TreeIndex
+// children split by invSAX key range, answering byte-identically to a
+// single tree over the same records.
+type Tree struct {
+	fs      storage.FS
+	s       *summary.Summarizer
+	rawName string
+	mat     bool
+	workers int
+	bounds  []summary.Key
+	kids    []*core.TreeIndex
+	g       gather
+
+	// mu serializes inserts: raw-file appends assign global arrival-order
+	// positions before records route to their owning partition.
+	mu      sync.Mutex
+	rawFile storage.File
+}
+
+// treeChildOptions derives partition i's build options: same geometry and
+// summarization, divided worker and memory budgets, and the scatter file
+// as the record source.
+func treeChildOptions(opt core.Options, i, parts, buildPar int) core.Options {
+	co := opt
+	co.Name = childName(opt.Name, i)
+	co.RecordsName = scatterName(opt.Name, i)
+	co.MemBudgetBytes = divideBudget(opt.MemBudgetBytes, buildPar, 1<<20)
+	co.Workers = shard.PerGroup(opt.Workers, buildPar)
+	co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, parts)
+	return co
+}
+
+// treeRecordSize mirrors core's sort/leaf record size for the scatter pass.
+func treeRecordSize(opt core.Options) int {
+	n := summary.KeySize + 8
+	if opt.Materialized {
+		n += series.EncodedSize(opt.S.Params().SeriesLen)
+	}
+	return n
+}
+
+// BuildTree builds an N-way partitioned Coconut-Tree: one summarization
+// pass scatters records to per-partition files by key range, the children
+// bulk-load in parallel, and the parent manifest commits last.
+func BuildTree(opt core.Options, parts int) (*Tree, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 partitions, got %d", parts)
+	}
+	bounds, err := selectBoundaries(opt.FS, opt.RawName, opt.S, parts)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	src, err := core.SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	names := make([]string, parts)
+	children := make([]string, parts)
+	for i := range names {
+		names[i] = scatterName(opt.Name, i)
+		children[i] = childName(opt.Name, i)
+	}
+	total, err := scatter(opt.FS, src, treeRecordSize(opt), bounds, names)
+	src.Close()
+	raw.Close()
+	if err != nil {
+		removeScatter(opt.FS, opt.Name, parts)
+		return nil, err
+	}
+	kids := make([]*core.TreeIndex, parts)
+	buildPar := shard.Resolve(opt.Workers, parts)
+	err = shard.FanOut(buildPar, parts, func(i int, cancelled func() bool) error {
+		if cancelled() {
+			return nil
+		}
+		ix, err := core.BuildTree(treeChildOptions(opt, i, parts, buildPar))
+		if err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+		kids[i] = ix
+		return nil
+	})
+	removeScatter(opt.FS, opt.Name, parts)
+	if err == nil {
+		err = commitParent(opt.FS, opt.Name, manifest.VariantTree, opt.S,
+			opt.Materialized, opt.LeafCap, opt.RawName, total, bounds, children)
+	}
+	var rawFile storage.File
+	if err == nil {
+		rawFile, err = opt.FS.Open(opt.RawName)
+	}
+	if err != nil {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+		return nil, err
+	}
+	return newTree(opt, bounds, kids, rawFile), nil
+}
+
+// OpenTree reopens a partitioned Coconut-Tree from its parent manifest.
+// parts == 0 adopts the stored partition count; a non-zero mismatch fails
+// with manifest.ErrConfigMismatch. A child that fails to open closes the
+// already-open siblings — never a partial handle.
+func OpenTree(opt core.Options, parts int) (*Tree, error) {
+	m, err := loadParent(opt.FS, opt.Name, manifest.VariantTree, parts,
+		opt.S.Params(), opt.Materialized, opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Part.Partitions
+	kids := make([]*core.TreeIndex, n)
+	closeKids := func() {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+	}
+	for i, cname := range m.Part.Children {
+		co := opt
+		co.Name = cname
+		co.MemBudgetBytes = divideBudget(opt.MemBudgetBytes, n, 1<<20)
+		co.Workers = shard.PerGroup(opt.Workers, n)
+		co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, n)
+		ix, err := core.OpenTree(co)
+		if err != nil {
+			closeKids()
+			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
+		}
+		kids[i] = ix
+	}
+	rawFile, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		closeKids()
+		return nil, err
+	}
+	return newTree(opt, m.Part.Boundaries, kids, rawFile), nil
+}
+
+func newTree(opt core.Options, bounds []summary.Key, kids []*core.TreeIndex, rawFile storage.File) *Tree {
+	t := &Tree{
+		fs:      opt.FS,
+		s:       opt.S,
+		rawName: opt.RawName,
+		mat:     opt.Materialized,
+		workers: opt.Workers,
+		bounds:  bounds,
+		kids:    kids,
+		rawFile: rawFile,
+	}
+	sks := make([]searcher, len(kids))
+	for i, k := range kids {
+		sks[i] = treeChild{k}
+	}
+	aw := opt.ApproxWindow
+	if aw <= 0 {
+		aw = 32
+	}
+	t.g = gather{
+		kids:    sks,
+		workers: opt.QueryWorkers,
+		half:    func(radius int) int { return aw * (radius + 1) / 2 },
+	}
+	return t
+}
+
+type treeChild struct{ ix *core.TreeIndex }
+
+func (c treeChild) count() int64 { return c.ix.Count() }
+func (c treeChild) approxWindow(q series.Series, radius int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCands(q, radius)
+}
+func (c treeChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	return c.ix.ExactVerify(q, seedPos, seedSq, bound)
+}
+
+// ExactSearch returns the exact nearest neighbor of q via scatter-gather
+// SIMS, identical to a single-partition index's answer.
+func (t *Tree) ExactSearch(q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.exactSq(q, radius)
+	return finish(r), err
+}
+
+// ApproxSearch returns the approximate nearest neighbor from the merged
+// cross-partition window.
+func (t *Tree) ApproxSearch(q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.approxSq(q, radius)
+	return finish(r), err
+}
+
+// ExactSearchKNN returns the k exact nearest neighbors: every partition
+// answers with its self-seeded local top-k (pruning on the shared bound),
+// and the per-partition sets merge under the (distance, position) total
+// order.
+func (t *Tree) ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, core.Result, error) {
+	stats := core.Result{Pos: -1, Dist: math.Inf(1)}
+	if k < 1 {
+		k = 1
+	}
+	if t.g.total() == 0 {
+		return nil, stats, core.ErrEmptyIndex
+	}
+	var kb shard.BSF
+	kb.Init(math.Inf(1))
+	n := len(t.kids)
+	perChild := make([][]core.Neighbor, n)
+	childStats := make([]core.Result, n)
+	err := shard.FanOut(shard.Resolve(t.g.workers, n), n, func(i int, cancelled func() bool) error {
+		if cancelled() || t.kids[i].Count() == 0 {
+			return nil
+		}
+		ns, st, err := t.kids[i].ExactSearchKNNShared(q, k, radius, &kb)
+		if err != nil {
+			return err
+		}
+		perChild[i], childStats[i] = ns, st
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	final := shard.NewKNNHeap(k)
+	for _, ns := range perChild {
+		for _, nb := range ns {
+			final.Offer(nb)
+		}
+	}
+	out := final.Sorted()
+	for i := range out {
+		out[i].Dist = math.Sqrt(out[i].Dist)
+	}
+	for _, st := range childStats {
+		stats.VisitedRecords += st.VisitedRecords
+		stats.VisitedLeaves += st.VisitedLeaves
+	}
+	if len(out) > 0 {
+		stats.Pos, stats.Dist = out[0].Pos, out[0].Dist
+	}
+	return out, stats, nil
+}
+
+// InsertBatch appends new series to the shared dataset file (assigning
+// global arrival-order positions under the partition-level lock) and
+// routes each record to its owning partition's tree.
+func (t *Tree) InsertBatch(batch []series.Series) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	p := t.s.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	end, err := t.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if end%sz != 0 {
+		return fmt.Errorf("partition: raw file size %d not aligned", end)
+	}
+	for _, s := range batch {
+		if len(s) != p.SeriesLen {
+			return fmt.Errorf("partition: inserted series has length %d, want %d", len(s), p.SeriesLen)
+		}
+	}
+	keys, err := t.s.KeysOf(batch, t.workers)
+	if err != nil {
+		return err
+	}
+	pos := end / sz
+	perChild := make([][]core.InsertRec, len(t.kids))
+	enc := make([]byte, 0, sz)
+	for i, s := range batch {
+		enc = series.AppendEncode(enc[:0], s)
+		if _, err := t.rawFile.WriteAt(enc, pos*sz); err != nil {
+			return err
+		}
+		rec := core.InsertRec{Key: keys[i], Pos: pos}
+		if t.mat {
+			rec.Raw = append([]byte(nil), enc...)
+		}
+		pi := route(t.bounds, keys[i])
+		perChild[pi] = append(perChild[pi], rec)
+		pos++
+	}
+	return shard.FanOut(shard.Resolve(t.workers, len(t.kids)), len(t.kids),
+		func(i int, cancelled func() bool) error {
+			if cancelled() || len(perChild[i]) == 0 {
+				return nil
+			}
+			return t.kids[i].InsertRecords(perChild[i])
+		})
+}
+
+// Partitions returns the partition count.
+func (t *Tree) Partitions() int { return len(t.kids) }
+
+// Count returns the number of indexed series across all partitions.
+func (t *Tree) Count() int64 { return t.g.total() }
+
+// NumLeaves returns the total leaf count across partitions.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for _, k := range t.kids {
+		n += k.NumLeaves()
+	}
+	return n
+}
+
+// AvgLeafFill returns the leaf-weighted mean occupancy across partitions.
+func (t *Tree) AvgLeafFill() float64 {
+	var sum float64
+	var leaves int
+	for _, k := range t.kids {
+		n := k.NumLeaves()
+		sum += k.AvgLeafFill() * float64(n)
+		leaves += n
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return sum / float64(leaves)
+}
+
+// SizeBytes returns the total on-device size across partitions.
+func (t *Tree) SizeBytes() int64 {
+	var n int64
+	for _, k := range t.kids {
+		n += k.SizeBytes()
+	}
+	return n
+}
+
+// Sync persists every partition's pending metadata. The parent manifest is
+// immutable and needs no re-commit: child manifests are authoritative for
+// mutable state.
+func (t *Tree) Sync() error {
+	for _, k := range t.kids {
+		if err := k.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every partition and releases the raw handle.
+func (t *Tree) Close() error {
+	var first error
+	for _, k := range t.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := t.rawFile.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

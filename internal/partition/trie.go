@@ -1,0 +1,205 @@
+package partition
+
+import (
+	"fmt"
+
+	"github.com/coconut-db/coconut/internal/core"
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/shard"
+)
+
+// Trie is an N-way partitioned Coconut-Trie: immutable after the build,
+// like its children.
+type Trie struct {
+	kids []*core.TrieIndex
+	g    gather
+}
+
+// BuildTrie builds an N-way partitioned Coconut-Trie (same pipeline as
+// BuildTree: scatter by key range, parallel child builds, parent manifest
+// last).
+func BuildTrie(opt core.Options, parts int) (*Trie, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 partitions, got %d", parts)
+	}
+	bounds, err := selectBoundaries(opt.FS, opt.RawName, opt.S, parts)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := opt.FS.Open(opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	src, err := core.SummaryRecordReader(opt.S, raw, opt.Materialized, opt.Workers)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	names := make([]string, parts)
+	children := make([]string, parts)
+	for i := range names {
+		names[i] = scatterName(opt.Name, i)
+		children[i] = childName(opt.Name, i)
+	}
+	total, err := scatter(opt.FS, src, treeRecordSize(opt), bounds, names)
+	src.Close()
+	raw.Close()
+	if err != nil {
+		removeScatter(opt.FS, opt.Name, parts)
+		return nil, err
+	}
+	kids := make([]*core.TrieIndex, parts)
+	buildPar := shard.Resolve(opt.Workers, parts)
+	err = shard.FanOut(buildPar, parts, func(i int, cancelled func() bool) error {
+		if cancelled() {
+			return nil
+		}
+		ix, err := core.BuildTrie(treeChildOptions(opt, i, parts, buildPar))
+		if err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+		kids[i] = ix
+		return nil
+	})
+	removeScatter(opt.FS, opt.Name, parts)
+	if err == nil {
+		err = commitParent(opt.FS, opt.Name, manifest.VariantTrie, opt.S,
+			opt.Materialized, opt.LeafCap, opt.RawName, total, bounds, children)
+	}
+	if err != nil {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+		return nil, err
+	}
+	return newTrie(opt, kids), nil
+}
+
+// OpenTrie reopens a partitioned Coconut-Trie from its parent manifest.
+// parts == 0 adopts the stored partition count; a non-zero mismatch fails
+// with manifest.ErrConfigMismatch. Never returns a partial handle.
+func OpenTrie(opt core.Options, parts int) (*Trie, error) {
+	m, err := loadParent(opt.FS, opt.Name, manifest.VariantTrie, parts,
+		opt.S.Params(), opt.Materialized, opt.RawName)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Part.Partitions
+	kids := make([]*core.TrieIndex, n)
+	closeKids := func() {
+		for _, k := range kids {
+			if k != nil {
+				k.Close()
+			}
+		}
+	}
+	for i, cname := range m.Part.Children {
+		co := opt
+		co.Name = cname
+		co.MemBudgetBytes = divideBudget(opt.MemBudgetBytes, n, 1<<20)
+		co.Workers = shard.PerGroup(opt.Workers, n)
+		co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, n)
+		ix, err := core.OpenTrie(co)
+		if err != nil {
+			closeKids()
+			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
+		}
+		kids[i] = ix
+	}
+	return newTrie(opt, kids), nil
+}
+
+func newTrie(opt core.Options, kids []*core.TrieIndex) *Trie {
+	t := &Trie{kids: kids}
+	sks := make([]searcher, len(kids))
+	for i, k := range kids {
+		sks[i] = trieChild{k}
+	}
+	aw := opt.ApproxWindow
+	if aw <= 0 {
+		aw = 32
+	}
+	t.g = gather{
+		kids:    sks,
+		workers: opt.QueryWorkers,
+		half:    func(radius int) int { return aw * (radius + 1) / 2 },
+	}
+	return t
+}
+
+type trieChild struct{ ix *core.TrieIndex }
+
+func (c trieChild) count() int64 { return c.ix.Count() }
+func (c trieChild) approxWindow(q series.Series, radius int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCands(q, radius)
+}
+func (c trieChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	return c.ix.ExactVerify(q, seedPos, seedSq, bound)
+}
+
+// ExactSearch returns the exact nearest neighbor of q via scatter-gather
+// SIMS, identical to a single-partition index's answer.
+func (t *Trie) ExactSearch(q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.exactSq(q, radius)
+	return finish(r), err
+}
+
+// ApproxSearch returns the approximate nearest neighbor from the merged
+// cross-partition window.
+func (t *Trie) ApproxSearch(q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.approxSq(q, radius)
+	return finish(r), err
+}
+
+// Partitions returns the partition count.
+func (t *Trie) Partitions() int { return len(t.kids) }
+
+// Count returns the number of indexed series across all partitions.
+func (t *Trie) Count() int64 { return t.g.total() }
+
+// NumLeaves returns the total leaf count across partitions.
+func (t *Trie) NumLeaves() int {
+	n := 0
+	for _, k := range t.kids {
+		n += k.NumLeaves()
+	}
+	return n
+}
+
+// AvgLeafFill returns the leaf-weighted mean occupancy across partitions.
+func (t *Trie) AvgLeafFill() float64 {
+	var sum float64
+	var leaves int
+	for _, k := range t.kids {
+		n := k.NumLeaves()
+		sum += k.AvgLeafFill() * float64(n)
+		leaves += n
+	}
+	if leaves == 0 {
+		return 0
+	}
+	return sum / float64(leaves)
+}
+
+// SizeBytes returns the total on-device size across partitions.
+func (t *Trie) SizeBytes() int64 {
+	var n int64
+	for _, k := range t.kids {
+		n += k.SizeBytes()
+	}
+	return n
+}
+
+// Close closes every partition.
+func (t *Trie) Close() error {
+	var first error
+	for _, k := range t.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -12,8 +12,10 @@
 package shard
 
 import (
+	"container/heap"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -183,6 +185,159 @@ func scanRanges(ranges []Range, fn func(shard int, r Range, cancelled func() boo
 		}
 	}
 	return nil
+}
+
+// FanOut runs fn(i) once for every group i in [0, n) on up to workers
+// goroutines. Unlike Scan, which splits one contiguous range into shards,
+// each group here is an independent unit of work — a partition of a
+// partitioned index, an LSM run, a figure variant — dispatched from a
+// shared counter so finished workers steal the next group instead of
+// idling. fn must poll cancelled between expensive steps; when any group
+// fails, unstarted groups are skipped, every goroutine is joined, and the
+// error of the lowest-numbered failing group is returned (deterministic,
+// like Scan).
+func FanOut(workers, n int, fn func(group int, cancelled func() bool) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i, func() bool { return false }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next      atomic.Int64
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		cancelled = func() bool { return stop.Load() }
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || cancelled() {
+					return
+				}
+				if err := fn(i, cancelled); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Neighbor is one k-NN answer candidate: a record position and its
+// distance (squared or rooted — the heap is agnostic, it only compares).
+type Neighbor struct {
+	Pos  int64
+	Dist float64
+}
+
+// NeighborLess is the total order every k-NN path ranks by: distance
+// first, position as the tie-break. Because it is total, the k smallest
+// neighbors of a multiset are unique, which is what makes sharded and
+// partitioned k-NN merges byte-identical to the serial scan.
+func NeighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.Pos < b.Pos
+}
+
+// KNNHeap is the single shared implementation of the bounded k-nearest
+// max-heap: it retains the k smallest neighbors offered so far under
+// NeighborLess, deduplicating by position (the same record can be offered
+// by the approximate seed, several shards, or several partitions). All
+// k-NN mergers — per-shard locals, the cross-shard reduce, and the
+// cross-partition gather — go through this one type, so the merge
+// semantics cannot drift apart.
+type KNNHeap struct {
+	items []Neighbor
+	k     int
+	seen  map[int64]bool
+}
+
+// NewKNNHeap returns an empty heap retaining the k best neighbors.
+func NewKNNHeap(k int) *KNNHeap {
+	return &KNNHeap{k: k, seen: make(map[int64]bool, k)}
+}
+
+func (h *KNNHeap) Len() int { return len(h.items) }
+
+// Less orders the heap as a MAX-heap on NeighborLess, so the root is the
+// current k-th best and Pop evicts the worst retained neighbor.
+func (h *KNNHeap) Less(i, j int) bool { return NeighborLess(h.items[j], h.items[i]) }
+
+func (h *KNNHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// Push and Pop implement heap.Interface; use Offer, not these.
+func (h *KNNHeap) Push(x any) { h.items = append(h.items, x.(Neighbor)) }
+func (h *KNNHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Bound returns the current k-th-best distance: +Inf until the heap holds
+// k neighbors, then the root. A candidate can only enter the heap by
+// strictly beating Bound under NeighborLess.
+func (h *KNNHeap) Bound() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// Offer inserts n if it belongs in the current top-k. Re-offers of an
+// already-retained position are ignored. Returns true when the heap
+// changed.
+func (h *KNNHeap) Offer(n Neighbor) bool {
+	if h.seen[n.Pos] {
+		return false
+	}
+	if len(h.items) < h.k {
+		h.seen[n.Pos] = true
+		heap.Push(h, n)
+		return true
+	}
+	if !NeighborLess(n, h.items[0]) {
+		return false
+	}
+	delete(h.seen, h.items[0].Pos)
+	h.seen[n.Pos] = true
+	h.items[0] = n
+	heap.Fix(h, 0)
+	return true
+}
+
+// Items returns the retained neighbors in heap order (NOT sorted); use it
+// to re-offer one heap's contents into another during a merge.
+func (h *KNNHeap) Items() []Neighbor { return h.items }
+
+// Sorted returns the retained neighbors ranked best-first under
+// NeighborLess.
+func (h *KNNHeap) Sorted() []Neighbor {
+	out := make([]Neighbor, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool { return NeighborLess(out[i], out[j]) })
+	return out
 }
 
 // ScanReduce is the complete sharded-verification-scan harness: it splits

@@ -27,6 +27,7 @@ import (
 	"github.com/coconut-db/coconut/internal/dataset"
 	"github.com/coconut-db/coconut/internal/experiments"
 	"github.com/coconut-db/coconut/internal/extsort"
+	"github.com/coconut-db/coconut/internal/lsm"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
@@ -507,6 +508,105 @@ func BenchmarkBulkBuildMaterialized(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAppendDurable measures durable single-series Insert throughput
+// on a Coconut-LSM with 8 concurrent writers, group commit vs one fsync
+// pair per append. MemFS fsync is free, so a FaultFS hook charges each
+// fsync a fixed sleep — making the reported appends/sec reflect how many
+// device-latency fsyncs each WAL discipline issues, which is the entire
+// contrast (CI's bench smoke tracks the ratio; the WALThroughput figure
+// enforces it).
+func BenchmarkAppendDurable(b *testing.B) {
+	const (
+		count     = 500
+		seriesLen = 64
+		writers   = 8
+		syncDelay = 500 * time.Microsecond
+	)
+	for _, mode := range []struct {
+		name     string
+		syncEach bool
+	}{{"wal=group-commit", false}, {"wal=per-append-fsync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			inner := storage.NewMemFS()
+			if err := GenerateDataset(inner, "wal.bin", RandomWalk, count, seriesLen, 30); err != nil {
+				b.Fatal(err)
+			}
+			fs := storage.NewFaultFS(inner)
+			fs.SetHook(func(op storage.Op, name string) {
+				if op == storage.OpSync {
+					time.Sleep(syncDelay)
+				}
+			})
+			stream, err := GenerateQueries(RandomWalk, writers, seriesLen, 31)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix, err := BuildLSMIndex(Config{
+				Storage:      fs,
+				Name:         "wal",
+				DataFile:     "wal.bin",
+				SeriesLen:    seriesLen,
+				Segments:     8,
+				MemoryBudget: 64 << 20, // no flushes: isolate the sync discipline
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if mode.syncEach {
+				// The per-append baseline is internal-only (it exists to be
+				// measured against); reopen the built index through it.
+				if err := ix.Close(); err != nil {
+					b.Fatal(err)
+				}
+				s, err := summary.NewSummarizer(summary.Params{SeriesLen: seriesLen, Segments: 8, CardBits: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lx, err := lsm.Open(lsm.Options{FS: fs, Name: "wal", S: s, RawName: "wal.bin",
+					MemBudgetBytes: 64 << 20, WALSyncEveryAppend: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer lx.Close()
+				benchDurableAppends(b, writers, func(w int) error { return lx.Append(stream[w : w+1]) })
+				return
+			}
+			defer ix.Close()
+			benchDurableAppends(b, writers, func(w int) error { return ix.Insert(stream[w : w+1]) })
+		})
+	}
+}
+
+// benchDurableAppends drives b.N durable appends across `writers`
+// concurrent goroutines and reports appends/sec.
+func benchDurableAppends(b *testing.B, writers int, appendOne func(w int) error) {
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	var next int64
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for atomic.AddInt64(&next, 1) <= int64(b.N) {
+				if err := appendOne(w); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "appends/sec")
 }
 
 // BenchmarkIngestLatency measures per-Append latency on a Coconut-LSM index

@@ -96,6 +96,7 @@ func main() {
 		{"DistanceKernels", experiments.DistanceKernels},
 		{"Reopen", experiments.Reopen},
 		{"PartitionScaling", experiments.PartitionScaling},
+		{"WALThroughput", experiments.WALThroughput},
 	}
 
 	want := map[string]bool{}

@@ -63,6 +63,8 @@ type config struct {
 	batch             int
 	background        bool
 	compactionWorkers int
+	disableWAL        bool
+	walWindow         time.Duration
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -88,6 +90,8 @@ func parseFlags(args []string) (*config, error) {
 	batch := fl.Int("batch", 1000, "series per Append batch (stream command)")
 	background := fl.Bool("background", false, "compact LSM tiers on a background pool instead of inside Append")
 	compactionWorkers := fl.Int("compaction-workers", 2, "background compaction pool size (stream command)")
+	disableWAL := fl.Bool("disable-wal", false, "turn off the LSM write-ahead log (appends since the last flush are lost on a crash)")
+	walWindow := fl.Duration("wal-window", 0, "stretch each WAL group commit by this duration to batch more concurrent appends")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
 	}
@@ -134,6 +138,8 @@ func parseFlags(args []string) (*config, error) {
 		batch:             *batch,
 		background:        *background,
 		compactionWorkers: *compactionWorkers,
+		disableWAL:        *disableWAL,
+		walWindow:         *walWindow,
 	}, nil
 }
 
@@ -281,6 +287,8 @@ func (cfg *config) lsmOptions() lsm.Options {
 		QueryWorkers:         cfg.opt.QueryWorkers,
 		BackgroundCompaction: cfg.background,
 		CompactionWorkers:    cfg.compactionWorkers,
+		DisableWAL:           cfg.disableWAL,
+		WALGroupWindow:       cfg.walWindow,
 	}
 }
 

@@ -88,6 +88,7 @@ package coconut
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/dataset"
@@ -221,6 +222,20 @@ type Config struct {
 	// ErrConfigMismatch when the value conflicts with the stored index.
 	// Search answers are byte-identical for any partition count.
 	Partitions int
+	// DisableWAL turns off the LSM write-ahead log. By default every
+	// Insert returns only after its raw bytes and a WAL record are fsynced
+	// (concurrent inserts share one fsync via group commit) and reopening
+	// after a crash replays un-flushed records into the memtable. With the
+	// WAL disabled, records appended since the last flush are lost on a
+	// crash — the pre-WAL behavior, appropriate for bulk reloads that can
+	// simply be re-run. Partitioned indexes keep one WAL per partition.
+	DisableWAL bool
+	// WALGroupWindow optionally stretches each WAL group commit by this
+	// duration before the fsync, admitting more concurrent inserts into
+	// the batch — higher throughput at the cost of added latency per
+	// insert. 0 (the default) syncs as soon as the committer picks up a
+	// batch.
+	WALGroupWindow time.Duration
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -606,6 +621,8 @@ func (c *Config) toLSM(opt core.Options) lsm.Options {
 		BackgroundCompaction: c.BackgroundCompaction,
 		CompactionWorkers:    c.CompactionWorkers,
 		MaxPendingRuns:       c.MaxPendingRuns,
+		DisableWAL:           c.DisableWAL,
+		WALGroupWindow:       c.WALGroupWindow,
 	}
 }
 

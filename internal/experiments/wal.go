@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// walAppenders is the concurrent-writer count of the durable-ingest
+// figure — the contention level the group-commit acceptance bar (>= 5x
+// per-append fsync) is defined at.
+const walAppenders = 8
+
+// WALThroughput measures durable Append throughput on a Coconut-LSM with
+// the write-ahead log in its two sync disciplines: one fsync pair per
+// append (every writer pays the full device latency) versus group commit
+// (a committer goroutine batches concurrent writers behind one fsync
+// pair). MemFS fsync is free, so a FaultFS hook charges every fsync a
+// fixed sleep — the device latency that makes the trade-off real; wall
+// time is then dominated by how many fsyncs each discipline issues.
+//
+// The figure doubles as the acceptance check for the group-commit write
+// path: with walAppenders concurrent writers it fails outright if group
+// commit does not reach 5x the per-append-fsync throughput, and if any
+// acknowledged series is missing when the index reopens afterwards.
+func WALThroughput(sc Scale) (*Table, error) {
+	t := &Table{
+		ID: "WALThroughput",
+		Title: fmt.Sprintf("durable LSM appends/sec, %d concurrent writers: group commit vs per-append fsync",
+			walAppenders),
+		Header: []string{"wal sync", "appends", "fsyncs", "wall", "appends/sec", "speedup"},
+	}
+	// Each writer appends one series per call, so every row's append count
+	// is also its fsync-acknowledgment count.
+	perWriter := sc.BaseCount / 100
+	if perWriter < 24 {
+		perWriter = 24
+	}
+	const syncDelay = 2 * time.Millisecond
+	s, err := sc.summarizer()
+	if err != nil {
+		return nil, err
+	}
+	type mode struct {
+		label    string
+		syncEach bool
+	}
+	modes := []mode{
+		{"per-append fsync", true},
+		{"group commit", false},
+	}
+	var baseWall time.Duration
+	var speedup float64
+	for _, m := range modes {
+		e, err := newEnv(sc, "randomwalk", sc.BaseCount/4+walAppenders)
+		if err != nil {
+			return nil, err
+		}
+		ffs := storage.NewFaultFS(e.fs)
+		var syncs int64
+		var syncMu sync.Mutex
+		ffs.SetHook(func(op storage.Op, name string) {
+			if op != storage.OpSync {
+				return
+			}
+			syncMu.Lock()
+			syncs++
+			syncMu.Unlock()
+			time.Sleep(syncDelay)
+		})
+		ix, err := lsm.Build(lsm.Options{
+			FS: ffs, Name: "lsm", S: s, RawName: rawName,
+			// A memtable larger than the whole stream: no flushes during the
+			// measurement, so wall time is purely the WAL sync discipline.
+			MemBudgetBytes:     64 << 20,
+			Workers:            sc.Workers,
+			QueryWorkers:       sc.QueryWorkers,
+			WALSyncEveryAppend: m.syncEach,
+			// A short commit window (an eighth of the device latency) lets
+			// concurrent writers pile into the in-flight batch.
+			WALGroupWindow: syncDelay / 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, _ := dataset.ByName(e.kind)
+		stream := dataset.Generate(gen, walAppenders*perWriter, sc.SeriesLen, sc.Seed+500)
+		syncMu.Lock()
+		syncs = 0
+		syncMu.Unlock()
+		var wg sync.WaitGroup
+		errs := make([]error, walAppenders)
+		start := time.Now()
+		for w := 0; w < walAppenders; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					one := stream[w*perWriter+i : w*perWriter+i+1]
+					if err := ix.Append(one); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		syncMu.Lock()
+		nsyncs := syncs
+		syncMu.Unlock()
+		for _, err := range errs {
+			if err != nil {
+				ix.Close()
+				return nil, fmt.Errorf("wal=%s: append: %w", m.label, err)
+			}
+		}
+		want := ix.Count()
+		if err := ix.Close(); err != nil {
+			return nil, err
+		}
+		// Durability check: everything acknowledged must survive a reopen.
+		re, err := lsm.Open(lsm.Options{FS: ffs, Name: "lsm", S: s, RawName: rawName})
+		if err != nil {
+			return nil, fmt.Errorf("wal=%s: reopen: %w", m.label, err)
+		}
+		got := re.Count()
+		if err := re.Close(); err != nil {
+			return nil, err
+		}
+		if got != want {
+			return nil, fmt.Errorf("wal=%s: reopened index holds %d series, %d were acknowledged",
+				m.label, got, want)
+		}
+		total := walAppenders * perWriter
+		rate := float64(total) / wall.Seconds()
+		sp := "1.0x"
+		if m.syncEach {
+			baseWall = wall
+		} else {
+			speedup = float64(baseWall) / float64(wall)
+			sp = fmt.Sprintf("%.1fx", speedup)
+		}
+		t.Add(m.label, fmt.Sprint(total), fmt.Sprint(nsyncs), ms(wall),
+			fmt.Sprintf("%.0f", rate), sp)
+	}
+	if speedup < 5 {
+		return nil, fmt.Errorf("group commit is only %.1fx per-append fsync throughput, want >= 5x", speedup)
+	}
+	return t, nil
+}

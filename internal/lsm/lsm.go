@@ -28,6 +28,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/extsort"
@@ -93,6 +94,23 @@ type Options struct {
 	// compaction pool catches up — backpressure that keeps a fast writer
 	// from burying the scheduler.
 	MaxPendingRuns int
+	// DisableWAL turns the write-ahead log off: an appended series is then
+	// durable only once a flush commits it into a run, and anything still
+	// in the memtable at a crash is lost. With the WAL on (the default),
+	// Append returns only after its records — and the raw bytes they
+	// reference — are fsynced, and Open replays un-flushed records back
+	// into the memtable.
+	DisableWAL bool
+	// WALGroupWindow optionally stretches each group commit by this long
+	// before the fsync, admitting more concurrent appenders into the
+	// batch. Zero (the default) batches only the appenders that arrive
+	// while the previous sync is in flight.
+	WALGroupWindow time.Duration
+	// WALSyncEveryAppend disables group commit: every Append performs its
+	// own raw+segment fsync pair inline. This is the baseline the
+	// BenchmarkAppendDurable group-commit comparison measures against; it
+	// has no other use.
+	WALSyncEveryAppend bool
 }
 
 func (o *Options) validate() error {
@@ -227,6 +245,28 @@ type Index struct {
 	bgWake     chan struct{}
 	bgQuit     chan struct{}
 	bgWG       sync.WaitGroup
+
+	// WAL state. wal is nil when Options.DisableWAL; the counters live on
+	// the Index (under mu) because every manifest snapshot records them
+	// either way. walAppended is the LSN after the last logged entry;
+	// walFlushed is the durable flush cursor (entries below it are covered
+	// by flushed runs); un-flushed entries live in WAL segments
+	// [walFirstSeg, walNextSeg).
+	wal         *wal
+	walAppended int64
+	walFlushed  int64
+	walFirstSeg int
+	walNextSeg  int
+
+	// Manifest commits run OFF the handle lock: the state is snapshotted
+	// and sequenced by commitSeq under mu, then encoded and fsynced under
+	// commitMu only. durableSeq (under commitMu) is the newest snapshot
+	// committed; an older snapshot that lost the race is skipped, since
+	// the newer manifest describes a superset state whose referenced files
+	// all still exist (deletions only ever follow a successful commit).
+	commitMu   sync.Mutex
+	commitSeq  int64
+	durableSeq int64
 }
 
 // Build bulk-loads the initial run from the dataset (summarize + external
@@ -302,9 +342,27 @@ func Build(opt Options) (*Index, error) {
 		_ = opt.FS.Remove(name)
 	}
 	ix.count = n
+	// Pre-create WAL segment 0 so the manifest below references it: an
+	// acknowledged append may only ever land in a manifest-referenced
+	// segment (or one replay probes forward to), or a crash could lose it.
+	if !opt.DisableWAL {
+		f, size, err := createWALSegment(opt.FS, opt.Name, 0, 0)
+		if err != nil {
+			raw.Close()
+			return nil, err
+		}
+		ix.wal = newWAL(opt.FS, opt.Name, raw, f, 0, size, 0, opt.WALGroupWindow, opt.WALSyncEveryAppend)
+		ix.walNextSeg = 1
+	}
 	// Durability point: the manifest makes the bulk-loaded run reopenable
 	// with Open without re-reading the dataset.
-	if err := ix.commitManifestLocked(); err != nil {
+	ix.mu.Lock()
+	err = ix.commitManifestLocked()
+	ix.mu.Unlock()
+	if err != nil {
+		if ix.wal != nil {
+			_ = ix.wal.close()
+		}
 		raw.Close()
 		return nil, err
 	}
@@ -341,62 +399,99 @@ func (ix *Index) memCapacity() int {
 	return c
 }
 
-// Append adds new series: raw bytes go to the dataset file, records to the
-// memtable; a full memtable flushes to a fresh tier-0 run. The batch is
-// summarized up front across Workers goroutines, so ingest keeps every core
-// busy while the raw writes stay append-only. Append takes the handle lock
-// exclusively, serializing against in-flight queries.
+// Append adds new series: raw bytes go to the dataset file, records to
+// the memtable and the write-ahead log; a full memtable flushes to a
+// fresh tier-0 run. The batch is summarized up front across Workers
+// goroutines, so ingest keeps every core busy while the raw writes stay
+// append-only. Append takes the handle lock exclusively only to log and
+// insert — it then releases it and waits for the group commit, so a nil
+// return means every series in the batch is durable (fsynced WAL record
+// plus fsynced raw bytes, or already covered by a flushed run).
 func (ix *Index) Append(batch []series.Series) error {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	lsn, err := ix.appendLocked(batch)
+	ix.mu.Unlock()
+	if err != nil || ix.wal == nil {
+		return err
+	}
+	return ix.wal.waitDurable(lsn)
+}
+
+func (ix *Index) appendLocked(batch []series.Series) (int64, error) {
 	if ix.bgErr != nil {
-		return ix.bgErr
+		return 0, ix.bgErr
 	}
 	p := ix.opt.S.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
 	end, err := ix.rawFile.Size()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if end%sz != 0 {
-		return fmt.Errorf("lsm: raw file size %d not aligned", end)
+	if end%sz != 0 && ix.wal == nil {
+		// With the WAL on, a torn tail can legitimately survive a crash
+		// (the partial record was never acknowledged); rounding the write
+		// position down overwrites it. Without a WAL it is corruption.
+		return 0, fmt.Errorf("lsm: raw file size %d not aligned", end)
 	}
 	for _, s := range batch {
 		if len(s) != p.SeriesLen {
-			return fmt.Errorf("lsm: series length %d, want %d", len(s), p.SeriesLen)
+			return 0, fmt.Errorf("lsm: series length %d, want %d", len(s), p.SeriesLen)
 		}
 	}
 	keys, err := ix.opt.S.KeysOf(batch, ix.opt.Workers)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	pos := end / sz
 	enc := make([]byte, 0, sz)
+	// Records are logged in chunks: everything appended since the last
+	// flush boundary goes to the WAL in one record before the flush (or
+	// the batch end), so a flush never covers entries the log missed.
+	var pending []Entry
+	logPending := func() error {
+		if ix.wal == nil || len(pending) == 0 {
+			pending = pending[:0]
+			return nil
+		}
+		if _, err := ix.wal.log(pending); err != nil {
+			return err
+		}
+		ix.walAppended += int64(len(pending))
+		pending = pending[:0]
+		return nil
+	}
 	for i, s := range batch {
 		enc = series.AppendEncode(enc[:0], s)
 		if _, err := ix.rawFile.WriteAt(enc, pos*sz); err != nil {
-			return err
+			return 0, err
 		}
 		ix.mem = append(ix.mem, memEntry{key: keys[i], pos: pos})
+		pending = append(pending, Entry{Key: keys[i], Pos: pos})
 		ix.count++
 		pos++
 		if len(ix.mem) >= ix.memCapacity() {
-			if err := ix.flushLocked(); err != nil {
-				return err
+			if err := logPending(); err != nil {
+				return 0, err
 			}
-			// flushLocked may release mu while waiting out backpressure; a
+			if err := ix.flushLocked(); err != nil {
+				return 0, err
+			}
+			// flushLocked may release mu (backpressure, manifest commit); a
 			// concurrent Append can grow the raw file meanwhile, so the
 			// write position must be recomputed before the next record.
 			if end, err = ix.rawFile.Size(); err != nil {
-				return err
+				return 0, err
 			}
-			if end%sz != 0 {
-				return fmt.Errorf("lsm: raw file size %d not aligned", end)
+			if end%sz != 0 && ix.wal == nil {
+				return 0, fmt.Errorf("lsm: raw file size %d not aligned", end)
 			}
 			pos = end / sz
 		}
 	}
-	return nil
+	if err := logPending(); err != nil {
+		return 0, err
+	}
+	return ix.walAppended, nil
 }
 
 // Entry is one pre-summarized record routed to this index by the
@@ -409,25 +504,71 @@ type Entry struct {
 
 // AppendEntries adds pre-summarized records whose raw bytes were already
 // written through the partition layer's own handle on the same dataset
-// file. Only the memtable grows here (flushing when full); flushLocked's
-// rawFile.Sync covers the partition-written bytes because both handles
+// file, returning once they are durable. The memtable and the WAL grow
+// here (flushing when full); both the group commit's rawFile.Sync and
+// flushLocked's cover the partition-written bytes because both handles
 // name the same file.
 func (ix *Index) AppendEntries(entries []Entry) error {
+	lsn, err := ix.AppendEntriesNoWait(entries)
+	if err != nil {
+		return err
+	}
+	return ix.WaitDurable(lsn)
+}
+
+// AppendEntriesNoWait logs and inserts the entries but does not wait for
+// the group commit; the returned LSN is the durability token to pass to
+// WaitDurable. The partition layer routes one batch to every child under
+// its own lock with NoWait, releases the lock, and then waits all tokens
+// — so N children share N fsync batches instead of serializing them.
+func (ix *Index) AppendEntriesNoWait(entries []Entry) (int64, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.bgErr != nil {
-		return ix.bgErr
+		return 0, ix.bgErr
 	}
-	for _, e := range entries {
-		ix.mem = append(ix.mem, memEntry{key: e.Key, pos: e.Pos})
-		ix.count++
+	for len(entries) > 0 {
+		room := ix.memCapacity() - len(ix.mem)
+		if room <= 0 {
+			// A concurrent appender filled the memtable while a flush
+			// released mu; fold it before logging more.
+			if err := ix.flushLocked(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		chunk := entries
+		if len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		if ix.wal != nil {
+			if _, err := ix.wal.log(chunk); err != nil {
+				return 0, err
+			}
+			ix.walAppended += int64(len(chunk))
+		}
+		for _, e := range chunk {
+			ix.mem = append(ix.mem, memEntry{key: e.Key, pos: e.Pos})
+			ix.count++
+		}
+		entries = entries[len(chunk):]
 		if len(ix.mem) >= ix.memCapacity() {
 			if err := ix.flushLocked(); err != nil {
-				return err
+				return 0, err
 			}
 		}
 	}
-	return nil
+	return ix.walAppended, nil
+}
+
+// WaitDurable blocks until every entry at LSN <= lsn is durable (group-
+// committed into the WAL, or covered by a flushed run). With the WAL
+// disabled there is nothing to wait for.
+func (ix *Index) WaitDurable(lsn int64) error {
+	if ix.wal == nil {
+		return nil
+	}
+	return ix.wal.waitDurable(lsn)
 }
 
 // lePosLess orders positions by the lexicographic order of their
@@ -510,12 +651,50 @@ func (ix *Index) flushLocked() error {
 	ix.runs = append(ix.runs, r)
 	ix.nextSeq++
 	ix.tier0Seq++
+	// Before advancing the flush cursor, fsync the active segment. This is
+	// what makes "every non-active segment is fully durable" an invariant:
+	// the run above is durable but the manifest that references it is not
+	// committed yet, so until that commit lands the WAL segment is still
+	// the only durable record of these entries. It also licenses the
+	// committer to keep releasing waiters against the fresh segment after
+	// the rotation below without stranding entries in the old one.
+	if ix.wal != nil {
+		if err := ix.wal.syncActive(); err != nil {
+			return err
+		}
+	}
+	// Every entry ever logged is now covered by a durable run: advance the
+	// flush cursor, release group-commit waiters without a segment sync,
+	// and rotate to a fresh WAL segment so the covered ones can be
+	// recycled once the manifest commit below lands.
+	oldFirstSeg := ix.walFirstSeg
+	ix.walFlushed = ix.walAppended
+	if ix.wal != nil {
+		ix.wal.markFlushed(ix.walFlushed)
+		if !ix.wal.activeEmpty() {
+			seg := ix.walNextSeg
+			if err := ix.wal.rotate(seg, ix.walAppended); err != nil {
+				return err
+			}
+			ix.walNextSeg = seg + 1
+			ix.walFirstSeg = seg
+		}
+	}
 	// Commit the manifest before compacting: the new run is durable the
 	// moment Flush's structural change exists, and every later compaction
 	// swap commits again before deleting its inputs — so the on-disk
 	// manifest always references files that exist.
 	if err := ix.commitManifestLocked(); err != nil {
 		return err
+	}
+	// The committed manifest no longer references the rotated-away
+	// segments; recycle them. A concurrent flush may have advanced the
+	// range further during the commit window and recycled some already.
+	for seg := oldFirstSeg; seg < ix.walFirstSeg; seg++ {
+		if err := ix.opt.FS.Remove(walSegName(ix.opt.Name, seg)); err != nil &&
+			!errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
 	}
 	if !ix.background {
 		return ix.compactPendingLocked()
@@ -910,12 +1089,19 @@ func (ix *Index) Close() error {
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	var walErr error
+	if ix.wal != nil {
+		walErr = ix.wal.close()
+	}
 	closeErr := ix.rawFile.Close()
 	if flushErr != nil {
 		return flushErr
 	}
 	if drainErr != nil {
 		return drainErr
+	}
+	if walErr != nil {
+		return walErr
 	}
 	return closeErr
 }
@@ -941,11 +1127,43 @@ func (ix *Index) tierCursorsLocked() []manifest.TierCursor {
 	return out
 }
 
-// commitManifestLocked atomically commits the manifest describing the
-// current run set and scheduling cursors. Callers hold mu; every commit
-// happens before any input-file deletion it supersedes, so the on-disk
-// manifest only ever references files that exist.
+// commitManifestLocked commits the manifest describing the current run
+// set and scheduling cursors. Callers hold mu; the snapshot is taken
+// under mu, but the encode+fsync runs on a dedicated commit mutex with
+// mu RELEASED, so queries (which take mu.RLock) proceed during a slow
+// manifest sync. mu is re-acquired before returning — callers must
+// tolerate the drop. Every commit happens before any input-file deletion
+// it supersedes, and commits carry a sequence number assigned under mu:
+// if a later snapshot already reached disk, an earlier one is skipped
+// (the newer snapshot is a strict superset of the structural state, and
+// deletions only follow successful commits).
 func (ix *Index) commitManifestLocked() error {
+	m := ix.manifestLocked()
+	ix.commitSeq++
+	seq := ix.commitSeq
+	ix.mu.Unlock()
+	err := ix.commitSnapshot(seq, m)
+	ix.mu.Lock()
+	return err
+}
+
+// commitSnapshot serializes manifest commits on commitMu, dropping
+// snapshots already superseded by a durable newer one.
+func (ix *Index) commitSnapshot(seq int64, m *manifest.Manifest) error {
+	ix.commitMu.Lock()
+	defer ix.commitMu.Unlock()
+	if ix.durableSeq >= seq {
+		return nil
+	}
+	if err := manifest.Commit(ix.opt.FS, ix.opt.Name, m); err != nil {
+		return err
+	}
+	ix.durableSeq = seq
+	return nil
+}
+
+// manifestLocked snapshots the current structural state as a manifest.
+func (ix *Index) manifestLocked() *manifest.Manifest {
 	p := ix.opt.S.Params()
 	var total int64
 	runs := make([]manifest.RunInfo, len(ix.runs))
@@ -972,15 +1190,18 @@ func (ix *Index) commitManifestLocked() error {
 		RawName:   ix.opt.RawName,
 		Count:     total,
 		LSM: &manifest.LSMLayout{
-			Fanout:   ix.opt.Fanout,
-			NextRun:  ix.nextRun,
-			NextSeq:  ix.nextSeq,
-			Tier0Seq: ix.tier0Seq,
-			Cursors:  ix.tierCursorsLocked(),
-			Runs:     runs,
+			Fanout:      ix.opt.Fanout,
+			NextRun:     ix.nextRun,
+			NextSeq:     ix.nextSeq,
+			Tier0Seq:    ix.tier0Seq,
+			Cursors:     ix.tierCursorsLocked(),
+			Runs:        runs,
+			WALFlushed:  ix.walFlushed,
+			WALFirstSeg: ix.walFirstSeg,
+			WALNextSeg:  ix.walNextSeg,
 		},
 	}
-	return manifest.Commit(ix.opt.FS, ix.opt.Name, m)
+	return m
 }
 
 func (ix *Index) readRaw(pos int64, dst series.Series) error {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 )
@@ -96,6 +97,10 @@ func Open(opt Options) (*Index, error) {
 		ix.groupsClaimed[c.Tier] = c.Groups
 		ix.committedGroups[c.Tier] = c.Groups
 	}
+	if err := ix.recoverWAL(m); err != nil {
+		raw.Close()
+		return nil, err
+	}
 	ix.startPool()
 	// A crash between a manifest commit and the next can leave compaction
 	// groups ready but unmerged; nudge the pool (or fold them inline) so
@@ -112,6 +117,122 @@ func Open(opt Options) (*Index, error) {
 		}
 	}
 	return ix, nil
+}
+
+// recoverWAL replays the un-flushed WAL segments named by the manifest
+// into the memtable and establishes a fresh log generation.
+//
+// Replay is idempotent against the durable flush cursor: entries at LSN
+// below it are already covered by a run and are skipped. The recovered
+// entries are then RE-LOGGED — written as one synced record into a brand
+// new segment, which a manifest commit makes the only live segment before
+// the old ones are deleted. Re-logging (rather than adopting the old
+// segments) is what keeps recovery idempotent across repeated crashes:
+// an entry dropped by this replay because its raw bytes never reached
+// stable storage can never be resurrected by a later replay after the
+// raw file has grown past its position again.
+//
+// With Options.DisableWAL the replayed entries are flushed into a run
+// immediately and every segment is deleted, so the index converges to a
+// pure no-WAL layout while still honoring the durability the previous
+// generation acknowledged.
+func (ix *Index) recoverWAL(m *manifest.Manifest) error {
+	opt := ix.opt
+	ix.walFlushed = m.LSM.WALFlushed
+	ix.walFirstSeg = m.LSM.WALFirstSeg
+	ix.walNextSeg = m.LSM.WALNextSeg
+	ix.walAppended = m.LSM.WALFlushed
+
+	rawSize, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	rawRecs := rawSize / int64(series.EncodedSize(opt.S.Params().SeriesLen))
+	var replayed []Entry
+	last, err := walReplay(opt.FS, opt.Name, ix.walFirstSeg, ix.walNextSeg,
+		ix.walFlushed, rawRecs, func(e Entry) { replayed = append(replayed, e) })
+	if err != nil {
+		return err
+	}
+	for _, e := range replayed {
+		ix.mem = append(ix.mem, memEntry{key: e.Key, pos: e.Pos})
+	}
+	ix.count += int64(len(replayed))
+	ix.walAppended = last
+
+	// A crash inside a flush's commit window can leave durable segments the
+	// manifest does not reference (replay probed them above); the new
+	// generation starts past every file that exists.
+	oldFirst := ix.walFirstSeg
+	next := ix.walNextSeg
+	for opt.FS.Exists(walSegName(opt.Name, next)) {
+		next++
+	}
+
+	if opt.DisableWAL {
+		ix.walFirstSeg, ix.walNextSeg = next, next
+		ix.mu.Lock()
+		if len(ix.mem) > 0 {
+			// flushLocked covers the replayed entries with a durable run and
+			// commits a manifest that references no WAL segments.
+			err = ix.flushLocked()
+		} else if oldFirst < next || m.LSM.WALNextSeg > m.LSM.WALFirstSeg {
+			err = ix.commitManifestLocked()
+		}
+		ix.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return ix.removeWALSegments(oldFirst, next)
+	}
+
+	f, size, err := createWALSegment(opt.FS, opt.Name, next, ix.walFlushed)
+	if err != nil {
+		return err
+	}
+	if len(replayed) > 0 {
+		rec := encodeWALRecord(replayed)
+		if _, err := f.WriteAt(rec, size); err != nil {
+			f.Close()
+			return err
+		}
+		size += int64(len(rec))
+		// The replayed entries were durable in the old generation; they must
+		// be durable in the new one before the old segments go away.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	ix.wal = newWAL(opt.FS, opt.Name, ix.rawFile, f, next, size,
+		ix.walAppended, opt.WALGroupWindow, opt.WALSyncEveryAppend)
+	ix.walFirstSeg, ix.walNextSeg = next, next+1
+	ix.mu.Lock()
+	err = ix.commitManifestLocked()
+	ix.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ix.removeWALSegments(oldFirst, next)
+}
+
+// removeWALSegments deletes the old-generation segments [first, next),
+// plus any stragglers a crash left below first (a flush that committed
+// its manifest but lost power before recycling the covered segments).
+func (ix *Index) removeWALSegments(first, next int) error {
+	for s := first; s < next; s++ {
+		if err := ix.opt.FS.Remove(walSegName(ix.opt.Name, s)); err != nil &&
+			!errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	for s := first - 1; s >= 0 && ix.opt.FS.Exists(walSegName(ix.opt.Name, s)); s-- {
+		if err := ix.opt.FS.Remove(walSegName(ix.opt.Name, s)); err != nil &&
+			!errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
 }
 
 // loadRun reloads one immutable run's in-memory key array from its file —

@@ -108,9 +108,13 @@ func TestOpenContinuesDeterministicSequence(t *testing.T) {
 		// The memtable capacity (25 records) divides the batch size, so the
 		// memtable is empty at every batch boundary — the mid-stream Close
 		// then adds no extra flush and both sequences see identical flushes.
+		// The WAL is disabled: reopening starts a fresh log generation with
+		// new segment numbers by design, which byte-level comparison of the
+		// two file sets would (correctly) flag.
 		opt := Options{
 			FS: fs, Name: "lsm", S: tSummarizer(t), RawName: "raw",
 			MemBudgetBytes: 25 * recordSize, Fanout: 2, Workers: 2,
+			DisableWAL: true,
 		}
 		ix, err := Build(opt)
 		if err != nil {
@@ -264,8 +268,13 @@ func TestOutOfOrderSwapCommit(t *testing.T) {
 	}
 
 	// Group 1 finishes first: it must park, commit nothing, delete nothing.
+	// landLocked's manifest commit drops and re-acquires mu, so the test
+	// must genuinely hold it.
 	out1 := mkRun(1, 1, job1.outSeq)
-	if err := ix.landLocked(job1, out1); err != nil {
+	ix.mu.Lock()
+	err := ix.landLocked(job1, out1)
+	ix.mu.Unlock()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := ix.committedGroups[0]; got != 0 {
@@ -280,7 +289,10 @@ func TestOutOfOrderSwapCommit(t *testing.T) {
 
 	// Group 0 lands: both swaps commit, in order.
 	out0 := mkRun(1, 0, job0.outSeq)
-	if err := ix.landLocked(job0, out0); err != nil {
+	ix.mu.Lock()
+	err = ix.landLocked(job0, out0)
+	ix.mu.Unlock()
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := ix.committedGroups[0]; got != 2 {

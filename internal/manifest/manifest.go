@@ -55,8 +55,12 @@ const (
 )
 
 const (
-	magic   uint32 = 0x464D4343 // "CCMF" little-endian
-	version uint32 = 1
+	magic uint32 = 0x464D4343 // "CCMF" little-endian
+	// version is the newest format this build writes. Version 2 added the
+	// LSM write-ahead-log cursor fields; version 1 manifests (pre-WAL)
+	// still decode, with those fields zero (no WAL segments to replay).
+	version    uint32 = 2
+	minVersion uint32 = 1
 	// headerSize is magic + version + payload length + CRC32-C.
 	headerSize = 16
 	// maxStringLen bounds decoded string fields (file names).
@@ -124,6 +128,14 @@ type LSMLayout struct {
 	Tier0Seq int
 	Cursors  []TierCursor
 	Runs     []RunInfo
+
+	// WAL recovery state (format version 2; zero in version-1 manifests).
+	// WALFlushed is the durable flush cursor: every appended entry with
+	// LSN < WALFlushed is covered by a flushed run, so replay skips it.
+	// Un-flushed entries live in WAL segments [WALFirstSeg, WALNextSeg).
+	WALFlushed  int64
+	WALFirstSeg int
+	WALNextSeg  int
 }
 
 // PartitionLayout is the parent manifest of a partitioned index: N child
@@ -162,8 +174,14 @@ type Manifest struct {
 	// RawName is the dataset file the positions refer to.
 	RawName string
 	// Count is the number of series durably indexed (for LSM: the sum of
-	// the run counts; memtable contents are not yet durable).
+	// the run counts; memtable contents are re-created by WAL replay).
 	Count int64
+
+	// ver is the format version this manifest was decoded from (0 for a
+	// freshly built manifest). Encode re-emits the same version so that
+	// accepted input round-trips bit for bit; new manifests encode at the
+	// newest version.
+	ver uint32
 
 	Tree *TreeLayout
 	Trie *TrieLayout
@@ -174,8 +192,19 @@ type Manifest struct {
 // FileName returns the manifest file for an index name prefix.
 func FileName(indexName string) string { return indexName + ".manifest" }
 
-// Encode serializes m with the version header and CRC32-C trailer.
+// Encode serializes m with the version header and CRC32-C trailer. A
+// manifest decoded from an older format re-encodes at that format (the
+// decoder only accepts encodings Encode could have produced), unless it
+// now carries state the old format cannot express.
 func (m *Manifest) Encode() ([]byte, error) {
+	encVer := m.ver
+	if encVer == 0 {
+		encVer = version
+	}
+	if encVer < 2 && m.LSM != nil &&
+		(m.LSM.WALFlushed != 0 || m.LSM.WALFirstSeg != 0 || m.LSM.WALNextSeg != 0) {
+		encVer = version
+	}
 	switch m.Variant {
 	case VariantTree, VariantTrie, VariantLSM, VariantPartitioned:
 	default:
@@ -252,6 +281,11 @@ func (m *Manifest) Encode() ([]byte, error) {
 			w.bytes(r.MinKey[:])
 			w.bytes(r.MaxKey[:])
 		}
+		if encVer >= 2 {
+			w.u64(uint64(l.WALFlushed))
+			w.u32(uint32(l.WALFirstSeg))
+			w.u32(uint32(l.WALNextSeg))
+		}
 	case VariantPartitioned:
 		if m.Part == nil {
 			return nil, errors.New("manifest: partitioned variant without partition layout")
@@ -278,7 +312,7 @@ func (m *Manifest) Encode() ([]byte, error) {
 	payload := w.buf
 	out := make([]byte, 0, headerSize+len(payload))
 	out = binary.LittleEndian.AppendUint32(out, magic)
-	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint32(out, encVer)
 	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
 	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
 	return append(out, payload...), nil
@@ -294,8 +328,9 @@ func Decode(data []byte) (*Manifest, error) {
 	if binary.LittleEndian.Uint32(data) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorruptManifest)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != version {
-		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrVersionMismatch, v, version)
+	v := binary.LittleEndian.Uint32(data[4:])
+	if v < minVersion || v > version {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d..%d", ErrVersionMismatch, v, minVersion, version)
 	}
 	payloadLen := binary.LittleEndian.Uint32(data[8:])
 	if int64(payloadLen) != int64(len(data)-headerSize) {
@@ -306,7 +341,7 @@ func Decode(data []byte) (*Manifest, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorruptManifest, want, got)
 	}
 	r := reader{buf: payload}
-	m := &Manifest{}
+	m := &Manifest{ver: v}
 	m.Variant = Variant(r.str())
 	m.SeriesLen = int(r.u32())
 	m.Segments = int(r.u32())
@@ -371,6 +406,11 @@ func Decode(data []byte) (*Manifest, error) {
 			r.keyInto(&ri.MinKey)
 			r.keyInto(&ri.MaxKey)
 			l.Runs = append(l.Runs, ri)
+		}
+		if v >= 2 {
+			l.WALFlushed = int64(r.u64())
+			l.WALFirstSeg = int(r.u32())
+			l.WALNextSeg = int(r.u32())
 		}
 		m.LSM = l
 	case VariantPartitioned:
@@ -449,6 +489,11 @@ func (m *Manifest) validate() error {
 		if total != m.Count {
 			return fmt.Errorf("%w: run counts sum to %d, manifest count is %d",
 				ErrCorruptManifest, total, m.Count)
+		}
+		l := m.LSM
+		if l.WALFlushed < 0 || l.WALFirstSeg < 0 || l.WALNextSeg < l.WALFirstSeg {
+			return fmt.Errorf("%w: impossible WAL cursor (flushed=%d segments=[%d,%d))",
+				ErrCorruptManifest, l.WALFlushed, l.WALFirstSeg, l.WALNextSeg)
 		}
 	}
 	if m.Part != nil {

@@ -21,6 +21,7 @@ import (
 type LSM struct {
 	s       *summary.Summarizer
 	workers int
+	noWAL   bool
 	bounds  []summary.Key
 	kids    []*lsm.Index
 	g       gather
@@ -161,6 +162,7 @@ func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile st
 	l := &LSM{
 		s:       opt.S,
 		workers: opt.Workers,
+		noWAL:   opt.DisableWAL,
 		bounds:  bounds,
 		kids:    kids,
 		rawFile: rawFile,
@@ -216,31 +218,57 @@ func (l *LSM) ApproxSearch(q series.Series) (lsm.Result, error) {
 
 // Append adds new series: raw bytes go to the shared dataset file under
 // the partition-level lock (assigning global arrival-order positions),
-// then each record routes to its owning partition's memtable — partitions
-// flush and compact independently.
+// then each record routes to its owning partition's memtable and WAL —
+// partitions flush, group-commit, and compact independently. Routing uses
+// AppendEntriesNoWait under the lock and waits on every child's
+// durability token after releasing it, so concurrent Append calls share
+// each child's group commit instead of serializing whole-batch fsyncs.
 func (l *LSM) Append(batch []series.Series) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if len(batch) == 0 {
 		return nil
 	}
+	l.mu.Lock()
+	tokens, err := l.appendLocked(batch)
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return shard.FanOut(shard.Resolve(l.workers, len(l.kids)), len(l.kids),
+		func(i int, cancelled func() bool) error {
+			if cancelled() || tokens[i] < 0 {
+				return nil
+			}
+			return l.kids[i].WaitDurable(tokens[i])
+		})
+}
+
+// appendLocked writes raw bytes, routes records, and logs them into each
+// owning child; tokens[i] is child i's durability token (-1 when the
+// batch routed nothing to it).
+func (l *LSM) appendLocked(batch []series.Series) ([]int64, error) {
 	p := l.s.Params()
 	sz := int64(series.EncodedSize(p.SeriesLen))
 	end, err := l.rawFile.Size()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if end%sz != 0 {
-		return fmt.Errorf("partition: raw file size %d not aligned", end)
+		if l.noWAL {
+			return nil, fmt.Errorf("partition: raw file size %d not aligned", end)
+		}
+		// With the WAL on, a torn raw tail can survive a crash (the partial
+		// record was never acknowledged); the round-down overwrites it,
+		// exactly as the single-index WAL path does.
+		end -= end % sz
 	}
 	for _, s := range batch {
 		if len(s) != p.SeriesLen {
-			return fmt.Errorf("partition: series length %d, want %d", len(s), p.SeriesLen)
+			return nil, fmt.Errorf("partition: series length %d, want %d", len(s), p.SeriesLen)
 		}
 	}
 	keys, err := l.s.KeysOf(batch, l.workers)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pos := end / sz
 	perChild := make([][]lsm.Entry, len(l.kids))
@@ -248,19 +276,25 @@ func (l *LSM) Append(batch []series.Series) error {
 	for i := range batch {
 		enc = series.AppendEncode(enc[:0], batch[i])
 		if _, err := l.rawFile.WriteAt(enc, pos*sz); err != nil {
-			return err
+			return nil, err
 		}
 		pi := route(l.bounds, keys[i])
 		perChild[pi] = append(perChild[pi], lsm.Entry{Key: keys[i], Pos: pos})
 		pos++
 	}
-	return shard.FanOut(shard.Resolve(l.workers, len(l.kids)), len(l.kids),
-		func(i int, cancelled func() bool) error {
-			if cancelled() || len(perChild[i]) == 0 {
-				return nil
-			}
-			return l.kids[i].AppendEntries(perChild[i])
-		})
+	tokens := make([]int64, len(l.kids))
+	for i, entries := range perChild {
+		tokens[i] = -1
+		if len(entries) == 0 {
+			continue
+		}
+		lsn, err := l.kids[i].AppendEntriesNoWait(entries)
+		if err != nil {
+			return nil, err
+		}
+		tokens[i] = lsn
+	}
+	return tokens, nil
 }
 
 // Flush forces every partition's memtable to disk.

@@ -1,0 +1,161 @@
+package partition
+
+// Crash conformance for the partitioned write path: a partitioned
+// Coconut-LSM keeps one WAL per partition, but the durability contract is
+// the same as the single index's — after a crash, every acknowledged
+// append survives replay and the recovered index answers queries exactly
+// as it did before the crash, and (for exact search) exactly as an
+// unpartitioned index over the same stream does.
+
+import (
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/summary"
+)
+
+const ptLen = 64
+
+func ptSummarizer(t *testing.T) *summary.Summarizer {
+	t.Helper()
+	s, err := summary.NewSummarizer(summary.Params{SeriesLen: ptLen, Segments: 8, CardBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// lsmLike is the surface the single index and the partitioned one share.
+type lsmLike interface {
+	Append(batch []series.Series) error
+	Flush() error
+	ExactSearch(q series.Series) (lsm.Result, error)
+	ApproxSearch(q series.Series) (lsm.Result, error)
+	Count() int64
+	Close() error
+}
+
+func TestPartitionedWALCrashConformance(t *testing.T) {
+	const base = 256
+	const appended = 96
+	gen := dataset.NewRandomWalk()
+	batches := dataset.Generate(dataset.NewSeismic(), appended, ptLen, 77)
+	queries := dataset.Queries(gen, 6, ptLen, 5)
+
+	type answer struct {
+		pos  int64
+		dist float64
+	}
+	collect := func(ix lsmLike) []answer {
+		t.Helper()
+		out := make([]answer, 0, 2*len(queries))
+		for _, q := range queries {
+			e, err := ix.ExactSearch(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := ix.ApproxSearch(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, answer{e.Pos, e.Dist}, answer{a.Pos, a.Dist})
+		}
+		return out
+	}
+
+	// run builds a parts-way layout (1 = the unpartitioned lsm.Index),
+	// appends the stream in acknowledged batches with a mid-stream flush
+	// (so replay has both a durable flush cursor to skip below and a
+	// WAL-only suffix to reconstruct), crashes without closing, and
+	// reopens from the durable image.
+	run := func(parts int) (pre, post []answer) {
+		inner := storage.NewMemFS()
+		if _, err := dataset.WriteFile(inner, "raw", gen, base, ptLen, 42); err != nil {
+			t.Fatal(err)
+		}
+		ffs := storage.NewFaultFS(inner)
+		opt := lsm.Options{
+			FS: ffs, Name: "x", S: ptSummarizer(t), RawName: "raw",
+			MemBudgetBytes: 1 << 20, Fanout: 2,
+		}
+		var ix lsmLike
+		var err error
+		if parts == 1 {
+			ix, err = lsm.Build(opt)
+		} else {
+			ix, err = BuildLSM(opt, parts)
+		}
+		if err != nil {
+			t.Fatalf("parts=%d: build: %v", parts, err)
+		}
+		for lo := 0; lo < len(batches); lo += 8 {
+			if err := ix.Append(batches[lo : lo+8]); err != nil {
+				t.Fatalf("parts=%d: append: %v", parts, err)
+			}
+			if lo == 48 {
+				if err := ix.Flush(); err != nil {
+					t.Fatalf("parts=%d: flush: %v", parts, err)
+				}
+			}
+		}
+		if got := ix.Count(); got != base+appended {
+			t.Fatalf("parts=%d: count %d before crash, want %d", parts, got, base+appended)
+		}
+		pre = collect(ix)
+		ffs.Crash()
+		ix.Close() // fails post-crash; the crash is the point
+
+		rec := ffs.Recover(0)
+		opt.FS = rec
+		var re lsmLike
+		if parts == 1 {
+			re, err = lsm.Open(opt)
+		} else {
+			re, err = OpenLSM(opt, 0)
+		}
+		if err != nil {
+			t.Fatalf("parts=%d: reopen after crash: %v", parts, err)
+		}
+		if got := re.Count(); got != base+appended {
+			t.Fatalf("parts=%d: recovered %d series, %d were acknowledged", parts, got, base+appended)
+		}
+		post = collect(re)
+		// The recovered index is live: another acknowledged batch lands.
+		if err := re.Append(batches[:1]); err != nil {
+			t.Fatalf("parts=%d: append on recovered index: %v", parts, err)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("parts=%d: close recovered index: %v", parts, err)
+		}
+		return pre, post
+	}
+
+	singlePre, singlePost := run(1)
+	partPre, partPost := run(3)
+
+	for i := range singlePre {
+		kind, qi := "exact", i/2
+		if i%2 == 1 {
+			kind = "approx"
+		}
+		// Crash + replay must not move any answer in either layout.
+		if singlePost[i] != singlePre[i] {
+			t.Errorf("1 partition, %s query %d: answer moved across crash: %+v -> %+v",
+				kind, qi, singlePre[i], singlePost[i])
+		}
+		if partPost[i] != partPre[i] {
+			t.Errorf("3 partitions, %s query %d: answer moved across crash: %+v -> %+v",
+				kind, qi, partPre[i], partPost[i])
+		}
+	}
+	// And exact answers agree across layouts: partitioning is invisible.
+	for qi := range queries {
+		if singlePost[2*qi] != partPost[2*qi] {
+			t.Errorf("exact query %d: 1 vs 3 partitions disagree after crash: %+v vs %+v",
+				qi, singlePost[2*qi], partPost[2*qi])
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// OpSync is the fsync operation. It is only observable through FaultFS:
+// plain MemFS bytes are always "stable", so its Sync never consults hooks.
+const OpSync Op = "sync"
+
+var (
+	// ErrInjected is returned by the single operation a FailAt trigger
+	// fires on; the device keeps working afterwards.
+	ErrInjected = errors.New("storage: injected fault")
+	// ErrCrashed is returned by every operation at and after a PowerLossAt
+	// trigger: the simulated machine has lost power and nothing else
+	// reaches the device until Recover builds the post-reboot image.
+	ErrCrashed = errors.New("storage: simulated power loss")
+)
+
+// FaultFS wraps a MemFS with deterministic fault injection and a model of
+// which bytes have actually reached stable storage. It is the shared
+// crash-injection harness for the lsm, manifest, and partition test
+// suites.
+//
+// The durability model mirrors a disk with a volatile write cache:
+//
+//   - Create/WriteAt/Truncate mutate only the live (in-cache) image.
+//   - Sync copies the file's live bytes into the durable image — nothing
+//     written after the last successful Sync survives a power loss.
+//   - Rename is applied to the durable namespace, carrying the old name's
+//     durable content; a file renamed without ever being synced has no
+//     durable content under either name (the classic missing-fsync-before-
+//     rename bug surfaces as a missing file after Recover).
+//   - Remove is applied to the durable namespace.
+//
+// Faults trigger on a deterministic count of mutating operations
+// (create/write/sync/rename/remove by default — reads and opens are
+// uncounted so query activity cannot shift write-path fault points).
+// FailAt makes exactly the Nth counted operation fail and then disarms;
+// PowerLossAt makes the Nth and every later operation fail with
+// ErrCrashed without being applied. After a power loss, Recover returns a
+// fresh MemFS holding only the durable image — optionally with a torn
+// tail of un-synced bytes — which tests reopen indexes against.
+type FaultFS struct {
+	inner *MemFS
+
+	mu      sync.Mutex
+	durable map[string][]byte
+	counted map[Op]bool
+	ops     int64
+	failAt  int64 // one-shot ErrInjected on the Nth counted op (0 = disarmed)
+	lossAt  int64 // sticky ErrCrashed from the Nth counted op on (0 = disarmed)
+	crashed bool
+	hook    func(op Op, name string)
+}
+
+// NewFaultFS wraps inner. Files already on inner (datasets, seed indexes)
+// are snapshotted as durable, as if the machine had just booted cleanly.
+func NewFaultFS(inner *MemFS) *FaultFS {
+	f := &FaultFS{
+		inner:   inner,
+		durable: make(map[string][]byte),
+		counted: map[Op]bool{OpCreate: true, OpWrite: true, OpSync: true, OpRename: true, OpRemove: true},
+	}
+	for _, name := range inner.Names() {
+		if data, ok := inner.contents(name); ok {
+			f.durable[name] = data
+		}
+	}
+	return f
+}
+
+// SetHook installs a pre-operation callback (nil removes it). The hook
+// runs outside the FaultFS lock before every operation, including
+// uncounted ones, so it can delay a specific file's fsync without
+// serializing unrelated I/O — the slow-commit regression tests block a
+// manifest sync here while asserting queries still proceed.
+func (f *FaultFS) SetHook(hook func(op Op, name string)) {
+	f.mu.Lock()
+	f.hook = hook
+	f.mu.Unlock()
+}
+
+// SetCounted replaces the set of operations that advance the fault
+// counter.
+func (f *FaultFS) SetCounted(ops ...Op) {
+	f.mu.Lock()
+	f.counted = make(map[Op]bool, len(ops))
+	for _, op := range ops {
+		f.counted[op] = true
+	}
+	f.mu.Unlock()
+}
+
+// OpCount returns how many counted operations have been attempted. A
+// disarmed dry run of a workload bounds the crash-window sweep.
+func (f *FaultFS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// FailAt arms a one-shot fault: the nth counted operation (1-based,
+// counting from the start) fails with ErrInjected, later ones succeed.
+func (f *FaultFS) FailAt(n int64) {
+	f.mu.Lock()
+	f.failAt = n
+	f.mu.Unlock()
+}
+
+// PowerLossAt arms a crash: the nth counted operation (1-based) and every
+// operation after it fail with ErrCrashed without being applied.
+func (f *FaultFS) PowerLossAt(n int64) {
+	f.mu.Lock()
+	f.lossAt = n
+	f.mu.Unlock()
+}
+
+// Crash cuts power immediately: every subsequent operation fails with
+// ErrCrashed.
+func (f *FaultFS) Crash() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+// Crashed reports whether a power loss has triggered.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Recover returns the post-reboot disk image: a fresh MemFS holding each
+// durable file's durable bytes. If torn > 0, files whose live image had
+// grown past the durable length additionally keep up to torn bytes of
+// that un-synced tail — the partially-persisted ("torn") write a real
+// disk can leave behind, which log replay must detect and discard.
+func (f *FaultFS) Recover(torn int) *MemFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rec := NewMemFS()
+	for name, data := range f.durable {
+		content := append([]byte(nil), data...)
+		if torn > 0 {
+			if live, ok := f.inner.contents(name); ok && len(live) > len(content) {
+				extra := len(live) - len(content)
+				if extra > torn {
+					extra = torn
+				}
+				content = append(content, live[len(content):len(content)+extra]...)
+			}
+		}
+		file, err := rec.Create(name)
+		if err != nil {
+			continue // fresh MemFS with no faults: unreachable
+		}
+		if len(content) > 0 {
+			_, _ = file.WriteAt(content, 0)
+		}
+		_ = file.Close()
+	}
+	return rec
+}
+
+// gate runs the hook, then applies crash state and fault triggers for one
+// operation.
+func (f *FaultFS) gate(op Op, name string) error {
+	f.mu.Lock()
+	hook := f.hook
+	f.mu.Unlock()
+	if hook != nil {
+		hook(op, name)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	if !f.counted[op] {
+		return nil
+	}
+	f.ops++
+	if f.lossAt > 0 && f.ops >= f.lossAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	if f.failAt > 0 && f.ops == f.failAt {
+		f.failAt = 0
+		return ErrInjected
+	}
+	return nil
+}
+
+// Create creates or truncates the named file (live image only; the file
+// is not durable until synced).
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.gate(OpCreate, name); err != nil {
+		return nil, fmt.Errorf("storage: create %q: %w", name, err)
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Open opens an existing file.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.gate(OpOpen, name); err != nil {
+		return nil, fmt.Errorf("storage: open %q: %w", name, err)
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Remove deletes the named file from both the live and durable images.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.gate(OpRemove, name); err != nil {
+		return fmt.Errorf("storage: remove %q: %w", name, err)
+	}
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.durable, name)
+	f.mu.Unlock()
+	return nil
+}
+
+// Rename applies POSIX rename to both images. The durable content under
+// newname becomes oldname's durable content — absent entirely if oldname
+// was never synced.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.gate(OpRename, oldname); err != nil {
+		return fmt.Errorf("storage: rename %q: %w", oldname, err)
+	}
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if d, ok := f.durable[oldname]; ok {
+		f.durable[newname] = d
+		delete(f.durable, oldname)
+	} else {
+		delete(f.durable, newname)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// Exists reports whether the named file exists in the live image.
+func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
+
+// Stats returns the underlying file system's I/O statistics.
+func (f *FaultFS) Stats() *Stats { return f.inner.Stats() }
+
+// markDurable snapshots the file's live bytes as the durable image.
+func (f *FaultFS) markDurable(name string) {
+	data, ok := f.inner.contents(name)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.durable[name] = data
+	f.mu.Unlock()
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.gate(OpRead, f.inner.Name()); err != nil {
+		return 0, fmt.Errorf("storage: read %q: %w", f.inner.Name(), err)
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.gate(OpWrite, f.inner.Name()); err != nil {
+		return 0, fmt.Errorf("storage: write %q: %w", f.inner.Name(), err)
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return 0, fmt.Errorf("storage: size %q: %w", f.inner.Name(), ErrCrashed)
+	}
+	return f.inner.Size()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.gate(OpWrite, f.inner.Name()); err != nil {
+		return fmt.Errorf("storage: truncate %q: %w", f.inner.Name(), err)
+	}
+	return f.inner.Truncate(size)
+}
+
+// Sync flushes the live bytes into the durable image. If the sync itself
+// is the faulted operation, the durable image is left untouched: the
+// power was lost before the cache reached the platter.
+func (f *faultFile) Sync() error {
+	if err := f.fs.gate(OpSync, f.inner.Name()); err != nil {
+		return fmt.Errorf("storage: sync %q: %w", f.inner.Name(), err)
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.fs.markDurable(f.inner.Name())
+	return nil
+}
+
+// Close never fails: post-crash cleanup paths must still be able to
+// release handles.
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+// writeAll creates name holding data on fs, without syncing.
+func writeAll(t *testing.T, fs FS, name string, data []byte) File {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFaultFSDurability: only synced bytes survive Recover — un-synced
+// creates vanish, un-synced overwrites roll back, and pre-existing files
+// are durable from the start.
+func TestFaultFSDurability(t *testing.T) {
+	inner := NewMemFS()
+	pre := writeAll(t, inner, "pre", []byte("seed"))
+	pre.Close()
+	ffs := NewFaultFS(inner)
+
+	synced := writeAll(t, ffs, "synced", []byte("v1"))
+	if err := synced.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synced.WriteAt([]byte("v2-unsynced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	unsynced := writeAll(t, ffs, "unsynced", []byte("never"))
+	unsynced.Close()
+	synced.Close()
+
+	ffs.Crash()
+	rec := ffs.Recover(0)
+	if got, err := ReadFileAll(rec, "pre"); err != nil || string(got) != "seed" {
+		t.Fatalf("pre-existing file after recover: %q, %v", got, err)
+	}
+	if got, err := ReadFileAll(rec, "synced"); err != nil || string(got) != "v1" {
+		t.Fatalf("synced file rolled to %q, %v; want last synced content", got, err)
+	}
+	if rec.Exists("unsynced") {
+		t.Fatal("never-synced file survived the crash")
+	}
+}
+
+// TestFaultFSTornTail: Recover(torn) keeps at most torn bytes of the
+// un-synced tail a file grew past its durable length.
+func TestFaultFSTornTail(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f := writeAll(t, ffs, "log", []byte("durable"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("TORNTAIL"), int64(len("durable"))); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ffs.Crash()
+	got, err := ReadFileAll(ffs.Recover(3), "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durableTOR" {
+		t.Fatalf("torn recovery got %q, want durable prefix + 3 torn bytes", got)
+	}
+}
+
+// TestFaultFSRenameSemantics: rename moves durable content with the name,
+// and renaming a never-synced file leaves nothing durable under the new
+// name — the missing-fsync-before-rename bug surfaces as a missing file.
+func TestFaultFSRenameSemantics(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f := writeAll(t, ffs, "a.tmp", []byte("payload"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ffs.Rename("a.tmp", "a"); err != nil {
+		t.Fatal(err)
+	}
+	g := writeAll(t, ffs, "b.tmp", []byte("lost"))
+	g.Close()
+	if err := ffs.Rename("b.tmp", "b"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.Crash()
+	rec := ffs.Recover(0)
+	if got, err := ReadFileAll(rec, "a"); err != nil || string(got) != "payload" {
+		t.Fatalf("synced rename lost content: %q, %v", got, err)
+	}
+	if rec.Exists("b") || rec.Exists("b.tmp") {
+		t.Fatal("rename without fsync left durable content")
+	}
+	// Rename also displaces prior durable content at the target.
+	ffs2 := NewFaultFS(NewMemFS())
+	tgt := writeAll(t, ffs2, "m", []byte("old"))
+	if err := tgt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tgt.Close()
+	h := writeAll(t, ffs2, "m.tmp", []byte("new-unsynced"))
+	h.Close()
+	if err := ffs2.Rename("m.tmp", "m"); err != nil {
+		t.Fatal(err)
+	}
+	ffs2.Crash()
+	if ffs2.Recover(0).Exists("m") {
+		t.Fatal("displaced durable content resurrected under the target name")
+	}
+}
+
+// TestFaultFSTriggers: FailAt injects exactly one failure and disarms;
+// PowerLossAt fails the Nth and every later counted operation without
+// applying them; reads and opens do not advance the counter.
+func TestFaultFSTriggers(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	ffs.FailAt(2)
+	f, err := ffs.Create("x") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("a"), 0); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("op 2: got %v, want ErrInjected", err)
+	}
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil { // op 3: disarmed
+		t.Fatalf("after one-shot fault: %v", err)
+	}
+	// Reads are uncounted.
+	buf := make([]byte, 1)
+	for i := 0; i < 5; i++ {
+		f.ReadAt(buf, 0)
+	}
+	if got := ffs.OpCount(); got != 3 {
+		t.Fatalf("op count %d after 3 counted ops + reads, want 3", got)
+	}
+	if err := f.Sync(); err != nil { // op 4: "a" is durable
+		t.Fatal(err)
+	}
+	ffs.PowerLossAt(5)
+	if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrCrashed) { // op 5
+		t.Fatalf("op 5: got %v, want ErrCrashed", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("power loss did not latch")
+	}
+	if _, err := ffs.Create("y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: got %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: got %v, want ErrCrashed", err)
+	}
+	// The crashed write was not applied, even to the live image a torn
+	// recovery samples from.
+	if got, err := ReadFileAll(ffs.Recover(8), "x"); err != nil || string(got) != "a" {
+		t.Fatalf("crashed write leaked into recovery: %q, %v", got, err)
+	}
+}
+
+// TestFaultFSFailedSyncNotDurable: a sync that is itself the faulted
+// operation must not advance the durable image.
+func TestFaultFSFailedSyncNotDurable(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f := writeAll(t, ffs, "x", []byte("data")) // ops 1, 2
+	ffs.PowerLossAt(3)
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // op 3
+		t.Fatalf("sync: got %v, want ErrCrashed", err)
+	}
+	if ffs.Recover(0).Exists("x") {
+		t.Fatal("file became durable through a failed sync")
+	}
+}
+
+// TestFaultFSHook: the hook sees every operation (counted or not) before
+// it applies, and SetCounted narrows what advances the trigger counter.
+func TestFaultFSHook(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	var ops []Op
+	ffs.SetHook(func(op Op, name string) { ops = append(ops, op) })
+	ffs.SetCounted(OpSync)
+	f := writeAll(t, ffs, "x", []byte("d"))
+	f.Sync()
+	f.Close()
+	want := []Op{OpCreate, OpWrite, OpSync}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", ops, want)
+		}
+	}
+	if got := ffs.OpCount(); got != 1 {
+		t.Fatalf("with only sync counted, op count = %d, want 1", got)
+	}
+}

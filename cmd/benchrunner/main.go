@@ -97,6 +97,7 @@ func main() {
 		{"Reopen", experiments.Reopen},
 		{"PartitionScaling", experiments.PartitionScaling},
 		{"WALThroughput", experiments.WALThroughput},
+		{"ChecksumOverhead", experiments.ChecksumOverhead},
 	}
 
 	want := map[string]bool{}

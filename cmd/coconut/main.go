@@ -28,6 +28,12 @@
 //
 //	coconut stream -dir ./data -name mylsm -append extra.bin \
 //	    -background -compaction-workers 4
+//
+// Verify every block of every index artifact against its checksums (add
+// -repair to rebuild what is re-derivable from the raw dataset):
+//
+//	coconut scrub -dir ./data -name myidx
+//	coconut scrub -dir ./data -name mylsm -repair
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"sort"
 	"time"
 
+	coconut "github.com/coconut-db/coconut"
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/experiments"
 	"github.com/coconut-db/coconut/internal/lsm"
@@ -65,6 +72,7 @@ type config struct {
 	compactionWorkers int
 	disableWAL        bool
 	walWindow         time.Duration
+	repair            bool
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -92,6 +100,8 @@ func parseFlags(args []string) (*config, error) {
 	compactionWorkers := fl.Int("compaction-workers", 2, "background compaction pool size (stream command)")
 	disableWAL := fl.Bool("disable-wal", false, "turn off the LSM write-ahead log (appends since the last flush are lost on a crash)")
 	walWindow := fl.Duration("wal-window", 0, "stretch each WAL group commit by this duration to batch more concurrent appends")
+	repair := fl.Bool("repair", false, "after scrubbing, repair corrupt artifacts re-derivable from the raw dataset (scrub command)")
+	noChecksums := fl.Bool("no-checksums", false, "build in the legacy unchecksummed block format (build command; reads are not verified)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
 	}
@@ -126,6 +136,7 @@ func parseFlags(args []string) (*config, error) {
 			MemBudgetBytes: *mem,
 			Workers:        *workers,
 			QueryWorkers:   *queryWorkers,
+			Checksums:      !*noChecksums,
 		},
 		variant:           *variant,
 		dataFile:          *data,
@@ -140,12 +151,13 @@ func parseFlags(args []string) (*config, error) {
 		compactionWorkers: *compactionWorkers,
 		disableWAL:        *disableWAL,
 		walWindow:         *walWindow,
+		repair:            *repair,
 	}, nil
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info|stream> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info|stream|scrub> [flags]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
@@ -163,6 +175,8 @@ func main() {
 		err = runInfo(cfg)
 	case "stream":
 		err = runStream(cfg)
+	case "scrub":
+		err = runScrub(cfg)
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -289,6 +303,52 @@ func (cfg *config) lsmOptions() lsm.Options {
 		CompactionWorkers:    cfg.compactionWorkers,
 		DisableWAL:           cfg.disableWAL,
 		WALGroupWindow:       cfg.walWindow,
+		Checksums:            cfg.opt.Checksums,
+	}
+}
+
+// runScrub verifies every block of every artifact the index's manifest
+// references, printing one line per file. With -repair it rebuilds what
+// the (verified) raw dataset can re-derive, then re-scrubs. Exits
+// non-zero if the final report still holds corruption.
+func runScrub(cfg *config) error {
+	rep, err := coconut.Scrub(cfg.fs, cfg.opt.Name)
+	if err != nil {
+		return err
+	}
+	printScrub(rep)
+	if cfg.repair && !rep.Clean() {
+		fmt.Println("repairing from raw dataset...")
+		rep, err = coconut.Repair(coconut.Config{
+			Storage:      cfg.fs,
+			Name:         cfg.opt.Name,
+			Workers:      cfg.opt.Workers,
+			MemoryBudget: cfg.opt.MemBudgetBytes,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("post-repair scrub:")
+		printScrub(rep)
+	}
+	if n := len(rep.Corrupt()); n > 0 {
+		return fmt.Errorf("scrub: %d corrupt artifact(s)", n)
+	}
+	return nil
+}
+
+func printScrub(rep *coconut.ScrubReport) {
+	format := "checksummed blocks"
+	if !rep.Checksums {
+		format = "legacy (no block checksums)"
+	}
+	fmt.Printf("format: %s\n", format)
+	for _, f := range rep.Findings {
+		status := "ok"
+		if f.Err != nil {
+			status = f.Err.Error()
+		}
+		fmt.Printf("  %-32s %8d units  %s\n", f.File, f.Units, status)
 	}
 }
 
@@ -404,7 +464,7 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 	case manifest.VariantPartitioned:
 		switch m.Part.ChildVariant {
 		case manifest.VariantTree:
-			ix, err := partition.OpenTree(opt, 0)
+			ix, err := partition.OpenTree(opt, 0, false)
 			if err != nil {
 				return nil, err
 			}
@@ -418,7 +478,7 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 				close: ix.Close,
 			}, nil
 		case manifest.VariantTrie:
-			ix, err := partition.OpenTrie(opt, 0)
+			ix, err := partition.OpenTrie(opt, 0, false)
 			if err != nil {
 				return nil, err
 			}

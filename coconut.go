@@ -112,6 +112,11 @@ var (
 	// ErrConfigMismatch reports a Config that conflicts with the stored
 	// index (different summarization, materialization, or dataset file).
 	ErrConfigMismatch = manifest.ErrConfigMismatch
+	// ErrCorruptData reports stored bytes that failed their block or
+	// record checksum — bit rot, a torn write, or an overwritten file.
+	// Every open and read path surfaces it via errors.Is; no query ever
+	// computes an answer from bytes that failed verification.
+	ErrCorruptData = storage.ErrCorruptData
 )
 
 // Series is one data series: an ordered sequence of float64 values. Inputs
@@ -236,6 +241,30 @@ type Config struct {
 	// insert. 0 (the default) syncs as soon as the committer picks up a
 	// batch.
 	WALGroupWindow time.Duration
+	// DisableChecksums builds the index WITHOUT the per-block CRC layer.
+	// By default every persistent artifact (B+-tree pages, trie leaves,
+	// LSM run files, and a sidecar for the raw dataset) is checksummed and
+	// verified on read, so bit rot is detected instead of silently
+	// corrupting answers. Whether an index is checksummed is recorded in
+	// its manifest: Open always adopts the stored format, so indexes built
+	// by earlier versions (or with this flag) keep reopening unchanged.
+	DisableChecksums bool
+	// AllowDegraded lets Open succeed over a partially corrupt index:
+	// an unreadable LSM run or partition child is quarantined and queries
+	// answer over the healthy remainder (Degraded() reports the state,
+	// Count() the records still covered). Writes routed to a quarantined
+	// partition fail loudly. Without it, corruption fails Open with
+	// ErrCorruptData. LSM quarantined runs are repairable in place with
+	// Repair (the raw dataset re-derives them).
+	AllowDegraded bool
+	// ReadRetries re-attempts transient device read errors this many times
+	// (exponential backoff starting at RetryBackoff) before the error
+	// turns sticky for the handle. Deterministic failures — checksum
+	// mismatches, missing files — are never retried. 0 disables retries.
+	ReadRetries int
+	// RetryBackoff is the initial retry delay (default 1ms), doubling per
+	// attempt.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) toCore() (core.Options, error) {
@@ -266,8 +295,12 @@ func (c *Config) toCore() (core.Options, error) {
 	if leaf == 0 {
 		leaf = 2000
 	}
+	fs := c.Storage
+	if c.ReadRetries > 0 {
+		fs = storage.NewRetryFS(fs, storage.RetryPolicy{Retries: c.ReadRetries, Backoff: c.RetryBackoff})
+	}
 	return core.Options{
-		FS:             c.Storage,
+		FS:             fs,
 		Name:           c.Name,
 		S:              s,
 		RawName:        c.DataFile,
@@ -277,6 +310,7 @@ func (c *Config) toCore() (core.Options, error) {
 		FillFactor:     c.FillFactor,
 		Workers:        c.Workers,
 		QueryWorkers:   c.QueryWorkers,
+		Checksums:      !c.DisableChecksums,
 	}, nil
 }
 
@@ -413,7 +447,7 @@ func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
 		return nil, err
 	}
 	if partitioned {
-		ix, err := partition.OpenTree(opt, cfg.Partitions)
+		ix, err := partition.OpenTree(opt, cfg.Partitions, cfg.AllowDegraded)
 		if err != nil {
 			return nil, err
 		}
@@ -454,6 +488,16 @@ func (t *TreeIndex) LeafFill() float64 { return t.ix.AvgLeafFill() }
 
 // SizeBytes returns the on-device index size.
 func (t *TreeIndex) SizeBytes() int64 { return t.ix.SizeBytes() }
+
+// Degraded reports whether the index was opened with AllowDegraded over
+// corrupt artifacts: some partitions are quarantined and answers cover
+// only the healthy remainder (Count() says how many records that is).
+func (t *TreeIndex) Degraded() bool {
+	if d, ok := t.ix.(interface{ Degraded() bool }); ok {
+		return d.Degraded()
+	}
+	return false
+}
 
 // Sync persists metadata made stale by Insert (the B+-tree directory and
 // the manifest) so a crash afterwards loses nothing. Close syncs too.
@@ -520,7 +564,7 @@ func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
 		return nil, err
 	}
 	if partitioned {
-		ix, err := partition.OpenTrie(opt, cfg.Partitions)
+		ix, err := partition.OpenTrie(opt, cfg.Partitions, cfg.AllowDegraded)
 		if err != nil {
 			return nil, err
 		}
@@ -556,6 +600,15 @@ func (t *TrieIndex) LeafFill() float64 { return t.ix.AvgLeafFill() }
 
 // SizeBytes returns the on-device index size.
 func (t *TrieIndex) SizeBytes() int64 { return t.ix.SizeBytes() }
+
+// Degraded reports whether the index was opened with AllowDegraded over
+// corrupt artifacts; answers cover only the healthy remainder.
+func (t *TrieIndex) Degraded() bool {
+	if d, ok := t.ix.(interface{ Degraded() bool }); ok {
+		return d.Degraded()
+	}
+	return false
+}
 
 // Close releases the index's file handles.
 func (t *TrieIndex) Close() error { return t.ix.Close() }
@@ -593,6 +646,8 @@ type lsmBackend interface {
 	Count() int64
 	NumRuns() int
 	SizeBytes() int64
+	Degraded() bool
+	RebuildQuarantined() error
 	Close() error
 }
 
@@ -623,6 +678,8 @@ func (c *Config) toLSM(opt core.Options) lsm.Options {
 		MaxPendingRuns:       c.MaxPendingRuns,
 		DisableWAL:           c.DisableWAL,
 		WALGroupWindow:       c.WALGroupWindow,
+		Checksums:            opt.Checksums,
+		AllowDegraded:        c.AllowDegraded,
 	}
 }
 
@@ -709,6 +766,16 @@ func (l *LSMIndex) NumRuns() int { return l.ix.NumRuns() }
 
 // SizeBytes returns the total size of all runs.
 func (l *LSMIndex) SizeBytes() int64 { return l.ix.SizeBytes() }
+
+// Degraded reports whether corrupt runs or partitions were quarantined by
+// an AllowDegraded open; answers cover only the healthy remainder.
+func (l *LSMIndex) Degraded() bool { return l.ix.Degraded() }
+
+// Repair re-derives every quarantined run from the raw dataset (the index
+// key of a record is a pure function of its bytes), commits the repaired
+// manifest, and deletes the corrupt files. After a successful Repair the
+// index answers byte-identically to one that never lost the run.
+func (l *LSMIndex) Repair() error { return l.ix.RebuildQuarantined() }
 
 // Close flushes the memtable, drains background compactions, commits the
 // manifest, and releases file handles; the index can later be reopened

@@ -64,6 +64,13 @@ type Config struct {
 	FillFactor float64
 	// Fanout is the internal node fan-out (default 64).
 	Fanout int
+	// Checksums gives the leaf file a checksummed physical layout: one
+	// CRC32-C-guarded block per page (storage.ChecksumFile, block size ==
+	// pageSize), so a flipped bit on disk surfaces as ErrCorrupt instead
+	// of a silently wrong page. The flag describes the stored bytes — a
+	// tree must be opened with the same value it was built with; the index
+	// manifest records it.
+	Checksums bool
 }
 
 func (c *Config) validate() error {
@@ -87,6 +94,12 @@ func (c *Config) validate() error {
 	}
 	return nil
 }
+
+// ErrCorruptPage reports a leaf page that cannot be produced intact: a
+// checksum mismatch, a page id outside the allocated range, or a leaf file
+// shorter than the page directory claims. It wraps storage.ErrCorruptData
+// so callers can match either.
+var ErrCorruptPage = fmt.Errorf("bptree: corrupt page: %w", storage.ErrCorruptData)
 
 // Leaf page layout: count uint32 | next int64 | prev int64 | records.
 const pageHeader = 4 + 8 + 8
@@ -161,9 +174,16 @@ func BulkLoad(cfg Config, src RecordSource) (*Tree, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	f, err := cfg.FS.Create(cfg.leafFileName())
+	inner, err := cfg.FS.Create(cfg.leafFileName())
 	if err != nil {
 		return nil, err
+	}
+	f := storage.File(inner)
+	if cfg.Checksums {
+		if f, err = storage.CreateChecksumFile(inner, int(cfg.pageSize())); err != nil {
+			inner.Close()
+			return nil, err
+		}
 	}
 	t := &Tree{cfg: cfg, f: f, leafCnt: make(map[int64]int), leafSep: make(map[int64][]byte), cachePage: -1}
 	t.initPagePool()
@@ -354,6 +374,9 @@ func (t *Tree) pageOffset(id int64) int64 { return id * t.cfg.pageSize() }
 // write-back cache by a PRIOR insert is served from there so reads on the
 // same handle never observe a stale on-device copy.
 func (t *Tree) readPage(id int64, dst []byte) error {
+	if id < 0 || id >= t.nextPage {
+		return fmt.Errorf("bptree: read page %d: outside allocated range [0,%d): %w", id, t.nextPage, ErrCorruptPage)
+	}
 	t.cacheMu.Lock()
 	if id == t.cachePage && t.cacheBuf != nil {
 		copy(dst, t.cacheBuf)
@@ -363,18 +386,33 @@ func (t *Tree) readPage(id int64, dst []byte) error {
 	t.cacheMu.Unlock()
 	n, err := t.f.ReadAt(dst[:t.cfg.pageSize()], t.pageOffset(id))
 	if int64(n) != t.cfg.pageSize() {
-		if err == nil {
-			err = io.ErrUnexpectedEOF
-		}
-		return fmt.Errorf("bptree: read page %d: %w", id, err)
+		return pageReadError(id, err)
 	}
 	return nil
+}
+
+// pageReadError types a failed page read: EOF-shaped short reads mean the
+// leaf file is shorter than the directory claims and checksum mismatches
+// mean rot — both corruption; anything else is a device error passed
+// through for the retry layer to judge.
+func pageReadError(id int64, err error) error {
+	switch {
+	case err == nil, errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("bptree: read page %d: truncated leaf file: %w", id, ErrCorruptPage)
+	case errors.Is(err, storage.ErrCorruptData):
+		return fmt.Errorf("bptree: read page %d: %w: %w", id, ErrCorruptPage, err)
+	default:
+		return fmt.Errorf("bptree: read page %d: %w", id, err)
+	}
 }
 
 // loadPage returns page id via the write-back cache. Mutating paths only:
 // callers may write into the returned buffer and mark the cache dirty, so
 // they must have exclusive access to the tree.
 func (t *Tree) loadPage(id int64) ([]byte, error) {
+	if id < 0 || id >= t.nextPage {
+		return nil, fmt.Errorf("bptree: read page %d: outside allocated range [0,%d): %w", id, t.nextPage, ErrCorruptPage)
+	}
 	t.cacheMu.Lock()
 	defer t.cacheMu.Unlock()
 	if id == t.cachePage {
@@ -388,10 +426,7 @@ func (t *Tree) loadPage(id int64) ([]byte, error) {
 	}
 	n, err := t.f.ReadAt(t.cacheBuf, t.pageOffset(id))
 	if int64(n) != t.cfg.pageSize() {
-		if err == nil {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, fmt.Errorf("bptree: read page %d: %w", id, err)
+		return nil, pageReadError(id, err)
 	}
 	t.cachePage = id
 	t.cacheDirty = false

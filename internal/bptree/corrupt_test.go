@@ -1,0 +1,150 @@
+package bptree
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// TestReadPageTruncatedFile covers the typed short-read path: a leaf file
+// cut below what the directory claims yields ErrCorruptPage (and hence
+// storage.ErrCorruptData), never raw ReadAt semantics, with or without
+// checksums.
+func TestReadPageTruncatedFile(t *testing.T) {
+	for _, checked := range []bool{false, true} {
+		t.Run(map[bool]string{false: "legacy", true: "checksummed"}[checked], func(t *testing.T) {
+			fs := storage.NewMemFS()
+			tree := buildTree(t, fs, sortedRecords(100, 3), func(c *Config) { c.Checksums = checked })
+			if err := tree.Save(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Close(); err != nil {
+				t.Fatal(err)
+			}
+			name := tree.cfg.leafFileName()
+			data, err := storage.ReadFileAll(fs, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := storage.WriteFileAll(fs, name, data[:len(data)/2]); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(Config{FS: fs, Name: tree.cfg.Name, Checksums: checked})
+			if err != nil {
+				// The checksummed open may already detect the cut (torn
+				// trailing block); that is a valid typed outcome.
+				if !errors.Is(err, storage.ErrCorruptData) {
+					t.Fatalf("open error %v is not ErrCorruptData", err)
+				}
+				return
+			}
+			defer re.Close()
+			err = re.ScanAll(func([]byte) error { return nil })
+			if !errors.Is(err, ErrCorruptPage) || !errors.Is(err, storage.ErrCorruptData) {
+				t.Fatalf("scan over truncated file: %v, want ErrCorruptPage wrapping ErrCorruptData", err)
+			}
+		})
+	}
+}
+
+// TestReadPageOutOfRange covers the typed out-of-range path.
+func TestReadPageOutOfRange(t *testing.T) {
+	fs := storage.NewMemFS()
+	tree := buildTree(t, fs, sortedRecords(50, 4), nil)
+	defer tree.Close()
+	buf := make([]byte, tree.cfg.pageSize())
+	for _, id := range []int64{-1, tree.nextPage, tree.nextPage + 10} {
+		if err := tree.readPage(id, buf); !errors.Is(err, ErrCorruptPage) {
+			t.Fatalf("readPage(%d): %v, want ErrCorruptPage", id, err)
+		}
+		if _, err := tree.loadPage(id); !errors.Is(err, ErrCorruptPage) {
+			t.Fatalf("loadPage(%d): %v, want ErrCorruptPage", id, err)
+		}
+	}
+}
+
+// TestChecksummedTreeRoundTrip proves the checksummed layout is
+// transparent to every tree operation: bulk load, inserts with median
+// splits, save, reopen, scans — all byte-identical to the legacy layout.
+func TestChecksummedTreeRoundTrip(t *testing.T) {
+	recs := sortedRecords(300, 5)
+	collect := func(tr *Tree) [][]byte {
+		var out [][]byte
+		if err := tr.ScanAll(func(rec []byte) error {
+			out = append(out, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	legacyFS, checkedFS := storage.NewMemFS(), storage.NewMemFS()
+	legacy := buildTree(t, legacyFS, recs, nil)
+	checked := buildTree(t, checkedFS, recs, func(c *Config) { c.Checksums = true })
+	for _, tr := range []*Tree{legacy, checked} {
+		for i := 0; i < 60; i++ {
+			if err := tr.Insert(mkRecord(uint64(i*7+3), uint64(1000+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, got := collect(legacy), collect(checked)
+	if len(want) != len(got) {
+		t.Fatalf("record counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if !bytes.Equal(want[i], got[i]) {
+			t.Fatalf("record %d differs between legacy and checksummed layout", i)
+		}
+	}
+	legacy.Close()
+	checked.Close()
+
+	re, err := Open(Config{FS: checkedFS, Name: "t", Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	reGot := collect(re)
+	for i := range want {
+		if !bytes.Equal(want[i], reGot[i]) {
+			t.Fatalf("record %d differs after checksummed reopen", i)
+		}
+	}
+}
+
+// TestChecksummedTreeDetectsRot flips one payload byte of a page on disk
+// and asserts the read path reports typed corruption rather than serving
+// the page.
+func TestChecksummedTreeDetectsRot(t *testing.T) {
+	fs := storage.NewMemFS()
+	tree := buildTree(t, fs, sortedRecords(200, 6), func(c *Config) { c.Checksums = true })
+	if err := tree.Save(); err != nil {
+		t.Fatal(err)
+	}
+	tree.Close()
+	ff := storage.NewFaultFS(fs)
+	// Flip a byte inside the second page's payload (past header + CRC).
+	off := int64(storage.ChecksumHeaderSize) + (4 + tree.cfg.pageSize()) + 4 + 17
+	if err := ff.Rot(tree.cfg.leafFileName(), off, 1); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{FS: fs, Name: "t", Checksums: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	err = re.ScanAll(func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorruptPage) || !errors.Is(err, storage.ErrCorruptData) {
+		t.Fatalf("scan over rotted page: %v, want ErrCorruptPage", err)
+	}
+}

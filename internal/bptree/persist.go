@@ -118,9 +118,16 @@ func Open(cfg Config) (*Tree, error) {
 		return nil, errors.New("bptree: meta file truncated")
 	}
 
-	f, err := cfg.FS.Open(cfg.leafFileName())
+	inner, err := cfg.FS.Open(cfg.leafFileName())
 	if err != nil {
 		return nil, err
+	}
+	f := storage.File(inner)
+	if cfg.Checksums {
+		if f, err = storage.OpenChecksumFile(inner); err != nil {
+			inner.Close()
+			return nil, fmt.Errorf("bptree: open %q: %w: %w", cfg.leafFileName(), ErrCorruptPage, err)
+		}
 	}
 	t := &Tree{
 		cfg: cfg, f: f, count: count, nextPage: nextPage,

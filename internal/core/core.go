@@ -102,6 +102,18 @@ type Options struct {
 	// Materialized indexes scan whole leaves instead (the raw data is
 	// already there). Default 32.
 	ApproxWindow int
+	// Checksums writes the index's block files (B+-tree pages, trie leaf
+	// pages) in the checksummed-block format and maintains a per-record
+	// CRC sidecar for the raw dataset, making every read path detect
+	// bit rot as storage.ErrCorruptData instead of serving wrong bytes.
+	// Like Materialized, the flag is a property of the stored bytes: it is
+	// recorded in the manifest and the Open paths adopt the stored value.
+	Checksums bool
+	// RawSums optionally supplies an externally owned raw-dataset CRC
+	// sidecar (the partition layer's: the parent owns the shared raw file
+	// and its sidecar, children verify through the shared handle). When
+	// nil and Checksums is set, the index builds and maintains its own.
+	RawSums *storage.RecordSums
 }
 
 func (o *Options) validate() error {
@@ -297,8 +309,11 @@ type InsertRec struct {
 	Raw []byte
 }
 
-// readRawAt fetches the series at ordinal pos from a raw dataset file.
-func readRawAt(f storage.File, seriesLen int, pos int64, dst series.Series) error {
+// readRawAt fetches the series at ordinal pos from a raw dataset file,
+// verifying the encoded bytes against the CRC sidecar when one is present —
+// a rotted raw record surfaces as storage.ErrCorruptData, never as a wrong
+// distance.
+func readRawAt(f storage.File, sums *storage.RecordSums, seriesLen int, pos int64, dst series.Series) error {
 	sz := series.EncodedSize(seriesLen)
 	buf := make([]byte, sz)
 	if n, err := f.ReadAt(buf, pos*int64(sz)); n != sz {
@@ -307,6 +322,51 @@ func readRawAt(f storage.File, seriesLen int, pos int64, dst series.Series) erro
 		}
 		return fmt.Errorf("core: raw series %d: %w", pos, err)
 	}
+	if sums != nil {
+		if err := sums.Verify(pos, buf); err != nil {
+			return fmt.Errorf("core: raw series %d: %w", pos, err)
+		}
+	}
 	series.DecodeInto(buf, dst)
 	return nil
+}
+
+// attachRawSums attaches the raw-dataset CRC sidecar for a checksummed
+// index: the externally owned handle when the caller supplied one
+// (owned=false), or the index's own. A fresh build writes the sidecar from
+// scratch (an existing one may describe a replaced dataset); an open reuses
+// the persisted sidecar, reconciling it against the raw file — or rebuilds
+// it when missing (legacy index upgraded in place).
+func attachRawSums(opt *Options, raw storage.File, fresh bool) (sums *storage.RecordSums, owned bool, err error) {
+	if !opt.Checksums {
+		return nil, false, nil
+	}
+	if opt.RawSums != nil {
+		return opt.RawSums, false, nil
+	}
+	recSize := series.EncodedSize(opt.S.Params().SeriesLen)
+	if !fresh {
+		sums, err = storage.OpenRecordSums(opt.FS, opt.RawName, recSize)
+	}
+	if fresh || errors.Is(err, storage.ErrNotExist) {
+		sums, err = storage.BuildRecordSums(opt.FS, opt.RawName, recSize)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: building raw sidecar: %w", err)
+		}
+		return sums, true, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: opening raw sidecar: %w", err)
+	}
+	// The raw file may have grown past the sidecar's last flush (crash
+	// between a raw append and the sidecar flush); backfill from the
+	// fsynced raw bytes.
+	size, err := raw.Size()
+	if err != nil {
+		return nil, false, err
+	}
+	if err := sums.Reconcile(raw, size/int64(recSize)); err != nil {
+		return nil, false, fmt.Errorf("core: reconciling raw sidecar: %w", err)
+	}
+	return sums, true, nil
 }

@@ -159,7 +159,7 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 			if c.lb > lh.Bound() || kb.Prunes(c.lb) {
 				continue // strict: a tie with either bound is still verified
 			}
-			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+			if err := readRawAt(ix.rawFile, ix.rawSums, seriesLen, c.pos, scratch); err != nil {
 				return err
 			}
 			visited[si]++

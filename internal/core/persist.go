@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/coconut-db/coconut/internal/bptree"
@@ -62,6 +63,7 @@ func treeManifest(opt Options, g bptree.Geometry) *manifest.Manifest {
 		LeafCap:      g.LeafCap,
 		RawName:      opt.RawName,
 		Count:        g.Count,
+		Checksums:    opt.Checksums,
 		Tree: &manifest.TreeLayout{
 			RecordSize: g.RecordSize,
 			KeyLen:     g.KeyLen,
@@ -130,6 +132,7 @@ func (ix *TrieIndex) writeManifest() error {
 		LeafCap:      ix.opt.LeafCap,
 		RawName:      ix.opt.RawName,
 		Count:        ix.count,
+		Checksums:    ix.opt.Checksums,
 		Trie:         &manifest.TrieLayout{Pages: ix.nextPage, Leaves: leaves},
 	}
 	return manifest.Commit(ix.opt.FS, ix.opt.Name, m)
@@ -156,14 +159,31 @@ func OpenTrie(opt Options) (*TrieIndex, error) {
 	if m.Trie == nil {
 		return nil, fmt.Errorf("core: %w: trie manifest without trie layout", manifest.ErrCorruptManifest)
 	}
+	// The checksummed-block layout is a property of the stored bytes;
+	// adopt the manifest's flag (see OpenTree).
+	opt.Checksums = m.Checksums
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
 		return nil, err
 	}
-	lf, err := opt.FS.Open(opt.Name + ".leaves")
+	inner, err := opt.FS.Open(opt.Name + ".leaves")
 	if err != nil {
 		raw.Close()
 		return nil, err
+	}
+	lf := storage.File(inner)
+	if opt.Checksums {
+		if lf, err = storage.OpenChecksumFile(inner); err != nil {
+			inner.Close()
+			raw.Close()
+			// A corrupt structure in a manifest-referenced artifact is
+			// typed as both the stored-bytes failure and the broken
+			// manifest promise, matching the LSM run convention.
+			if errors.Is(err, storage.ErrCorruptData) {
+				err = fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, err)
+			}
+			return nil, fmt.Errorf("core: open trie leaf file: %w", err)
+		}
 	}
 	tr, err := trie.New(opt.S, opt.LeafCap)
 	if err != nil {
@@ -172,6 +192,10 @@ func OpenTrie(opt Options) (*TrieIndex, error) {
 		return nil, err
 	}
 	ix := &TrieIndex{opt: opt, tr: tr, leafFile: lf, rawFile: raw, leafOrd: make(map[*trie.Node]int)}
+	if ix.rawSums, ix.ownSums, err = attachRawSums(&opt, raw, false); err != nil {
+		ix.closeAll()
+		return nil, err
+	}
 
 	// One sequential pass over the persisted leaves reloads the sorted
 	// summary array (keys live in the leaf records; the raw file is not

@@ -33,6 +33,11 @@ type TreeIndex struct {
 	bt      *bptree.Tree
 	rawFile storage.File
 	count   int64
+	// rawSums verifies raw-dataset reads when checksums are on; ownSums
+	// marks the handle as this index's own (built/opened here, maintained
+	// on inserts) rather than the partition layer's shared one.
+	rawSums *storage.RecordSums
+	ownSums bool
 	// qmu is the handle lock: queries hold it shared, mutations
 	// (InsertBatch, DropCaches, Close) exclusively.
 	qmu sync.RWMutex
@@ -106,6 +111,7 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 		LeafCap:    opt.LeafCap,
 		FillFactor: opt.FillFactor,
 		Fanout:     opt.Fanout,
+		Checksums:  opt.Checksums,
 	}, tee)
 	rr.Close()
 	if err != nil {
@@ -120,6 +126,11 @@ func BuildTree(opt Options) (*TreeIndex, error) {
 	}
 	ix.bt = bt
 	ix.count = bt.Count()
+	if ix.rawSums, ix.ownSums, err = attachRawSums(&opt, raw, true); err != nil {
+		bt.Close()
+		raw.Close()
+		return nil, err
+	}
 	// The manifest commit is the durability point: from here on the index
 	// can be reopened with OpenTree without touching the raw dataset.
 	if err := ix.writeManifest(); err != nil {
@@ -150,11 +161,15 @@ func OpenTree(opt Options) (*TreeIndex, error) {
 	if err := checkOpenConfig(&opt, m, manifest.VariantTree); err != nil {
 		return nil, err
 	}
+	// Like Materialized, the checksummed-block layout is a property of the
+	// stored bytes; adopt the manifest's flag so the pages are read the
+	// only way they can be.
+	opt.Checksums = m.Checksums
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
 		return nil, err
 	}
-	bt, err := bptree.Open(bptree.Config{FS: opt.FS, Name: opt.Name + ".bt"})
+	bt, err := bptree.Open(bptree.Config{FS: opt.FS, Name: opt.Name + ".bt", Checksums: opt.Checksums})
 	if err != nil {
 		raw.Close()
 		return nil, err
@@ -166,6 +181,11 @@ func OpenTree(opt Options) (*TreeIndex, error) {
 		return nil, err
 	}
 	ix := &TreeIndex{opt: opt, bt: bt, rawFile: raw, count: bt.Count(), simsDirty: true}
+	if ix.rawSums, ix.ownSums, err = attachRawSums(&opt, raw, false); err != nil {
+		bt.Close()
+		raw.Close()
+		return nil, err
+	}
 	if stale {
 		// Crash window between meta save and manifest commit: the meta is
 		// newer. Heal by recommitting the manifest from the live tree.
@@ -227,9 +247,15 @@ func (ix *TreeIndex) syncLocked() error {
 		return nil
 	}
 	// Inserted raw bytes first (leaf records reference their positions),
-	// then the leaf file + meta (bt.Save syncs both), then the manifest.
+	// then the raw CRC sidecar (it describes the fsynced raw bytes), then
+	// the leaf file + meta (bt.Save syncs both), then the manifest.
 	if err := ix.rawFile.Sync(); err != nil {
 		return err
+	}
+	if ix.ownSums && ix.rawSums != nil {
+		if err := ix.rawSums.Flush(); err != nil {
+			return err
+		}
 	}
 	if err := ix.bt.Save(); err != nil {
 		return err
@@ -287,7 +313,7 @@ func (ix *TreeIndex) recordSquaredDistance(q series.Series, rec []byte, scratch 
 	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
 	if raw != nil {
 		series.DecodeInto(raw, scratch)
-	} else if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
+	} else if err := readRawAt(ix.rawFile, ix.rawSums, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
 		return 0, 0, err
 	}
 	sq, err := series.SquaredED(q, scratch)
@@ -422,7 +448,7 @@ func (ix *TreeIndex) windowFetch() window.FetchFunc {
 	seriesLen := ix.opt.S.Params().SeriesLen
 	if !ix.opt.Materialized {
 		return func(c window.Cand, dst series.Series) error {
-			return readRawAt(ix.rawFile, seriesLen, c.Pos, dst)
+			return readRawAt(ix.rawFile, ix.rawSums, seriesLen, c.Pos, dst)
 		}
 	}
 	recSize := ix.opt.recordSize()
@@ -634,7 +660,7 @@ func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 			if c.lb >= local.Dist || bound.Prunes(c.lb) {
 				continue // pruned by a bsf improvement since collection
 			}
-			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+			if err := readRawAt(ix.rawFile, ix.rawSums, seriesLen, c.pos, scratch); err != nil {
 				return err
 			}
 			local.VisitedRecords++
@@ -683,6 +709,9 @@ func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
 		encoded = series.AppendEncode(encoded[:0], s)
 		if _, err := ix.rawFile.WriteAt(encoded, pos*sz); err != nil {
 			return err
+		}
+		if ix.ownSums && ix.rawSums != nil {
+			ix.rawSums.Set(pos, encoded)
 		}
 		key, err := ix.opt.S.KeyOf(s)
 		if err != nil {

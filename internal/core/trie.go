@@ -41,6 +41,10 @@ type TrieIndex struct {
 	leafFile storage.File
 	rawFile  storage.File
 	count    int64
+	// rawSums verifies raw-dataset reads when checksums are on; ownSums
+	// marks it as this index's own rather than the partition layer's.
+	rawSums *storage.RecordSums
+	ownSums bool
 	// keys/positions: in-memory sorted summary array (SIMS state).
 	keys      []summary.Key
 	positions []int64
@@ -101,10 +105,20 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 		raw.Close()
 		return nil, err
 	}
-	lf, err := opt.FS.Create(opt.Name + ".leaves")
+	inner, err := opt.FS.Create(opt.Name + ".leaves")
 	if err != nil {
 		raw.Close()
 		return nil, err
+	}
+	lf := storage.File(inner)
+	if opt.Checksums {
+		// One checksum block per trie page: every leaf read verifies the
+		// exact pages it touches.
+		if lf, err = storage.CreateChecksumFile(inner, 4+opt.recordSize()*opt.LeafCap); err != nil {
+			inner.Close()
+			raw.Close()
+			return nil, err
+		}
 	}
 	ix := &TrieIndex{opt: opt, tr: tr, leafFile: lf, rawFile: raw, leafOrd: make(map[*trie.Node]int)}
 
@@ -141,6 +155,10 @@ func BuildTrie(opt Options) (*TrieIndex, error) {
 		return nil, err
 	}
 	_ = opt.FS.Remove(sortedName)
+	if ix.rawSums, ix.ownSums, err = attachRawSums(&opt, raw, true); err != nil {
+		ix.closeAll()
+		return nil, err
+	}
 	// The manifest commit is the durability point: from here on the index
 	// can be reopened with OpenTrie without touching the raw dataset.
 	if err := ix.writeManifest(); err != nil {
@@ -286,6 +304,11 @@ func (ix *TrieIndex) readLeafPages(pageStart, pageNum int64) ([][]byte, error) {
 		if err == nil {
 			err = io.ErrUnexpectedEOF
 		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// A leaf extent the manifest references but the file does not
+			// hold is corruption (truncation), not an I/O condition.
+			err = fmt.Errorf("truncated leaf file: %w", storage.ErrCorruptData)
+		}
 		return nil, fmt.Errorf("core: read trie leaf: %w", err)
 	}
 	cnt := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
@@ -293,8 +316,8 @@ func (ix *TrieIndex) readLeafPages(pageStart, pageNum int64) ([][]byte, error) {
 	// leaf's page capacity so a flipped bit fails loudly instead of
 	// walking the decode loop off the end of the buffer.
 	if int64(cnt) > pageNum*int64(ix.opt.LeafCap) {
-		return nil, fmt.Errorf("core: %w: leaf header claims %d records in %d pages of %d",
-			manifest.ErrCorruptManifest, cnt, pageNum, ix.opt.LeafCap)
+		return nil, fmt.Errorf("core: %w: %w: leaf header claims %d records in %d pages of %d",
+			manifest.ErrCorruptManifest, storage.ErrCorruptData, cnt, pageNum, ix.opt.LeafCap)
 	}
 	recSize := ix.opt.recordSize()
 	pageBytes := int(ix.pageSize())
@@ -365,7 +388,7 @@ func (ix *TrieIndex) recordSquaredDistance(q series.Series, rec []byte, scratch 
 	_, pos, raw := decodeRecord(rec, ix.opt.Materialized)
 	if raw != nil {
 		series.DecodeInto(raw, scratch)
-	} else if err := readRawAt(ix.rawFile, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
+	} else if err := readRawAt(ix.rawFile, ix.rawSums, ix.opt.S.Params().SeriesLen, pos, scratch); err != nil {
 		return 0, 0, err
 	}
 	sq, err := series.SquaredED(q, scratch)
@@ -468,7 +491,7 @@ func (ix *TrieIndex) windowFetch() window.FetchFunc {
 	seriesLen := ix.opt.S.Params().SeriesLen
 	if !ix.opt.Materialized {
 		return func(c window.Cand, dst series.Series) error {
-			return readRawAt(ix.rawFile, seriesLen, c.Pos, dst)
+			return readRawAt(ix.rawFile, ix.rawSums, seriesLen, c.Pos, dst)
 		}
 	}
 	cache := make(map[int][][]byte)
@@ -617,7 +640,7 @@ func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 			if c.lb >= local.Dist || bound.Prunes(c.lb) {
 				continue
 			}
-			if err := readRawAt(ix.rawFile, seriesLen, c.pos, scratch); err != nil {
+			if err := readRawAt(ix.rawFile, ix.rawSums, seriesLen, c.pos, scratch); err != nil {
 				return err
 			}
 			local.VisitedRecords++

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/core"
+)
+
+// checksumGate is the acceptance bound on the integrity tax: the
+// checksummed read path must keep at least this fraction of the
+// unchecksummed exact-query throughput (<= 5% regression).
+const checksumGate = 0.95
+
+// ChecksumOverhead measures what end-to-end integrity costs: the same
+// Coconut-Tree is bulk-loaded and exact-queried twice, once in the legacy
+// unchecksummed format and once with per-block CRC32-C on every page plus
+// the raw-dataset record sidecar. The table reports build wall, index
+// size, and query throughput for both, and the figure fails outright if
+// checksummed query throughput drops below 95% of the legacy run — the
+// gate that keeps "verify every byte you read" affordable enough to be
+// the default.
+//
+// Each mode's query pass runs three times and keeps the best wall clock,
+// so the gate compares the modes' intrinsic cost rather than scheduler
+// noise.
+func ChecksumOverhead(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "ChecksumOverhead",
+		Title:  "Block-checksum overhead: build + exact-query throughput, checksums on vs off",
+		Header: []string{"checksums", "build", "index bytes", "queries", "best wall", "queries/s", "vs off"},
+	}
+	type mode struct {
+		label     string
+		checksums bool
+	}
+	modes := []mode{{"off", false}, {"on", true}}
+	var baseQPS float64
+	for _, m := range modes {
+		e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := e.coreOptions(false, budgetFor(sc, sc.BaseCount, 0.25))
+		if err != nil {
+			return nil, err
+		}
+		opt.Checksums = m.checksums
+		buildStart := time.Now()
+		ix, err := core.BuildTree(opt)
+		if err != nil {
+			return nil, err
+		}
+		buildWall := time.Since(buildStart)
+		qs := e.queries(sc.Queries * 2)
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for _, q := range qs {
+				if _, err := ix.ExactSearch(q, 1); err != nil {
+					ix.Close()
+					return nil, err
+				}
+			}
+			wall := time.Since(start)
+			if best == 0 || wall < best {
+				best = wall
+			}
+		}
+		size := ix.SizeBytes()
+		if err := ix.Close(); err != nil {
+			return nil, err
+		}
+		qps := float64(len(qs)) / best.Seconds()
+		rel := "1.00x"
+		if m.checksums {
+			rel = fmt.Sprintf("%.2fx", qps/baseQPS)
+			if qps < checksumGate*baseQPS {
+				return nil, fmt.Errorf(
+					"experiments: checksummed exact-query throughput %.0f/s is below %.0f%% of the unchecksummed %.0f/s",
+					qps, checksumGate*100, baseQPS)
+			}
+		} else {
+			baseQPS = qps
+		}
+		t.Add(m.label, ms(buildWall), fmt.Sprint(size), fmt.Sprint(len(qs)),
+			ms(best), fmt.Sprintf("%.0f", qps), rel)
+	}
+	return t, nil
+}

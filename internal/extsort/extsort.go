@@ -68,6 +68,20 @@ type Config struct {
 	// It lets callers capture the sorted stream (e.g. LSM compaction
 	// building its in-memory key array) without a second read pass.
 	Tee func(rec []byte)
+	// WrapOut, when non-nil, wraps the final output file handle right
+	// after creation and before any bytes are written — the hook the LSM
+	// uses to give run files a checksummed physical layout. It applies
+	// only to outName: temporary runs and intermediate merge generations
+	// are written through unwrapped handles and deleted before Sort or
+	// Merge returns. The wrapper's Close is called in place of the inner
+	// file's.
+	WrapOut func(storage.File) (storage.File, error)
+	// WrapIn, when non-nil, wraps the handle of each ORIGINAL input run
+	// named in a Merge call right after open — the read-side counterpart
+	// of WrapOut for inputs stored in a checksummed physical layout.
+	// Intermediate files extsort itself wrote are opened unwrapped. Sort
+	// ignores it (Sort's inputs come from a reader, not run files).
+	WrapIn func(storage.File) (storage.File, error)
 }
 
 func (c *Config) validate() error {
@@ -116,6 +130,7 @@ func Sort(cfg Config, in io.Reader, outName string) (int64, error) {
 		return 0, err
 	}
 	cfg.Compare = totalOrder(cfg.Compare)
+	cfg.WrapIn = nil // Sort's run files are its own, never pre-checksummed
 	runs, total, err := makeRuns(cfg, in)
 	if err != nil {
 		cleanup(cfg.FS, runs)
@@ -335,12 +350,30 @@ func writeRun(cfg Config, name string, data []byte, bufSize int) error {
 // path, along with a partially written outName.
 func mergeAll(cfg Config, runs []string, outName string, ownsInputs bool) (err error) {
 	if len(runs) == 0 {
-		// Empty input: create an empty output file.
+		// Empty input: create an empty output file (wrapped, so even an
+		// empty checksummed output carries its header).
 		f, cerr := cfg.FS.Create(outName)
 		if cerr != nil {
 			return cerr
 		}
+		if cfg.WrapOut != nil {
+			wf, werr := cfg.WrapOut(f)
+			if werr != nil {
+				f.Close()
+				return werr
+			}
+			f = wf
+		}
 		return f.Close()
+	}
+	// Only the caller's original runs may be in a wrapped (checksummed)
+	// physical layout; intermediates below are extsort's own raw files.
+	var orig map[string]bool
+	if cfg.WrapIn != nil {
+		orig = make(map[string]bool, len(runs))
+		for _, n := range runs {
+			orig[n] = true
+		}
 	}
 	cur, owned := runs, ownsInputs
 	outCreated := false
@@ -364,7 +397,7 @@ func mergeAll(cfg Config, runs []string, outName string, ownsInputs bool) (err e
 		finalFanIn = 2
 	}
 	for gen := 0; len(cur) > finalFanIn; gen++ {
-		next, gerr := mergeGeneration(cfg, cur, gen, owned)
+		next, gerr := mergeGeneration(cfg, cur, gen, owned, orig)
 		if gerr != nil {
 			return gerr
 		}
@@ -374,10 +407,10 @@ func mergeAll(cfg Config, runs []string, outName string, ownsInputs bool) (err e
 	if len(cur) == 1 {
 		// Single run: rename by copy (VFS has no rename; a sequential copy
 		// keeps the I/O pattern honest).
-		if err := copyFile(cfg, cur[0], outName, markOut); err != nil {
+		if err := copyFile(cfg, cur[0], outName, markOut, orig); err != nil {
 			return err
 		}
-	} else if err := mergeOnce(cfg, cur, outName, cfg.Tee, markOut); err != nil {
+	} else if err := mergeOnce(cfg, cur, outName, cfg.Tee, markOut, cfg.WrapOut, orig); err != nil {
 		return err
 	}
 	if owned {
@@ -392,7 +425,7 @@ func mergeAll(cfg Config, runs []string, outName string, ownsInputs bool) (err e
 // goroutines. On success the group outputs are returned and (when owned)
 // the inputs have been deleted; on error every output this generation
 // produced is removed and the surviving inputs are left to the caller.
-func mergeGeneration(cfg Config, inputs []string, gen int, owned bool) ([]string, error) {
+func mergeGeneration(cfg Config, inputs []string, gen int, owned bool, orig map[string]bool) ([]string, error) {
 	// Partition the budget: each concurrent merge holds fanIn+1 buffers, so
 	// running Workers merges at once shrinks the per-merge fan-in. A tiny
 	// fan-in multiplies full passes over the data, which costs far more
@@ -437,7 +470,7 @@ func mergeGeneration(cfg Config, inputs []string, gen int, owned bool) ([]string
 			defer func() { <-sem }()
 			// Intermediate generations never tee: only the final pass over
 			// outName sees each record exactly once.
-			if err := mergeOnce(cfg, inputs[lo:hi], outs[g], nil, nil); err != nil {
+			if err := mergeOnce(cfg, inputs[lo:hi], outs[g], nil, nil, nil, orig); err != nil {
 				errs[g] = err
 				return
 			}
@@ -497,13 +530,21 @@ func (h *mergeHeap) Pop() any {
 // mergeOnce merges runs into outName. onCreate, when non-nil, fires right
 // after the output file is created/truncated — the point from which a
 // pre-existing file at outName is gone and cleanup owns the path.
-func mergeOnce(cfg Config, runs []string, outName string, tee func([]byte), onCreate func()) (err error) {
+func mergeOnce(cfg Config, runs []string, outName string, tee func([]byte), onCreate func(), wrap func(storage.File) (storage.File, error), orig map[string]bool) (err error) {
 	out, err := cfg.FS.Create(outName)
 	if err != nil {
 		return err
 	}
 	if onCreate != nil {
 		onCreate()
+	}
+	if wrap != nil {
+		wrapped, werr := wrap(out)
+		if werr != nil {
+			out.Close()
+			return werr
+		}
+		out = wrapped
 	}
 	defer func() {
 		// A failed Close can mean deferred write-back errors (ENOSPC/EIO);
@@ -522,7 +563,7 @@ func mergeOnce(cfg Config, runs []string, outName string, tee func([]byte), onCr
 		}
 	}()
 	for _, name := range runs {
-		f, err := cfg.FS.Open(name)
+		f, err := openInput(cfg, name, orig)
 		if err != nil {
 			return err
 		}
@@ -559,11 +600,29 @@ func mergeOnce(cfg Config, runs []string, outName string, tee func([]byte), onCr
 	return w.Flush()
 }
 
+// openInput opens one merge input, wrapping it with WrapIn when it is one
+// of the caller's original runs (orig) rather than an intermediate.
+func openInput(cfg Config, name string, orig map[string]bool) (storage.File, error) {
+	f, err := cfg.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WrapIn != nil && orig[name] {
+		wf, werr := cfg.WrapIn(f)
+		if werr != nil {
+			f.Close()
+			return nil, werr
+		}
+		return wf, nil
+	}
+	return f, nil
+}
+
 // copyFile sequentially copies from to to. It is the final pass when a
 // single run remains, so a configured Tee sees every record here too;
 // onCreate fires as in mergeOnce.
-func copyFile(cfg Config, from, to string, onCreate func()) (err error) {
-	src, err := cfg.FS.Open(from)
+func copyFile(cfg Config, from, to string, onCreate func(), orig map[string]bool) (err error) {
+	src, err := openInput(cfg, from, orig)
 	if err != nil {
 		return err
 	}
@@ -574,6 +633,14 @@ func copyFile(cfg Config, from, to string, onCreate func()) (err error) {
 	}
 	if onCreate != nil {
 		onCreate()
+	}
+	if cfg.WrapOut != nil {
+		wrapped, werr := cfg.WrapOut(dst)
+		if werr != nil {
+			dst.Close()
+			return werr
+		}
+		dst = wrapped
 	}
 	defer func() {
 		if cerr := dst.Close(); cerr != nil && err == nil {

@@ -111,7 +111,39 @@ type Options struct {
 	// BenchmarkAppendDurable group-commit comparison measures against; it
 	// has no other use.
 	WALSyncEveryAppend bool
+	// Checksums writes run files in the checksummed-block format and
+	// maintains a per-record CRC sidecar for the raw dataset, so every
+	// read path detects bit rot as storage.ErrCorruptData instead of
+	// serving wrong bytes. The flag is a property of the stored bytes:
+	// it is recorded in the manifest and Open adopts the stored value.
+	Checksums bool
+	// AllowDegraded turns corruption at Open time into graceful
+	// degradation: a run whose file is corrupt (or missing) is QUARANTINED
+	// — withheld from queries and compactions but kept in the manifest —
+	// instead of failing the open, and a corrupt WAL tail is reconstructed
+	// from the raw dataset (every raw position not covered by a healthy
+	// run re-summarizes into the memtable). Queries then answer over the
+	// healthy remainder and Degraded() reports the loss; see
+	// RebuildQuarantined for repair. Off by default: corruption fails
+	// loudly with storage.ErrCorruptData.
+	AllowDegraded bool
+	// RawSums optionally supplies an externally owned raw-dataset CRC
+	// sidecar (the partition layer's: the parent owns the shared raw file
+	// and its sidecar, children verify through the shared handle). When
+	// nil and Checksums is set, the index builds and maintains its own.
+	RawSums *storage.RecordSums
+	// Owns restricts reconstruction-from-raw — degraded WAL recovery and
+	// RebuildQuarantined — to the records this index owns. A partition
+	// child shares the raw dataset with its siblings; without the filter
+	// a reconstruction would re-index every sibling's records too. Nil
+	// means the index owns every raw record.
+	Owns func(summary.Key) bool
 }
+
+// runBlockPayload is the checksummed-block payload size for run files.
+// Records are not block-aligned — the block layer is offset-transparent —
+// so any size works; 4 KiB keeps one CRC per page-ish span.
+const runBlockPayload = 4096
 
 func (o *Options) validate() error {
 	switch {
@@ -211,7 +243,18 @@ type memEntry struct {
 type Index struct {
 	opt     Options
 	rawFile storage.File
-	mu      sync.RWMutex
+	// rawSums verifies raw-dataset reads when checksums are on; ownSums
+	// marks the handle as this index's own (maintained on appends) rather
+	// than the partition layer's shared one.
+	rawSums *storage.RecordSums
+	ownSums bool
+	// quarantined holds the manifest records of runs withheld at Open
+	// because their files were corrupt or missing (Options.AllowDegraded).
+	// They stay in every committed manifest — the files, where they exist,
+	// are never deleted by compaction — until RebuildQuarantined replaces
+	// them from the raw dataset.
+	quarantined []manifest.RunInfo
+	mu          sync.RWMutex
 	// cond (on the write side of mu) signals backpressure waiters and
 	// Sync/Close drains whenever a compaction finishes or fails.
 	cond    *sync.Cond
@@ -301,6 +344,7 @@ func Build(opt Options) (*Index, error) {
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
 		Tee:        r.capture,
+		WrapOut:    ix.wrapOut(),
 	}
 	var n int64
 	if opt.RecordsName != "" {
@@ -342,6 +386,10 @@ func Build(opt Options) (*Index, error) {
 		_ = opt.FS.Remove(name)
 	}
 	ix.count = n
+	if err := ix.attachRawSums(true); err != nil {
+		raw.Close()
+		return nil, err
+	}
 	// Pre-create WAL segment 0 so the manifest below references it: an
 	// acknowledged append may only ever land in a manifest-referenced
 	// segment (or one replay probes forward to), or a crash could lose it.
@@ -388,6 +436,168 @@ func (ix *Index) runName() string {
 	name := fmt.Sprintf("%s.run.%06d", ix.opt.Name, ix.nextRun)
 	ix.nextRun++
 	return name
+}
+
+// wrapOut returns the extsort final-output wrapper that writes run files in
+// the checksummed-block format, or nil when checksums are off.
+func (ix *Index) wrapOut() func(storage.File) (storage.File, error) {
+	if !ix.opt.Checksums {
+		return nil
+	}
+	return func(f storage.File) (storage.File, error) {
+		return storage.CreateChecksumFile(f, runBlockPayload)
+	}
+}
+
+// attachRawSums attaches the raw-dataset CRC sidecar: the externally owned
+// handle when Options.RawSums is set, or the index's own — built fresh on
+// Build (an existing sidecar may describe a replaced dataset), reused and
+// reconciled on Open, rebuilt when missing (legacy index upgraded in place).
+func (ix *Index) attachRawSums(fresh bool) error {
+	opt := &ix.opt
+	if !opt.Checksums {
+		return nil
+	}
+	if opt.RawSums != nil {
+		ix.rawSums = opt.RawSums
+		return nil
+	}
+	recSize := series.EncodedSize(opt.S.Params().SeriesLen)
+	var sums *storage.RecordSums
+	var err error
+	if !fresh {
+		sums, err = storage.OpenRecordSums(opt.FS, opt.RawName, recSize)
+	}
+	if fresh || errors.Is(err, storage.ErrNotExist) {
+		if sums, err = storage.BuildRecordSums(opt.FS, opt.RawName, recSize); err != nil {
+			return fmt.Errorf("lsm: building raw sidecar: %w", err)
+		}
+		ix.rawSums, ix.ownSums = sums, true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lsm: opening raw sidecar: %w", err)
+	}
+	// The raw file may have grown past the sidecar's last flush (crash
+	// between a raw append and the sidecar flush — with the WAL on, a torn
+	// trailing partial record is excluded by the floor division, exactly
+	// like replay); backfill from the fsynced raw bytes.
+	size, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	if err := sums.Reconcile(ix.rawFile, size/int64(recSize)); err != nil {
+		return fmt.Errorf("lsm: reconciling raw sidecar: %w", err)
+	}
+	ix.rawSums, ix.ownSums = sums, true
+	return nil
+}
+
+// Degraded reports whether the index is answering over a partial record
+// set: one or more runs were quarantined at Open because their files were
+// corrupt or missing. Callers that require complete answers must treat any
+// result from a degraded index as a lower bound over the healthy remainder.
+func (ix *Index) Degraded() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.quarantined) > 0
+}
+
+// QuarantinedRuns lists the file names of quarantined runs (empty when
+// healthy).
+func (ix *Index) QuarantinedRuns() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	names := make([]string, len(ix.quarantined))
+	for i, ri := range ix.quarantined {
+		names[i] = ri.Name
+	}
+	return names
+}
+
+// RebuildQuarantined repairs a degraded index: the records of every
+// quarantined run are re-derived from the raw dataset (read through the
+// verifying sidecar) and installed as one fresh bulk run, after which the
+// corrupt files are deleted. The lost records are exactly the raw
+// positions no healthy run or memtable entry covers — runs partition the
+// record positions — so the repaired index answers over the identical
+// record multiset, and window invariance makes its answers byte-identical
+// to the pre-corruption index's. No-op on a healthy index.
+func (ix *Index) RebuildQuarantined() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.bgErr != nil {
+		return ix.bgErr
+	}
+	if len(ix.quarantined) == 0 {
+		return nil
+	}
+	covered := make(map[int64]bool, ix.count)
+	for _, r := range ix.runs {
+		for _, p := range r.positions {
+			covered[p] = true
+		}
+	}
+	for _, e := range ix.mem {
+		covered[e.pos] = true
+	}
+	p := ix.opt.S.Params()
+	sz := int64(series.EncodedSize(p.SeriesLen))
+	rawSize, err := ix.rawFile.Size()
+	if err != nil {
+		return err
+	}
+	var entries []memEntry
+	s := make(series.Series, p.SeriesLen)
+	for pos := int64(0); pos < rawSize/sz; pos++ {
+		if covered[pos] {
+			continue
+		}
+		if err := ix.readRaw(pos, s); err != nil {
+			return err
+		}
+		key, kerr := ix.opt.S.KeyOf(s)
+		if kerr != nil {
+			return kerr
+		}
+		if ix.opt.Owns != nil && !ix.opt.Owns(key) {
+			continue
+		}
+		entries = append(entries, memEntry{key: key, pos: pos})
+	}
+	old := ix.quarantined
+	ix.quarantined = nil
+	if len(entries) > 0 {
+		sort.Slice(entries, func(a, b int) bool {
+			if c := entries[a].key.Compare(entries[b].key); c != 0 {
+				return c < 0
+			}
+			return lePosLess(entries[a].pos, entries[b].pos)
+		})
+		r, werr := ix.writeRunFile(ix.runName(), entries, BulkTier, ix.nextSeq, 0)
+		if werr != nil {
+			ix.quarantined = old
+			return werr
+		}
+		ix.runs = append(ix.runs, r)
+		ix.nextSeq++
+		ix.count += r.count
+	}
+	if err := ix.commitManifestLocked(); err != nil {
+		// Same stickiness as a failed compaction swap: durably the old
+		// manifest (which still references the quarantined files) stays
+		// authoritative, so no later commit may supersede it.
+		if ix.bgErr == nil {
+			ix.bgErr = err
+		}
+		return err
+	}
+	for _, ri := range old {
+		if err := ix.opt.FS.Remove(ri.Name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
 }
 
 // memCapacity returns the memtable capacity in records.
@@ -464,6 +674,9 @@ func (ix *Index) appendLocked(batch []series.Series) (int64, error) {
 		enc = series.AppendEncode(enc[:0], s)
 		if _, err := ix.rawFile.WriteAt(enc, pos*sz); err != nil {
 			return 0, err
+		}
+		if ix.ownSums {
+			ix.rawSums.Set(pos, enc)
 		}
 		ix.mem = append(ix.mem, memEntry{key: keys[i], pos: pos})
 		pending = append(pending, Entry{Key: keys[i], Pos: pos})
@@ -615,36 +828,17 @@ func (ix *Index) flushLocked() error {
 	if err := ix.rawFile.Sync(); err != nil {
 		return err
 	}
-	name := ix.runName()
-	f, err := ix.opt.FS.Create(name)
-	if err != nil {
-		return err
-	}
-	w := storage.NewSequentialWriter(f, 0, 0)
-	rec := make([]byte, recordSize)
-	r := &run{name: name, tier: 0, count: int64(len(ix.mem)),
-		seq: ix.nextSeq, tierSeq: ix.tier0Seq}
-	for _, e := range ix.mem {
-		copy(rec, e.key[:])
-		binary.LittleEndian.PutUint64(rec[summary.KeySize:], uint64(e.pos))
-		if _, err := w.Write(rec); err != nil {
-			f.Close()
+	// The sidecar trails the raw file it describes; flushing it here keeps
+	// "sidecar covers every position a durable run references" an
+	// invariant, so reopen-time reconciliation only ever backfills the
+	// unflushed memtable tail.
+	if ix.ownSums {
+		if err := ix.rawSums.Flush(); err != nil {
 			return err
 		}
-		r.keys = append(r.keys, e.key)
-		r.positions = append(r.positions, e.pos)
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	// The manifest commit below will reference this run; its bytes must be
-	// on stable storage first.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	r, err := ix.writeRunFile(ix.runName(), ix.mem, 0, ix.nextSeq, ix.tier0Seq)
+	if err != nil {
 		return err
 	}
 	ix.mem = ix.mem[:0]
@@ -707,6 +901,49 @@ func (ix *Index) flushLocked() error {
 		ix.cond.Wait()
 	}
 	return ix.bgErr
+}
+
+// writeRunFile persists one sorted run file — in the checksummed-block
+// format when checksums are on — fsyncs it (the manifest commit that will
+// reference it requires the bytes on stable storage first), and returns
+// the loaded run handle.
+func (ix *Index) writeRunFile(name string, entries []memEntry, tier int, seq int64, tierSeq int) (*run, error) {
+	inner, err := ix.opt.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f := storage.File(inner)
+	if ix.opt.Checksums {
+		if f, err = storage.CreateChecksumFile(inner, runBlockPayload); err != nil {
+			inner.Close()
+			return nil, err
+		}
+	}
+	w := storage.NewSequentialWriter(f, 0, 0)
+	rec := make([]byte, recordSize)
+	r := &run{name: name, tier: tier, count: int64(len(entries)), seq: seq, tierSeq: tierSeq}
+	for _, e := range entries {
+		copy(rec, e.key[:])
+		binary.LittleEndian.PutUint64(rec[summary.KeySize:], uint64(e.pos))
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			return nil, err
+		}
+		r.keys = append(r.keys, e.key)
+		r.positions = append(r.positions, e.pos)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return r, nil
 }
 
 // tier0CountLocked counts on-disk tier-0 runs, claimed ones included: a
@@ -859,7 +1096,7 @@ func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 	}
 	newRun := &run{name: job.outName, tier: job.outTier,
 		seq: job.outSeq, tierSeq: job.group}
-	err := extsort.Merge(extsort.Config{
+	cfg := extsort.Config{
 		FS:         ix.opt.FS,
 		RecordSize: recordSize,
 		Compare:    extsort.CompareKeyPrefix(summary.KeySize),
@@ -867,7 +1104,17 @@ func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 		TempPrefix: job.outName + ".compact",
 		Workers:    ix.opt.Workers,
 		Tee:        newRun.capture,
-	}, names, job.outName)
+		WrapOut:    ix.wrapOut(),
+	}
+	if ix.opt.Checksums {
+		// Input runs are in the checksummed layout; reading them through
+		// the verifying layer means a compaction can never launder rotted
+		// records into a fresh (correctly checksummed) run.
+		cfg.WrapIn = func(f storage.File) (storage.File, error) {
+			return storage.OpenChecksumFile(f)
+		}
+	}
+	err := extsort.Merge(cfg, names, job.outName)
 	if err != nil {
 		return nil, err
 	}
@@ -1182,6 +1429,26 @@ func (ix *Index) manifestLocked() *manifest.Manifest {
 		runs[i] = ri
 		total += r.count
 	}
+	// Quarantined runs stay in every committed manifest (merged back in by
+	// seq — both lists are age-ordered) until RebuildQuarantined replaces
+	// them: dropping them would turn a detected corruption into a silent
+	// permanent data loss on the next reopen.
+	if len(ix.quarantined) > 0 {
+		merged := make([]manifest.RunInfo, 0, len(runs)+len(ix.quarantined))
+		qi := 0
+		for _, ri := range runs {
+			for qi < len(ix.quarantined) && ix.quarantined[qi].Seq < ri.Seq {
+				merged = append(merged, ix.quarantined[qi])
+				qi++
+			}
+			merged = append(merged, ri)
+		}
+		merged = append(merged, ix.quarantined[qi:]...)
+		runs = merged
+		for _, ri := range ix.quarantined {
+			total += ri.Count
+		}
+	}
 	m := &manifest.Manifest{
 		Variant:   manifest.VariantLSM,
 		SeriesLen: p.SeriesLen,
@@ -1189,6 +1456,7 @@ func (ix *Index) manifestLocked() *manifest.Manifest {
 		CardBits:  p.CardBits,
 		RawName:   ix.opt.RawName,
 		Count:     total,
+		Checksums: ix.opt.Checksums,
 		LSM: &manifest.LSMLayout{
 			Fanout:      ix.opt.Fanout,
 			NextRun:     ix.nextRun,
@@ -1213,6 +1481,11 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 			err = io.ErrUnexpectedEOF
 		}
 		return fmt.Errorf("lsm: raw series %d: %w", pos, err)
+	}
+	if ix.rawSums != nil {
+		if err := ix.rawSums.Verify(pos, buf); err != nil {
+			return fmt.Errorf("lsm: raw series %d: %w", pos, err)
+		}
 	}
 	series.DecodeInto(buf, dst)
 	return nil

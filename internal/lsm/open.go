@@ -58,6 +58,9 @@ func Open(opt Options) (*Index, error) {
 		return nil, fmt.Errorf("lsm: %w: fanout %d, stored index was built with %d",
 			manifest.ErrConfigMismatch, opt.Fanout, m.LSM.Fanout)
 	}
+	// The checksummed-block layout is a property of the stored bytes, not
+	// of this process's configuration; adopt the manifest's flag.
+	opt.Checksums = m.Checksums
 
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
@@ -69,24 +72,39 @@ func Open(opt Options) (*Index, error) {
 	ix.cond = sync.NewCond(&ix.mu)
 
 	lastSeq := int64(-1)
+	var quarantinedCount int64
 	for i, ri := range m.LSM.Runs {
 		if ri.Seq < lastSeq {
 			raw.Close()
 			return nil, fmt.Errorf("lsm: %w: runs out of age order", manifest.ErrCorruptManifest)
 		}
 		lastSeq = ri.Seq
-		r, err := loadRun(opt.FS, ri)
+		r, err := loadRun(opt.FS, ri, opt.Checksums)
 		if err != nil {
+			if opt.AllowDegraded && (errors.Is(err, storage.ErrCorruptData) ||
+				errors.Is(err, manifest.ErrCorruptManifest) || errors.Is(err, storage.ErrNotExist)) {
+				// Quarantine: the run's records stay accounted for in every
+				// manifest this handle commits, queries answer over the
+				// healthy remainder, and RebuildQuarantined can re-derive
+				// the lost records from the raw dataset.
+				ix.quarantined = append(ix.quarantined, ri)
+				quarantinedCount += ri.Count
+				continue
+			}
 			raw.Close()
 			return nil, fmt.Errorf("lsm: reloading run %d (%s): %w", i, ri.Name, err)
 		}
 		ix.runs = append(ix.runs, r)
 		ix.count += r.count
 	}
-	if ix.count != m.Count {
+	if ix.count+quarantinedCount != m.Count {
 		raw.Close()
 		return nil, fmt.Errorf("lsm: %w: runs hold %d records, manifest says %d",
-			manifest.ErrCorruptManifest, ix.count, m.Count)
+			manifest.ErrCorruptManifest, ix.count+quarantinedCount, m.Count)
+	}
+	if err := ix.attachRawSums(false); err != nil {
+		raw.Close()
+		return nil, err
 	}
 	ix.nextRun = m.LSM.NextRun
 	ix.nextSeq = m.LSM.NextSeq
@@ -149,10 +167,60 @@ func (ix *Index) recoverWAL(m *manifest.Manifest) error {
 	}
 	rawRecs := rawSize / int64(series.EncodedSize(opt.S.Params().SeriesLen))
 	var replayed []Entry
+	var reclaimed []string
 	last, err := walReplay(opt.FS, opt.Name, ix.walFirstSeg, ix.walNextSeg,
 		ix.walFlushed, rawRecs, func(e Entry) { replayed = append(replayed, e) })
 	if err != nil {
-		return err
+		if !opt.AllowDegraded || !errors.Is(err, storage.ErrCorruptData) {
+			return err
+		}
+		// A rotted WAL segment under AllowDegraded: the log can no longer
+		// say which tail entries were acknowledged, but the raw dataset —
+		// verified record by record against its CRC sidecar — still holds
+		// every acknowledged byte (raw writes precede their log record, and
+		// flushes fsync raw before advancing the cursor). Rebuild the
+		// memtable as "every raw record no healthy run covers": a superset
+		// of the acknowledged tail (re-indexing an unacknowledged record is
+		// harmless), and it also re-derives the records of any runs
+		// quarantined above, whose quarantine is lifted here — their files
+		// are deleted once the commit below stops referencing them.
+		replayed = replayed[:0]
+		covered := make(map[int64]bool, ix.count)
+		for _, r := range ix.runs {
+			for _, p := range r.positions {
+				covered[p] = true
+			}
+		}
+		s := make(series.Series, opt.S.Params().SeriesLen)
+		for pos := int64(0); pos < rawRecs; pos++ {
+			if covered[pos] {
+				continue
+			}
+			if err := ix.readRaw(pos, s); err != nil {
+				return err
+			}
+			key, kerr := opt.S.KeyOf(s)
+			if kerr != nil {
+				return kerr
+			}
+			if opt.Owns != nil && !opt.Owns(key) {
+				continue
+			}
+			replayed = append(replayed, Entry{Key: key, Pos: pos})
+		}
+		for _, ri := range ix.quarantined {
+			reclaimed = append(reclaimed, ri.Name)
+		}
+		ix.quarantined = nil
+		last = ix.walFlushed + int64(len(replayed))
+	}
+	removeReclaimed := func() error {
+		for _, name := range reclaimed {
+			if err := opt.FS.Remove(name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+				return err
+			}
+		}
+		return nil
 	}
 	for _, e := range replayed {
 		ix.mem = append(ix.mem, memEntry{key: e.Key, pos: e.Pos})
@@ -181,6 +249,9 @@ func (ix *Index) recoverWAL(m *manifest.Manifest) error {
 		}
 		ix.mu.Unlock()
 		if err != nil {
+			return err
+		}
+		if err := removeReclaimed(); err != nil {
 			return err
 		}
 		return ix.removeWALSegments(oldFirst, next)
@@ -213,6 +284,9 @@ func (ix *Index) recoverWAL(m *manifest.Manifest) error {
 	if err != nil {
 		return err
 	}
+	if err := removeReclaimed(); err != nil {
+		return err
+	}
 	return ix.removeWALSegments(oldFirst, next)
 }
 
@@ -235,14 +309,33 @@ func (ix *Index) removeWALSegments(first, next int) error {
 	return nil
 }
 
+// errCorruptRun types a damaged run file as BOTH kinds of corruption: the
+// manifest's promises about the file are broken (the historical type
+// callers match on) and the stored bytes themselves are bad (the typed
+// on-disk corruption error the integrity layer introduces).
+var errCorruptRun = fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, storage.ErrCorruptData)
+
 // loadRun reloads one immutable run's in-memory key array from its file —
 // a single sequential read — and verifies it against the manifest's
 // integrity bounds: exact byte size, record count, first/last key, and
-// sortedness under the refined (key, encoded position) order.
-func loadRun(fs storage.FS, ri manifest.RunInfo) (*run, error) {
-	f, err := fs.Open(ri.Name)
+// sortedness under the refined (key, encoded position) order. With
+// checksums on, the read goes through the verifying block layer, so
+// bit-rot anywhere in the file surfaces here as errCorruptRun rather than
+// as silently wrong keys.
+func loadRun(fs storage.FS, ri manifest.RunInfo, checksums bool) (*run, error) {
+	inner, err := fs.Open(ri.Name)
 	if err != nil {
 		return nil, err
+	}
+	f := storage.File(inner)
+	if checksums {
+		if f, err = storage.OpenChecksumFile(inner); err != nil {
+			inner.Close()
+			if errors.Is(err, storage.ErrCorruptData) {
+				return nil, fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, err)
+			}
+			return nil, err
+		}
 	}
 	defer f.Close()
 	size, err := f.Size()
@@ -251,7 +344,7 @@ func loadRun(fs storage.FS, ri manifest.RunInfo) (*run, error) {
 	}
 	if size != ri.Count*recordSize {
 		return nil, fmt.Errorf("%w: run file is %d bytes, manifest says %d records of %d bytes",
-			manifest.ErrCorruptManifest, size, ri.Count, recordSize)
+			errCorruptRun, size, ri.Count, recordSize)
 	}
 	r := &run{name: ri.Name, tier: ri.Tier, count: ri.Count, seq: ri.Seq, tierSeq: ri.TierSeq}
 	r.keys = make([]summary.Key, 0, ri.Count)
@@ -260,15 +353,15 @@ func loadRun(fs storage.FS, ri manifest.RunInfo) (*run, error) {
 	rec := make([]byte, recordSize)
 	for i := int64(0); i < ri.Count; i++ {
 		if _, err := io.ReadFull(sr, rec); err != nil {
-			return nil, fmt.Errorf("%w: short run file: %v", manifest.ErrCorruptManifest, err)
+			return nil, fmt.Errorf("%w: short run file: %w", errCorruptRun, err)
 		}
 		r.capture(rec)
 	}
 	if len(r.keys) == 0 {
-		return nil, fmt.Errorf("%w: empty run", manifest.ErrCorruptManifest)
+		return nil, fmt.Errorf("%w: empty run", errCorruptRun)
 	}
 	if r.keys[0] != ri.MinKey || r.keys[len(r.keys)-1] != ri.MaxKey {
-		return nil, fmt.Errorf("%w: run key range does not match manifest", manifest.ErrCorruptManifest)
+		return nil, fmt.Errorf("%w: run key range does not match manifest", errCorruptRun)
 	}
 	if !sort.SliceIsSorted(r.keys, func(a, b int) bool {
 		if c := r.keys[a].Compare(r.keys[b]); c != 0 {
@@ -276,7 +369,7 @@ func loadRun(fs storage.FS, ri manifest.RunInfo) (*run, error) {
 		}
 		return lePosLess(r.positions[a], r.positions[b])
 	}) {
-		return nil, fmt.Errorf("%w: run records out of order", manifest.ErrCorruptManifest)
+		return nil, fmt.Errorf("%w: run records out of order", errCorruptRun)
 	}
 	return r, nil
 }

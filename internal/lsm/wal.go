@@ -391,9 +391,20 @@ func (w *wal) close() error {
 // holds; an entry whose position lies beyond it references raw bytes that
 // never reached stable storage, so it — and, positions being monotone
 // within a segment, everything after it — was never acknowledged. A
-// missing segment (created but never synced), a torn header, a torn
-// record, or a CRC mismatch likewise ends that segment's acknowledged
-// prefix. Returns the LSN after the last recovered entry.
+// missing segment (created but never synced), a torn header, or a torn
+// record likewise ends that segment's acknowledged prefix.
+//
+// Replay is strict about the difference between a crash artifact and
+// bit-rot. A crash truncates: it can only shorten what a frame claims to
+// contain (torn header, frame extent past EOF, entry positions past the
+// recovered raw file). Those end the acknowledged prefix silently. But a
+// FULLY-PRESENT frame whose CRC does not match — or a complete header
+// with a wrong magic, or an impossible length field — cannot be produced
+// by losing a write suffix: the bytes exist and were never valid, so the
+// medium corrupted them after the fact. That is typed
+// storage.ErrCorruptData and fails replay loudly, because silently
+// dropping the frame would also drop every acknowledged entry after it.
+// Returns the LSN after the last recovered entry.
 func walReplay(fs storage.FS, name string, firstSeg, nextSeg int, flushed, rawRecs int64, apply func(Entry)) (int64, error) {
 	last := flushed
 	for seg := firstSeg; seg < nextSeg || fs.Exists(walSegName(name, seg)); seg++ {
@@ -404,49 +415,99 @@ func walReplay(fs storage.FS, name string, firstSeg, nextSeg int, flushed, rawRe
 			}
 			return 0, err
 		}
-		if len(data) < walHeaderSize ||
-			binary.LittleEndian.Uint32(data) != walMagic ||
-			binary.LittleEndian.Uint32(data[4:]) != walVersion {
-			continue
-		}
-		lsn := int64(binary.LittleEndian.Uint64(data[8:]))
-		off := int64(walHeaderSize)
-	records:
-		for off+walRecHeaderSize <= int64(len(data)) {
-			plen := int64(binary.LittleEndian.Uint32(data[off:]))
-			sum := binary.LittleEndian.Uint32(data[off+4:])
-			if plen < 4 || off+walRecHeaderSize+plen > int64(len(data)) {
-				break
-			}
-			payload := data[off+walRecHeaderSize : off+walRecHeaderSize+plen]
-			if crc32.Checksum(payload, walCRC) != sum {
-				break
-			}
-			count := int64(binary.LittleEndian.Uint32(payload))
-			if count*recordSize != plen-4 {
-				break
-			}
-			for i := int64(0); i < count; i++ {
-				rec := payload[4+i*recordSize:]
-				if lsn < flushed {
-					lsn++
-					continue
-				}
-				pos := int64(binary.LittleEndian.Uint64(rec[summary.KeySize:]))
-				if pos < 0 || pos >= rawRecs {
-					break records
-				}
-				var e Entry
-				copy(e.Key[:], rec[:summary.KeySize])
-				e.Pos = pos
-				apply(e)
-				lsn++
-			}
-			off += walRecHeaderSize + plen
+		lsn, err := walScanSegment(data, seg, flushed, rawRecs, apply)
+		if err != nil {
+			return 0, err
 		}
 		if lsn > last {
 			last = lsn
 		}
 	}
 	return last, nil
+}
+
+// walScanSegment applies one segment's recoverable entries (see walReplay
+// for the torn-vs-rot contract) and returns the LSN after the last one.
+func walScanSegment(data []byte, seg int, flushed, rawRecs int64, apply func(Entry)) (int64, error) {
+	if len(data) < walHeaderSize {
+		// Torn header: the segment was created but its first write
+		// never completed; nothing in it was acknowledged.
+		return flushed, nil
+	}
+	if binary.LittleEndian.Uint32(data) != walMagic ||
+		binary.LittleEndian.Uint32(data[4:]) != walVersion {
+		return 0, fmt.Errorf("lsm: wal segment %d: bad header: %w", seg, storage.ErrCorruptData)
+	}
+	lsn := int64(binary.LittleEndian.Uint64(data[8:]))
+	off := int64(walHeaderSize)
+records:
+	for off+walRecHeaderSize <= int64(len(data)) {
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen < 4 {
+			// The length field is present in full, and no writer ever
+			// logs a frame shorter than its count word — rot.
+			return 0, fmt.Errorf("lsm: wal segment %d: impossible frame length %d: %w",
+				seg, plen, storage.ErrCorruptData)
+		}
+		if off+walRecHeaderSize+plen > int64(len(data)) {
+			// Frame extent past EOF: a torn write; the frame was never
+			// acknowledged.
+			break
+		}
+		payload := data[off+walRecHeaderSize : off+walRecHeaderSize+plen]
+		if crc32.Checksum(payload, walCRC) != sum {
+			return 0, fmt.Errorf("lsm: wal segment %d: frame CRC mismatch at offset %d: %w",
+				seg, off, storage.ErrCorruptData)
+		}
+		count := int64(binary.LittleEndian.Uint32(payload))
+		if count*recordSize != plen-4 {
+			return 0, fmt.Errorf("lsm: wal segment %d: frame claims %d records in %d payload bytes: %w",
+				seg, count, plen-4, storage.ErrCorruptData)
+		}
+		for i := int64(0); i < count; i++ {
+			rec := payload[4+i*recordSize:]
+			if lsn < flushed {
+				lsn++
+				continue
+			}
+			pos := int64(binary.LittleEndian.Uint64(rec[summary.KeySize:]))
+			if pos < 0 || pos >= rawRecs {
+				break records
+			}
+			var e Entry
+			copy(e.Key[:], rec[:summary.KeySize])
+			e.Pos = pos
+			apply(e)
+			lsn++
+		}
+		off += walRecHeaderSize + plen
+	}
+	if lsn < flushed {
+		lsn = flushed
+	}
+	return lsn, nil
+}
+
+// WALSegmentName names WAL segment seg of the index name (exported for
+// the scrub walk).
+func WALSegmentName(name string, seg int) string { return walSegName(name, seg) }
+
+// VerifyWALSegment checks one WAL segment's frame structure and CRCs:
+// every fully-present frame must validate. Torn tails and missing files
+// are crash artifacts, not corruption, and pass. Returns the number of
+// acknowledged entries scanned.
+func VerifyWALSegment(fs storage.FS, name string, seg int) (int64, error) {
+	data, err := storage.ReadFileAll(fs, walSegName(name, seg))
+	if err != nil {
+		if errors.Is(err, storage.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var n int64
+	if _, err := walScanSegment(data, seg, 0, int64(^uint64(0)>>1), func(Entry) { n++ }); err != nil {
+		return n, err
+	}
+	return n, nil
 }

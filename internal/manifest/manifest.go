@@ -57,9 +57,11 @@ const (
 const (
 	magic uint32 = 0x464D4343 // "CCMF" little-endian
 	// version is the newest format this build writes. Version 2 added the
-	// LSM write-ahead-log cursor fields; version 1 manifests (pre-WAL)
-	// still decode, with those fields zero (no WAL segments to replay).
-	version    uint32 = 2
+	// LSM write-ahead-log cursor fields; version 3 added the Checksums
+	// format flag. Version 1 and 2 manifests (pre-WAL, pre-checksum)
+	// still decode, with those fields zero — an index without the flag is
+	// read through the legacy unchecksummed paths.
+	version    uint32 = 3
 	minVersion uint32 = 1
 	// headerSize is magic + version + payload length + CRC32-C.
 	headerSize = 16
@@ -176,6 +178,13 @@ type Manifest struct {
 	// Count is the number of series durably indexed (for LSM: the sum of
 	// the run counts; memtable contents are re-created by WAL replay).
 	Count int64
+	// Checksums records whether the index's persistent artifacts carry
+	// the checksummed physical layout (storage.ChecksumFile blocks for
+	// pages/leaves/runs, a record-sums sidecar for the raw file). Like
+	// Materialized it is a property of the stored bytes, not a knob:
+	// reopen adopts it. Format version 3; false in older manifests, whose
+	// indexes keep their legacy unchecksummed layout.
+	Checksums bool
 
 	// ver is the format version this manifest was decoded from (0 for a
 	// freshly built manifest). Encode re-emits the same version so that
@@ -205,6 +214,10 @@ func (m *Manifest) Encode() ([]byte, error) {
 		(m.LSM.WALFlushed != 0 || m.LSM.WALFirstSeg != 0 || m.LSM.WALNextSeg != 0) {
 		encVer = version
 	}
+	if encVer < 3 && m.Checksums {
+		// An older-format manifest cannot express the checksum flag.
+		encVer = version
+	}
 	switch m.Variant {
 	case VariantTree, VariantTrie, VariantLSM, VariantPartitioned:
 	default:
@@ -231,6 +244,9 @@ func (m *Manifest) Encode() ([]byte, error) {
 	w.u32(uint32(m.LeafCap))
 	w.str(m.RawName)
 	w.u64(uint64(m.Count))
+	if encVer >= 3 {
+		w.bool(m.Checksums)
+	}
 	switch m.Variant {
 	case VariantTree:
 		if m.Tree == nil {
@@ -350,6 +366,9 @@ func Decode(data []byte) (*Manifest, error) {
 	m.LeafCap = int(r.u32())
 	m.RawName = r.str()
 	m.Count = int64(r.u64())
+	if v >= 3 {
+		m.Checksums = r.bool()
+	}
 	switch m.Variant {
 	case VariantTree:
 		t := &TreeLayout{}

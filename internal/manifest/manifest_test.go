@@ -221,3 +221,73 @@ func TestCheckParams(t *testing.T) {
 		t.Fatalf("variant mismatch: got %v", err)
 	}
 }
+
+// TestChecksumFlagVersioning: the format-3 Checksums flag round-trips, and
+// older-format manifests keep encoding bit-exactly at their own version
+// with the flag reading as false — the legacy-compatibility contract.
+func TestChecksumFlagVersioning(t *testing.T) {
+	// A fresh manifest carries the flag at version 3.
+	m := sampleTree()
+	m.Checksums = true
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != 3 {
+		t.Fatalf("fresh manifest encoded at version %d, want 3", v)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Checksums {
+		t.Fatal("Checksums flag lost in round trip")
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(data) {
+		t.Fatal("v3 re-encode is not bit-exact")
+	}
+	// A version-2 manifest (no flag field) still round-trips bit-exactly.
+	m2 := sampleLSM()
+	m2.ver = 2
+	data2, err := m2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data2[4:]); v != 2 {
+		t.Fatalf("legacy manifest re-encoded at version %d, want 2", v)
+	}
+	got2, err := Decode(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Checksums {
+		t.Fatal("legacy manifest decoded with Checksums set")
+	}
+	re2, err := got2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re2) != string(data2) {
+		t.Fatal("v2 re-encode is not bit-exact")
+	}
+	// A legacy manifest that gains the flag is promoted to version 3.
+	got2.Checksums = true
+	data3, err := got2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data3[4:]); v != 3 {
+		t.Fatalf("flag-carrying manifest encoded at version %d, want 3", v)
+	}
+	got3, err := Decode(data3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got3.Checksums {
+		t.Fatal("promoted manifest lost the Checksums flag")
+	}
+}

@@ -26,6 +26,13 @@ type LSM struct {
 	kids    []*lsm.Index
 	g       gather
 
+	// rawSums is the parent-owned CRC sidecar for the shared dataset file
+	// (nil when checksums are off); the parent is the sole raw writer, so
+	// it alone appends to and flushes the sidecar. degraded names children
+	// quarantined whole at open (manifest unreadable).
+	rawSums  *storage.RecordSums
+	degraded []string
+
 	// mu serializes appends: raw-file writes assign global arrival-order
 	// positions before entries route to their owning partition's memtable.
 	mu      sync.Mutex
@@ -34,10 +41,14 @@ type LSM struct {
 
 // lsmChildOptions derives partition i's options: the global memory,
 // compaction-worker, and pending-run budgets divide across partitions so
-// aggregate resource use matches the unpartitioned configuration.
-func lsmChildOptions(opt lsm.Options, i, parts, buildPar int) lsm.Options {
+// aggregate resource use matches the unpartitioned configuration. The
+// ownership filter scopes any reconstruction-from-raw to the child's key
+// range — the raw dataset is shared, and a child re-indexing a sibling's
+// records would duplicate them across the index.
+func lsmChildOptions(opt lsm.Options, i, parts, buildPar int, bounds []summary.Key) lsm.Options {
 	co := opt
 	co.Name = childName(opt.Name, i)
+	co.Owns = func(k summary.Key) bool { return route(bounds, k) == i }
 	co.MemBudgetBytes = divideBudget(opt.MemBudgetBytes, parts, 64<<10)
 	co.Workers = shard.PerGroup(opt.Workers, buildPar)
 	co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, parts)
@@ -62,6 +73,14 @@ func BuildLSM(opt lsm.Options, parts int) (*LSM, error) {
 	bounds, err := selectBoundaries(opt.FS, opt.RawName, opt.S, parts)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Checksums {
+		recSize := series.EncodedSize(opt.S.Params().SeriesLen)
+		sums, serr := attachRawSums(opt.FS, opt.RawName, recSize, true)
+		if serr != nil {
+			return nil, serr
+		}
+		opt.RawSums = sums
 	}
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
@@ -91,7 +110,7 @@ func BuildLSM(opt lsm.Options, parts int) (*LSM, error) {
 		if cancelled() {
 			return nil
 		}
-		co := lsmChildOptions(opt, i, parts, buildPar)
+		co := lsmChildOptions(opt, i, parts, buildPar, bounds)
 		co.RecordsName = scatterName(opt.Name, i)
 		ix, err := lsm.Build(co)
 		if err != nil {
@@ -103,7 +122,7 @@ func BuildLSM(opt lsm.Options, parts int) (*LSM, error) {
 	removeScatter(opt.FS, opt.Name, parts)
 	if err == nil {
 		err = commitParent(opt.FS, opt.Name, manifest.VariantLSM, opt.S,
-			false, 0, opt.RawName, total, bounds, children)
+			false, 0, opt.RawName, total, opt.Checksums, bounds, children)
 	}
 	var rawFile storage.File
 	if err == nil {
@@ -117,7 +136,7 @@ func BuildLSM(opt lsm.Options, parts int) (*LSM, error) {
 		}
 		return nil, err
 	}
-	return newLSM(opt, bounds, kids, rawFile), nil
+	return newLSM(opt, bounds, kids, rawFile, nil), nil
 }
 
 // OpenLSM reopens a partitioned Coconut-LSM from its parent manifest; each
@@ -131,6 +150,17 @@ func OpenLSM(opt lsm.Options, parts int) (*LSM, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Checksums are a property of the stored bytes, not the caller's
+	// configuration: adopt the flag the build recorded.
+	opt.Checksums = m.Checksums
+	if opt.Checksums {
+		recSize := series.EncodedSize(opt.S.Params().SeriesLen)
+		sums, serr := attachRawSums(opt.FS, opt.RawName, recSize, false)
+		if serr != nil {
+			return nil, serr
+		}
+		opt.RawSums = sums
+	}
 	n := m.Part.Partitions
 	kids := make([]*lsm.Index, n)
 	closeKids := func() {
@@ -140,11 +170,16 @@ func OpenLSM(opt lsm.Options, parts int) (*LSM, error) {
 			}
 		}
 	}
+	var degraded []string
 	for i, cname := range m.Part.Children {
-		co := lsmChildOptions(opt, i, n, n)
+		co := lsmChildOptions(opt, i, n, n, m.Part.Boundaries)
 		co.Name = cname
 		ix, err := lsm.Open(co)
 		if err != nil {
+			if quarantineChild(opt.AllowDegraded, err) {
+				degraded = append(degraded, cname)
+				continue
+			}
 			closeKids()
 			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
 		}
@@ -155,21 +190,25 @@ func OpenLSM(opt lsm.Options, parts int) (*LSM, error) {
 		closeKids()
 		return nil, err
 	}
-	return newLSM(opt, m.Part.Boundaries, kids, rawFile), nil
+	return newLSM(opt, m.Part.Boundaries, kids, rawFile, degraded), nil
 }
 
-func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile storage.File) *LSM {
+func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile storage.File, degraded []string) *LSM {
 	l := &LSM{
-		s:       opt.S,
-		workers: opt.Workers,
-		noWAL:   opt.DisableWAL,
-		bounds:  bounds,
-		kids:    kids,
-		rawFile: rawFile,
+		s:        opt.S,
+		workers:  opt.Workers,
+		noWAL:    opt.DisableWAL,
+		bounds:   bounds,
+		kids:     kids,
+		rawFile:  rawFile,
+		rawSums:  opt.RawSums,
+		degraded: degraded,
 	}
 	sks := make([]searcher, len(kids))
 	for i, k := range kids {
-		sks[i] = lsmChild{k}
+		if k != nil {
+			sks[i] = lsmChild{k}
+		}
 	}
 	w := opt.Window
 	if w <= 0 {
@@ -270,6 +309,16 @@ func (l *LSM) appendLocked(batch []series.Series) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Refuse the whole batch before writing any raw bytes if a record
+	// routes to a quarantined partition: a degraded index fails writes
+	// loudly rather than silently dropping them.
+	routes := make([]int, len(batch))
+	for i := range keys {
+		routes[i] = route(l.bounds, keys[i])
+		if l.kids[routes[i]] == nil {
+			return nil, fmt.Errorf("partition: partition %d is quarantined; cannot accept writes until repaired", routes[i])
+		}
+	}
 	pos := end / sz
 	perChild := make([][]lsm.Entry, len(l.kids))
 	enc := make([]byte, 0, sz)
@@ -278,8 +327,10 @@ func (l *LSM) appendLocked(batch []series.Series) ([]int64, error) {
 		if _, err := l.rawFile.WriteAt(enc, pos*sz); err != nil {
 			return nil, err
 		}
-		pi := route(l.bounds, keys[i])
-		perChild[pi] = append(perChild[pi], lsm.Entry{Key: keys[i], Pos: pos})
+		if l.rawSums != nil {
+			l.rawSums.Set(pos, enc)
+		}
+		perChild[routes[i]] = append(perChild[routes[i]], lsm.Entry{Key: keys[i], Pos: pos})
 		pos++
 	}
 	tokens := make([]int64, len(l.kids))
@@ -297,9 +348,26 @@ func (l *LSM) appendLocked(batch []series.Series) ([]int64, error) {
 	return tokens, nil
 }
 
+// flushRawSums persists the parent sidecar's dirty tail; it must land
+// before child manifests can reference the new raw positions.
+func (l *LSM) flushRawSums() error {
+	if l.rawSums == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rawSums.Flush()
+}
+
 // Flush forces every partition's memtable to disk.
 func (l *LSM) Flush() error {
+	if err := l.flushRawSums(); err != nil {
+		return err
+	}
 	for _, k := range l.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Flush(); err != nil {
 			return err
 		}
@@ -310,10 +378,53 @@ func (l *LSM) Flush() error {
 // Sync flushes every partition and drains its background compactions —
 // the global quiescence barrier.
 func (l *LSM) Sync() error {
+	if err := l.flushRawSums(); err != nil {
+		return err
+	}
 	for _, k := range l.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Sync(); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// Degraded reports whether any partition (or any run inside a healthy
+// partition) is quarantined: answers cover only the healthy remainder.
+func (l *LSM) Degraded() bool {
+	if len(l.degraded) > 0 {
+		return true
+	}
+	for _, k := range l.kids {
+		if k != nil && k.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// QuarantinedChildren returns the names of partitions quarantined whole
+// at open (unreadable child manifests).
+func (l *LSM) QuarantinedChildren() []string { return append([]string(nil), l.degraded...) }
+
+// RebuildQuarantined re-derives every healthy partition's quarantined
+// runs from the shared raw dataset. Partitions quarantined whole need a
+// full rebuild and are reported, not repaired.
+func (l *LSM) RebuildQuarantined() error {
+	for _, k := range l.kids {
+		if k == nil {
+			continue
+		}
+		if err := k.RebuildQuarantined(); err != nil {
+			return err
+		}
+	}
+	if len(l.degraded) > 0 {
+		return fmt.Errorf("partition: %d partition(s) quarantined whole (%v); rebuild the index to repair",
+			len(l.degraded), l.degraded)
 	}
 	return nil
 }
@@ -328,7 +439,9 @@ func (l *LSM) Count() int64 { return l.g.total() }
 func (l *LSM) NumRuns() int {
 	n := 0
 	for _, k := range l.kids {
-		n += k.NumRuns()
+		if k != nil {
+			n += k.NumRuns()
+		}
 	}
 	return n
 }
@@ -337,7 +450,9 @@ func (l *LSM) NumRuns() int {
 func (l *LSM) SizeBytes() int64 {
 	var n int64
 	for _, k := range l.kids {
-		n += k.SizeBytes()
+		if k != nil {
+			n += k.SizeBytes()
+		}
 	}
 	return n
 }
@@ -345,8 +460,11 @@ func (l *LSM) SizeBytes() int64 {
 // Close flushes, drains, and closes every partition, then releases the
 // raw handle.
 func (l *LSM) Close() error {
-	var first error
+	first := l.flushRawSums()
 	for _, k := range l.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -23,6 +23,7 @@
 package partition
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -217,7 +218,8 @@ func removeScatter(fs storage.FS, name string, parts int) {
 // commitParent writes the parent manifest, the build's durability point:
 // it is committed only after every child committed its own manifest.
 func commitParent(fs storage.FS, name string, child manifest.Variant, s *summary.Summarizer,
-	mat bool, leafCap int, rawName string, count int64, bounds []summary.Key, children []string) error {
+	mat bool, leafCap int, rawName string, count int64, checksums bool,
+	bounds []summary.Key, children []string) error {
 	p := s.Params()
 	return manifest.Commit(fs, name, &manifest.Manifest{
 		Variant:      manifest.VariantPartitioned,
@@ -228,6 +230,7 @@ func commitParent(fs storage.FS, name string, child manifest.Variant, s *summary
 		LeafCap:      leafCap,
 		RawName:      rawName,
 		Count:        count,
+		Checksums:    checksums,
 		Part: &manifest.PartitionLayout{
 			ChildVariant: child,
 			Partitions:   len(children),
@@ -235,6 +238,49 @@ func commitParent(fs storage.FS, name string, child manifest.Variant, s *summary
 			Children:     children,
 		},
 	})
+}
+
+// attachRawSums opens the parent-owned CRC sidecar for the shared dataset
+// file; every child verifies its raw fetches through this one handle, and
+// only the parent (the sole raw writer) flushes it. fresh forces a rebuild
+// (Build paths — an existing sidecar may describe a replaced dataset); an
+// open reconciles the sidecar with the recovered raw tail and builds it
+// from scratch when missing (a legacy index upgraded in place).
+func attachRawSums(fs storage.FS, rawName string, recSize int, fresh bool) (*storage.RecordSums, error) {
+	if !fresh {
+		sums, err := storage.OpenRecordSums(fs, rawName, recSize)
+		if err == nil {
+			raw, oerr := fs.Open(rawName)
+			if oerr != nil {
+				return nil, oerr
+			}
+			size, serr := raw.Size()
+			if serr == nil {
+				serr = sums.Reconcile(raw, size/int64(recSize))
+			}
+			raw.Close()
+			if serr != nil {
+				return nil, fmt.Errorf("partition: reconciling raw sidecar: %w", serr)
+			}
+			return sums, nil
+		}
+		if !errors.Is(err, storage.ErrNotExist) {
+			return nil, fmt.Errorf("partition: opening raw sidecar: %w", err)
+		}
+	}
+	sums, err := storage.BuildRecordSums(fs, rawName, recSize)
+	if err != nil {
+		return nil, fmt.Errorf("partition: building raw sidecar: %w", err)
+	}
+	return sums, nil
+}
+
+// quarantineChild reports whether a failed child open should quarantine
+// the child (degraded mode on, and the failure is corruption or a missing
+// file) rather than fail the whole partitioned open.
+func quarantineChild(allowDegraded bool, err error) bool {
+	return allowDegraded && (errors.Is(err, storage.ErrCorruptData) ||
+		errors.Is(err, manifest.ErrCorruptManifest) || errors.Is(err, storage.ErrNotExist))
 }
 
 // loadParent loads the parent manifest and runs the loud config-mismatch
@@ -288,7 +334,9 @@ type searcher interface {
 }
 
 // gather fans a query out over the partitions and merges the answers
-// deterministically.
+// deterministically. A nil child is a quarantined partition (degraded
+// mode): it contributes no candidates and no count, so answers cover
+// exactly the healthy remainder.
 type gather struct {
 	kids []searcher
 	// workers is the partition-level query fan-out (children divide the
@@ -301,7 +349,9 @@ type gather struct {
 func (g *gather) total() int64 {
 	var n int64
 	for _, k := range g.kids {
-		n += k.count()
+		if k != nil {
+			n += k.count()
+		}
 	}
 	return n
 }
@@ -319,7 +369,7 @@ func (g *gather) approxSq(q series.Series, radius int) (core.Result, error) {
 	aws := make([]core.ApproxWindow, len(g.kids))
 	err := shard.FanOut(shard.Resolve(g.workers, len(g.kids)), len(g.kids),
 		func(i int, cancelled func() bool) error {
-			if cancelled() {
+			if cancelled() || g.kids[i] == nil {
 				return nil
 			}
 			aw, err := g.kids[i].approxWindow(q, radius)
@@ -368,9 +418,12 @@ func (g *gather) exactSq(q series.Series, radius int) (core.Result, error) {
 	var bound shard.BSF
 	bound.Init(res.Dist)
 	outs := make([]core.Result, len(g.kids))
+	for i := range outs {
+		outs[i] = core.Result{Pos: -1, Dist: math.Inf(1)}
+	}
 	err = shard.FanOut(shard.Resolve(g.workers, len(g.kids)), len(g.kids),
 		func(i int, cancelled func() bool) error {
-			if cancelled() {
+			if cancelled() || g.kids[i] == nil {
 				return nil
 			}
 			r, err := g.kids[i].exactVerify(q, res.Pos, res.Dist, &bound)

@@ -26,6 +26,13 @@ type Tree struct {
 	kids    []*core.TreeIndex
 	g       gather
 
+	// rawSums is the parent-owned CRC sidecar for the shared dataset file
+	// (nil when checksums are off); only the parent writes raw bytes, so
+	// only the parent appends to and flushes it. degraded names children
+	// quarantined whole at open.
+	rawSums  *storage.RecordSums
+	degraded []string
+
 	// mu serializes inserts: raw-file appends assign global arrival-order
 	// positions before records route to their owning partition.
 	mu      sync.Mutex
@@ -65,6 +72,13 @@ func BuildTree(opt core.Options, parts int) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opt.Checksums {
+		sums, serr := attachRawSums(opt.FS, opt.RawName, series.EncodedSize(opt.S.Params().SeriesLen), true)
+		if serr != nil {
+			return nil, serr
+		}
+		opt.RawSums = sums
+	}
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
 		return nil, err
@@ -103,7 +117,7 @@ func BuildTree(opt core.Options, parts int) (*Tree, error) {
 	removeScatter(opt.FS, opt.Name, parts)
 	if err == nil {
 		err = commitParent(opt.FS, opt.Name, manifest.VariantTree, opt.S,
-			opt.Materialized, opt.LeafCap, opt.RawName, total, bounds, children)
+			opt.Materialized, opt.LeafCap, opt.RawName, total, opt.Checksums, bounds, children)
 	}
 	var rawFile storage.File
 	if err == nil {
@@ -117,18 +131,28 @@ func BuildTree(opt core.Options, parts int) (*Tree, error) {
 		}
 		return nil, err
 	}
-	return newTree(opt, bounds, kids, rawFile), nil
+	return newTree(opt, bounds, kids, rawFile, nil), nil
 }
 
 // OpenTree reopens a partitioned Coconut-Tree from its parent manifest.
 // parts == 0 adopts the stored partition count; a non-zero mismatch fails
-// with manifest.ErrConfigMismatch. A child that fails to open closes the
+// with manifest.ErrConfigMismatch. With allowDegraded, a child whose
+// artifacts are corrupt or missing is quarantined (answers cover the
+// healthy remainder); otherwise a child that fails to open closes the
 // already-open siblings — never a partial handle.
-func OpenTree(opt core.Options, parts int) (*Tree, error) {
+func OpenTree(opt core.Options, parts int, allowDegraded bool) (*Tree, error) {
 	m, err := loadParent(opt.FS, opt.Name, manifest.VariantTree, parts,
 		opt.S.Params(), opt.Materialized, opt.RawName)
 	if err != nil {
 		return nil, err
+	}
+	opt.Checksums = m.Checksums
+	if opt.Checksums {
+		sums, serr := attachRawSums(opt.FS, opt.RawName, series.EncodedSize(opt.S.Params().SeriesLen), false)
+		if serr != nil {
+			return nil, serr
+		}
+		opt.RawSums = sums
 	}
 	n := m.Part.Partitions
 	kids := make([]*core.TreeIndex, n)
@@ -139,6 +163,7 @@ func OpenTree(opt core.Options, parts int) (*Tree, error) {
 			}
 		}
 	}
+	var degraded []string
 	for i, cname := range m.Part.Children {
 		co := opt
 		co.Name = cname
@@ -147,6 +172,10 @@ func OpenTree(opt core.Options, parts int) (*Tree, error) {
 		co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, n)
 		ix, err := core.OpenTree(co)
 		if err != nil {
+			if quarantineChild(allowDegraded, err) {
+				degraded = append(degraded, cname)
+				continue
+			}
 			closeKids()
 			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
 		}
@@ -157,23 +186,27 @@ func OpenTree(opt core.Options, parts int) (*Tree, error) {
 		closeKids()
 		return nil, err
 	}
-	return newTree(opt, m.Part.Boundaries, kids, rawFile), nil
+	return newTree(opt, m.Part.Boundaries, kids, rawFile, degraded), nil
 }
 
-func newTree(opt core.Options, bounds []summary.Key, kids []*core.TreeIndex, rawFile storage.File) *Tree {
+func newTree(opt core.Options, bounds []summary.Key, kids []*core.TreeIndex, rawFile storage.File, degraded []string) *Tree {
 	t := &Tree{
-		fs:      opt.FS,
-		s:       opt.S,
-		rawName: opt.RawName,
-		mat:     opt.Materialized,
-		workers: opt.Workers,
-		bounds:  bounds,
-		kids:    kids,
-		rawFile: rawFile,
+		fs:       opt.FS,
+		s:        opt.S,
+		rawName:  opt.RawName,
+		mat:      opt.Materialized,
+		workers:  opt.Workers,
+		bounds:   bounds,
+		kids:     kids,
+		rawFile:  rawFile,
+		rawSums:  opt.RawSums,
+		degraded: degraded,
 	}
 	sks := make([]searcher, len(kids))
 	for i, k := range kids {
-		sks[i] = treeChild{k}
+		if k != nil {
+			sks[i] = treeChild{k}
+		}
 	}
 	aw := opt.ApproxWindow
 	if aw <= 0 {
@@ -229,7 +262,7 @@ func (t *Tree) ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, 
 	perChild := make([][]core.Neighbor, n)
 	childStats := make([]core.Result, n)
 	err := shard.FanOut(shard.Resolve(t.g.workers, n), n, func(i int, cancelled func() bool) error {
-		if cancelled() || t.kids[i].Count() == 0 {
+		if cancelled() || t.kids[i] == nil || t.kids[i].Count() == 0 {
 			return nil
 		}
 		ns, st, err := t.kids[i].ExactSearchKNNShared(q, k, radius, &kb)
@@ -289,6 +322,15 @@ func (t *Tree) InsertBatch(batch []series.Series) error {
 	if err != nil {
 		return err
 	}
+	// Refuse the whole batch before writing any raw bytes if a record
+	// routes to a quarantined partition.
+	routes := make([]int, len(batch))
+	for i := range keys {
+		routes[i] = route(t.bounds, keys[i])
+		if t.kids[routes[i]] == nil {
+			return fmt.Errorf("partition: partition %d is quarantined; cannot accept writes until repaired", routes[i])
+		}
+	}
 	pos := end / sz
 	perChild := make([][]core.InsertRec, len(t.kids))
 	enc := make([]byte, 0, sz)
@@ -297,12 +339,14 @@ func (t *Tree) InsertBatch(batch []series.Series) error {
 		if _, err := t.rawFile.WriteAt(enc, pos*sz); err != nil {
 			return err
 		}
+		if t.rawSums != nil {
+			t.rawSums.Set(pos, enc)
+		}
 		rec := core.InsertRec{Key: keys[i], Pos: pos}
 		if t.mat {
 			rec.Raw = append([]byte(nil), enc...)
 		}
-		pi := route(t.bounds, keys[i])
-		perChild[pi] = append(perChild[pi], rec)
+		perChild[routes[i]] = append(perChild[routes[i]], rec)
 		pos++
 	}
 	return shard.FanOut(shard.Resolve(t.workers, len(t.kids)), len(t.kids),
@@ -324,7 +368,9 @@ func (t *Tree) Count() int64 { return t.g.total() }
 func (t *Tree) NumLeaves() int {
 	n := 0
 	for _, k := range t.kids {
-		n += k.NumLeaves()
+		if k != nil {
+			n += k.NumLeaves()
+		}
 	}
 	return n
 }
@@ -334,6 +380,9 @@ func (t *Tree) AvgLeafFill() float64 {
 	var sum float64
 	var leaves int
 	for _, k := range t.kids {
+		if k == nil {
+			continue
+		}
 		n := k.NumLeaves()
 		sum += k.AvgLeafFill() * float64(n)
 		leaves += n
@@ -348,16 +397,41 @@ func (t *Tree) AvgLeafFill() float64 {
 func (t *Tree) SizeBytes() int64 {
 	var n int64
 	for _, k := range t.kids {
-		n += k.SizeBytes()
+		if k != nil {
+			n += k.SizeBytes()
+		}
 	}
 	return n
+}
+
+// Degraded reports whether any partition was quarantined at open.
+func (t *Tree) Degraded() bool { return len(t.degraded) > 0 }
+
+// QuarantinedChildren returns the names of quarantined partitions.
+func (t *Tree) QuarantinedChildren() []string { return append([]string(nil), t.degraded...) }
+
+// flushRawSums persists the parent sidecar's dirty tail; it must land
+// before child metadata can reference the new raw positions.
+func (t *Tree) flushRawSums() error {
+	if t.rawSums == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rawSums.Flush()
 }
 
 // Sync persists every partition's pending metadata. The parent manifest is
 // immutable and needs no re-commit: child manifests are authoritative for
 // mutable state.
 func (t *Tree) Sync() error {
+	if err := t.flushRawSums(); err != nil {
+		return err
+	}
 	for _, k := range t.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Sync(); err != nil {
 			return err
 		}
@@ -367,8 +441,11 @@ func (t *Tree) Sync() error {
 
 // Close syncs and closes every partition and releases the raw handle.
 func (t *Tree) Close() error {
-	var first error
+	first := t.flushRawSums()
 	for _, k := range t.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -12,8 +12,9 @@ import (
 // Trie is an N-way partitioned Coconut-Trie: immutable after the build,
 // like its children.
 type Trie struct {
-	kids []*core.TrieIndex
-	g    gather
+	kids     []*core.TrieIndex
+	degraded []string
+	g        gather
 }
 
 // BuildTrie builds an N-way partitioned Coconut-Trie (same pipeline as
@@ -26,6 +27,13 @@ func BuildTrie(opt core.Options, parts int) (*Trie, error) {
 	bounds, err := selectBoundaries(opt.FS, opt.RawName, opt.S, parts)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Checksums {
+		sums, serr := attachRawSums(opt.FS, opt.RawName, series.EncodedSize(opt.S.Params().SeriesLen), true)
+		if serr != nil {
+			return nil, serr
+		}
+		opt.RawSums = sums
 	}
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
@@ -65,7 +73,7 @@ func BuildTrie(opt core.Options, parts int) (*Trie, error) {
 	removeScatter(opt.FS, opt.Name, parts)
 	if err == nil {
 		err = commitParent(opt.FS, opt.Name, manifest.VariantTrie, opt.S,
-			opt.Materialized, opt.LeafCap, opt.RawName, total, bounds, children)
+			opt.Materialized, opt.LeafCap, opt.RawName, total, opt.Checksums, bounds, children)
 	}
 	if err != nil {
 		for _, k := range kids {
@@ -75,17 +83,31 @@ func BuildTrie(opt core.Options, parts int) (*Trie, error) {
 		}
 		return nil, err
 	}
-	return newTrie(opt, kids), nil
+	return newTrie(opt, kids, nil), nil
 }
 
 // OpenTrie reopens a partitioned Coconut-Trie from its parent manifest.
 // parts == 0 adopts the stored partition count; a non-zero mismatch fails
-// with manifest.ErrConfigMismatch. Never returns a partial handle.
-func OpenTrie(opt core.Options, parts int) (*Trie, error) {
+// with manifest.ErrConfigMismatch. With allowDegraded, corrupt or missing
+// children are quarantined; otherwise never returns a partial handle.
+func OpenTrie(opt core.Options, parts int, allowDegraded bool) (*Trie, error) {
 	m, err := loadParent(opt.FS, opt.Name, manifest.VariantTrie, parts,
 		opt.S.Params(), opt.Materialized, opt.RawName)
 	if err != nil {
 		return nil, err
+	}
+	opt.Checksums = m.Checksums
+	if opt.Checksums {
+		sums, serr := attachRawSums(opt.FS, opt.RawName, series.EncodedSize(opt.S.Params().SeriesLen), false)
+		if serr != nil {
+			return nil, serr
+		}
+		// The trie is immutable, so nothing later flushes the sidecar:
+		// persist any reconciliation now.
+		if err := sums.Flush(); err != nil {
+			return nil, err
+		}
+		opt.RawSums = sums
 	}
 	n := m.Part.Partitions
 	kids := make([]*core.TrieIndex, n)
@@ -96,6 +118,7 @@ func OpenTrie(opt core.Options, parts int) (*Trie, error) {
 			}
 		}
 	}
+	var degraded []string
 	for i, cname := range m.Part.Children {
 		co := opt
 		co.Name = cname
@@ -104,19 +127,25 @@ func OpenTrie(opt core.Options, parts int) (*Trie, error) {
 		co.QueryWorkers = shard.PerGroup(opt.QueryWorkers, n)
 		ix, err := core.OpenTrie(co)
 		if err != nil {
+			if quarantineChild(allowDegraded, err) {
+				degraded = append(degraded, cname)
+				continue
+			}
 			closeKids()
 			return nil, fmt.Errorf("partition: opening child %q: %w", cname, err)
 		}
 		kids[i] = ix
 	}
-	return newTrie(opt, kids), nil
+	return newTrie(opt, kids, degraded), nil
 }
 
-func newTrie(opt core.Options, kids []*core.TrieIndex) *Trie {
-	t := &Trie{kids: kids}
+func newTrie(opt core.Options, kids []*core.TrieIndex, degraded []string) *Trie {
+	t := &Trie{kids: kids, degraded: degraded}
 	sks := make([]searcher, len(kids))
 	for i, k := range kids {
-		sks[i] = trieChild{k}
+		if k != nil {
+			sks[i] = trieChild{k}
+		}
 	}
 	aw := opt.ApproxWindow
 	if aw <= 0 {
@@ -164,7 +193,9 @@ func (t *Trie) Count() int64 { return t.g.total() }
 func (t *Trie) NumLeaves() int {
 	n := 0
 	for _, k := range t.kids {
-		n += k.NumLeaves()
+		if k != nil {
+			n += k.NumLeaves()
+		}
 	}
 	return n
 }
@@ -174,6 +205,9 @@ func (t *Trie) AvgLeafFill() float64 {
 	var sum float64
 	var leaves int
 	for _, k := range t.kids {
+		if k == nil {
+			continue
+		}
 		n := k.NumLeaves()
 		sum += k.AvgLeafFill() * float64(n)
 		leaves += n
@@ -188,15 +222,26 @@ func (t *Trie) AvgLeafFill() float64 {
 func (t *Trie) SizeBytes() int64 {
 	var n int64
 	for _, k := range t.kids {
-		n += k.SizeBytes()
+		if k != nil {
+			n += k.SizeBytes()
+		}
 	}
 	return n
 }
+
+// Degraded reports whether any partition was quarantined at open.
+func (t *Trie) Degraded() bool { return len(t.degraded) > 0 }
+
+// QuarantinedChildren returns the names of quarantined partitions.
+func (t *Trie) QuarantinedChildren() []string { return append([]string(nil), t.degraded...) }
 
 // Close closes every partition.
 func (t *Trie) Close() error {
 	var first error
 	for _, k := range t.kids {
+		if k == nil {
+			continue
+		}
 		if err := k.Close(); err != nil && first == nil {
 			first = err
 		}

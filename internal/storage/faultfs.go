@@ -20,10 +20,11 @@ var (
 	ErrCrashed = errors.New("storage: simulated power loss")
 )
 
-// FaultFS wraps a MemFS with deterministic fault injection and a model of
+// FaultFS wraps any FS with deterministic fault injection and a model of
 // which bytes have actually reached stable storage. It is the shared
-// crash-injection harness for the lsm, manifest, and partition test
-// suites.
+// crash- and corruption-injection harness for the lsm, manifest, and
+// partition test suites, usable over MemFS and (in a temp dir) OSFS
+// alike.
 //
 // The durability model mirrors a disk with a volatile write cache:
 //
@@ -44,8 +45,13 @@ var (
 // ErrCrashed without being applied. After a power loss, Recover returns a
 // fresh MemFS holding only the durable image — optionally with a torn
 // tail of un-synced bytes — which tests reopen indexes against.
+//
+// Rot models silent media decay rather than a crash: it flips bytes of a
+// named file in both the live and durable images, recording each event,
+// so corruption-sweep tests can rot every artifact class in turn and
+// assert that reads detect it.
 type FaultFS struct {
-	inner *MemFS
+	inner FS
 
 	mu      sync.Mutex
 	durable map[string][]byte
@@ -55,22 +61,41 @@ type FaultFS struct {
 	lossAt  int64 // sticky ErrCrashed from the Nth counted op on (0 = disarmed)
 	crashed bool
 	hook    func(op Op, name string)
+	rots    []RotEvent
+}
+
+// RotEvent records one injected bit-rot: n bytes XOR-flipped at off in the
+// named file.
+type RotEvent struct {
+	Name string
+	Off  int64
+	N    int
 }
 
 // NewFaultFS wraps inner. Files already on inner (datasets, seed indexes)
-// are snapshotted as durable, as if the machine had just booted cleanly.
-func NewFaultFS(inner *MemFS) *FaultFS {
+// are snapshotted as durable, as if the machine had just booted cleanly;
+// the inner FS must expose Names() (MemFS and OSFS both do).
+func NewFaultFS(inner FS) *FaultFS {
 	f := &FaultFS{
 		inner:   inner,
 		durable: make(map[string][]byte),
 		counted: map[Op]bool{OpCreate: true, OpWrite: true, OpSync: true, OpRename: true, OpRemove: true},
 	}
-	for _, name := range inner.Names() {
-		if data, ok := inner.contents(name); ok {
+	for _, name := range listNames(inner) {
+		if data, err := ReadFileAll(inner, name); err == nil {
 			f.durable[name] = data
 		}
 	}
 	return f
+}
+
+// listNames enumerates inner's files via the non-interface Names method
+// both concrete backends provide.
+func listNames(fs FS) []string {
+	if n, ok := fs.(interface{ Names() []string }); ok {
+		return n.Names()
+	}
+	return nil
 }
 
 // SetHook installs a pre-operation callback (nil removes it). The hook
@@ -146,7 +171,7 @@ func (f *FaultFS) Recover(torn int) *MemFS {
 	for name, data := range f.durable {
 		content := append([]byte(nil), data...)
 		if torn > 0 {
-			if live, ok := f.inner.contents(name); ok && len(live) > len(content) {
+			if live, err := ReadFileAll(f.inner, name); err == nil && len(live) > len(content) {
 				extra := len(live) - len(content)
 				if extra > torn {
 					extra = torn
@@ -263,13 +288,63 @@ func (f *FaultFS) Stats() *Stats { return f.inner.Stats() }
 
 // markDurable snapshots the file's live bytes as the durable image.
 func (f *FaultFS) markDurable(name string) {
-	data, ok := f.inner.contents(name)
-	if !ok {
+	data, err := ReadFileAll(f.inner, name)
+	if err != nil {
 		return
 	}
 	f.mu.Lock()
 	f.durable[name] = data
 	f.mu.Unlock()
+}
+
+// Rot XOR-flips n bytes at off in the named file's live image and, for the
+// overlapping range, its durable image — silent media decay below every
+// checksum. The flip (XOR 0xA5) guarantees every affected byte changes.
+// Rot bypasses the fault gate: it is a harness action, not an operation
+// the system under test performs.
+func (f *FaultFS) Rot(name string, off int64, n int) error {
+	if n <= 0 || off < 0 {
+		return fmt.Errorf("storage: rot %q: invalid range [%d,+%d)", name, off, n)
+	}
+	fl, err := f.inner.Open(name)
+	if err != nil {
+		return fmt.Errorf("storage: rot %q: %w", name, err)
+	}
+	defer fl.Close()
+	size, err := fl.Size()
+	if err != nil {
+		return fmt.Errorf("storage: rot %q: size: %w", name, err)
+	}
+	if off+int64(n) > size {
+		return fmt.Errorf("storage: rot %q: range [%d,+%d) outside %d-byte file", name, off, n, size)
+	}
+	buf := make([]byte, n)
+	if _, err := fl.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("storage: rot %q: read: %w", name, err)
+	}
+	for i := range buf {
+		buf[i] ^= 0xA5
+	}
+	if _, err := fl.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("storage: rot %q: write: %w", name, err)
+	}
+	f.mu.Lock()
+	if d, ok := f.durable[name]; ok && off < int64(len(d)) {
+		end := min(off+int64(n), int64(len(d)))
+		for i := off; i < end; i++ {
+			d[i] ^= 0xA5
+		}
+	}
+	f.rots = append(f.rots, RotEvent{Name: name, Off: off, N: n})
+	f.mu.Unlock()
+	return nil
+}
+
+// Rots returns every bit-rot event injected so far, in order.
+func (f *FaultFS) Rots() []RotEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]RotEvent(nil), f.rots...)
 }
 
 type faultFile struct {

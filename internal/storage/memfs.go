@@ -163,20 +163,6 @@ func (fs *MemFS) TotalSize() int64 {
 	return total
 }
 
-// contents returns a copy of the named file's current bytes. FaultFS uses
-// it to snapshot what the simulated platter holds at fsync time.
-func (fs *MemFS) contents(name string) ([]byte, bool) {
-	fs.mu.Lock()
-	d, ok := fs.files[name]
-	fs.mu.Unlock()
-	if !ok {
-		return nil, false
-	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return append([]byte(nil), d.data...), true
-}
-
 // FileSize returns the size of one file, or 0 if it does not exist.
 func (fs *MemFS) FileSize(name string) int64 {
 	fs.mu.Lock()

@@ -1,0 +1,242 @@
+package coconut
+
+// Scrub is the offline integrity pass: it walks every persistent artifact
+// an index's manifest references — the manifest itself, B+-tree page and
+// trie leaf files, LSM run files, WAL segments, the raw dataset via its
+// CRC sidecar, and (for partitioned indexes) each child's artifacts — and
+// verifies every checksummed block, reporting a per-file finding for each.
+// Repair then fixes what is fixable in place: LSM runs are re-derived from
+// the verified raw dataset (a run's contents are a pure function of the
+// records it covers), WAL damage is resolved by the degraded-open
+// reconstruction, and tree/trie page damage is repaired by rebuilding the
+// index from the raw dataset — window invariance makes all three repairs
+// answer-preserving.
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// ScrubFinding is one artifact's verification outcome.
+type ScrubFinding struct {
+	// File is the artifact's name on the storage device.
+	File string
+	// Units is how much was verified: checksum blocks for block-format
+	// artifacts, records for the raw dataset, acknowledged entries for
+	// WAL segments, 0 for the manifest (verified whole).
+	Units int64
+	// Err is nil for a healthy artifact, otherwise the typed failure —
+	// errors.Is(Err, ErrCorruptData) identifies detected corruption.
+	Err error
+}
+
+// ScrubReport is the result of a Scrub pass: one finding per artifact.
+type ScrubReport struct {
+	// Checksums reports whether the index is stored in the checksummed
+	// block format. Legacy (unchecksummed) indexes scrub structurally
+	// only: the manifest is still verified, but data blocks carry no CRCs.
+	Checksums bool
+	// Findings holds one entry per artifact, in walk order.
+	Findings []ScrubFinding
+}
+
+// Clean reports whether every artifact verified.
+func (r *ScrubReport) Clean() bool {
+	for _, f := range r.Findings {
+		if f.Err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Corrupt returns the findings that failed verification.
+func (r *ScrubReport) Corrupt() []ScrubFinding {
+	var out []ScrubFinding
+	for _, f := range r.Findings {
+		if f.Err != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (r *ScrubReport) add(file string, units int64, err error) {
+	r.Findings = append(r.Findings, ScrubFinding{File: file, Units: units, Err: err})
+}
+
+// Scrub verifies every block of every persistent artifact of the index
+// name on fs and returns a per-file report. It never modifies anything;
+// corruption is reported in the findings, not returned as an error.
+func Scrub(fs Storage, name string) (*ScrubReport, error) {
+	if fs == nil {
+		return nil, errors.New("coconut: nil Storage")
+	}
+	rep := &ScrubReport{}
+	scrubIndex(fs, name, rep, true)
+	return rep, nil
+}
+
+// scrubIndex walks one manifest's artifacts. root marks the top-level
+// index: the raw dataset is shared by every partition, so it is verified
+// once, from the root.
+func scrubIndex(fs Storage, name string, rep *ScrubReport, root bool) {
+	m, err := manifest.Load(fs, name)
+	rep.add(manifest.FileName(name), 0, err)
+	if err != nil {
+		return
+	}
+	if root {
+		rep.Checksums = m.Checksums
+	}
+	switch m.Variant {
+	case manifest.VariantPartitioned:
+		for _, child := range m.Part.Children {
+			scrubIndex(fs, child, rep, false)
+		}
+	case manifest.VariantTree:
+		scrubBlockFile(fs, name+".bt.leaves", m.Checksums, rep)
+	case manifest.VariantTrie:
+		scrubBlockFile(fs, name+".leaves", m.Checksums, rep)
+	case manifest.VariantLSM:
+		for _, ri := range m.LSM.Runs {
+			scrubBlockFile(fs, ri.Name, m.Checksums, rep)
+		}
+		// WAL frames carry their own per-record CRCs in every format
+		// generation; scan the manifest's segment range plus any
+		// higher-numbered segments a crash left behind.
+		for seg := m.LSM.WALFirstSeg; seg < m.LSM.WALNextSeg || fs.Exists(lsm.WALSegmentName(name, seg)); seg++ {
+			if !fs.Exists(lsm.WALSegmentName(name, seg)) {
+				continue // never synced; an empty segment is a crash artifact
+			}
+			n, err := lsm.VerifyWALSegment(fs, name, seg)
+			rep.add(lsm.WALSegmentName(name, seg), n, err)
+		}
+	}
+	if root && m.RawName != "" && m.Checksums {
+		recSize := series.EncodedSize(m.SeriesLen)
+		n, err := storage.VerifyRecordSums(fs, m.RawName, recSize)
+		rep.add(m.RawName, n, err)
+	}
+}
+
+// scrubBlockFile verifies one checksummed-block artifact end to end.
+// Legacy artifacts carry no block CRCs; existence is all that can be
+// checked without a full index open.
+func scrubBlockFile(fs Storage, name string, checksums bool, rep *ScrubReport) {
+	if !checksums {
+		if !fs.Exists(name) {
+			rep.add(name, 0, fmt.Errorf("coconut: %q: %w", name, storage.ErrNotExist))
+		}
+		return
+	}
+	f, err := fs.Open(name)
+	if err != nil {
+		rep.add(name, 0, err)
+		return
+	}
+	defer f.Close()
+	n, err := storage.VerifyChecksumBlocks(f)
+	rep.add(name, n, err)
+}
+
+// Repair fixes what Scrub found, in place, for the index cfg names. What
+// is fixable depends on the variant:
+//
+//   - LSM: quarantined runs and rotted WAL segments are re-derived from
+//     the raw dataset (every indexed record's key is a pure function of
+//     its raw bytes), the repaired manifest is committed, and the corrupt
+//     files are deleted.
+//   - Tree and Trie: a damaged page or leaf file is repaired by
+//     rebuilding the index from the raw dataset — answers are identical
+//     because the index is a pure function of the record multiset.
+//   - The raw dataset itself is source data: rot there is unrepairable
+//     from within the index and is returned as an error.
+//
+// Repair re-scrubs afterwards and returns the post-repair report.
+func Repair(cfg Config) (*ScrubReport, error) {
+	pre, err := Scrub(cfg.Storage, cfg.Name)
+	if err != nil {
+		return nil, err
+	}
+	if pre.Clean() {
+		return pre, nil
+	}
+	m, err := manifest.Load(cfg.Storage, cfg.Name)
+	if err != nil {
+		return pre, fmt.Errorf("coconut: repair: manifest unreadable: %w", err)
+	}
+	// The raw dataset is the repair source; if it is damaged, nothing
+	// derived from it can be trusted to rebuild.
+	if m.Checksums && m.RawName != "" {
+		if _, err := storage.VerifyRecordSums(cfg.Storage, m.RawName, series.EncodedSize(m.SeriesLen)); err != nil {
+			return pre, fmt.Errorf("coconut: repair: raw dataset %q is damaged, cannot rebuild from it: %w", m.RawName, err)
+		}
+	}
+	variant := m.Variant
+	rcfg := cfg
+	rcfg.AllowDegraded = true
+	if variant == manifest.VariantPartitioned {
+		variant = m.Part.ChildVariant
+		if rcfg.Partitions == 0 {
+			rcfg.Partitions = m.Part.Partitions
+		}
+	}
+	// A rebuild needs the full build configuration; adopt anything the
+	// caller left unset from the manifest, exactly as Open does.
+	if rcfg.SeriesLen == 0 {
+		rcfg.SeriesLen = m.SeriesLen
+	}
+	if rcfg.Segments == 0 {
+		rcfg.Segments = m.Segments
+	}
+	if rcfg.CardinalityBits == 0 {
+		rcfg.CardinalityBits = m.CardBits
+	}
+	if rcfg.DataFile == "" {
+		rcfg.DataFile = m.RawName
+	}
+	if rcfg.LeafSize == 0 && m.LeafCap != 0 {
+		rcfg.LeafSize = m.LeafCap
+	}
+	rcfg.Materialized = m.Materialized
+	rcfg.DisableChecksums = !m.Checksums
+	switch variant {
+	case manifest.VariantLSM:
+		ix, err := OpenLSMIndex(rcfg)
+		if err != nil {
+			return pre, fmt.Errorf("coconut: repair: degraded open: %w", err)
+		}
+		rerr := ix.Repair()
+		if cerr := ix.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return pre, fmt.Errorf("coconut: repair: %w", rerr)
+		}
+	case manifest.VariantTree:
+		ix, err := BuildTreeIndex(rcfg)
+		if err != nil {
+			return pre, fmt.Errorf("coconut: repair: rebuilding tree: %w", err)
+		}
+		if err := ix.Close(); err != nil {
+			return pre, fmt.Errorf("coconut: repair: %w", err)
+		}
+	case manifest.VariantTrie:
+		ix, err := BuildTrieIndex(rcfg)
+		if err != nil {
+			return pre, fmt.Errorf("coconut: repair: rebuilding trie: %w", err)
+		}
+		if err := ix.Close(); err != nil {
+			return pre, fmt.Errorf("coconut: repair: %w", err)
+		}
+	default:
+		return pre, fmt.Errorf("coconut: repair: unsupported variant %v", variant)
+	}
+	return Scrub(cfg.Storage, cfg.Name)
+}

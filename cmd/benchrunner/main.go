@@ -98,6 +98,7 @@ func main() {
 		{"PartitionScaling", experiments.PartitionScaling},
 		{"WALThroughput", experiments.WALThroughput},
 		{"ChecksumOverhead", experiments.ChecksumOverhead},
+		{"LatencyUnderConcurrency", experiments.LatencyUnderConcurrency},
 	}
 
 	want := map[string]bool{}

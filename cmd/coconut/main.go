@@ -34,15 +34,25 @@
 //
 //	coconut scrub -dir ./data -name myidx
 //	coconut scrub -dir ./data -name mylsm -repair
+//
+// Serve the index over HTTP/JSON (the full coconutd front end — deadlines,
+// load shedding, graceful drain; see cmd/coconutd for the endpoints and
+// for serving several indexes at once):
+//
+//	coconut serve -dir ./data -name myidx -addr :7737 -timeout 5s
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	coconut "github.com/coconut-db/coconut"
@@ -52,6 +62,7 @@ import (
 	"github.com/coconut-db/coconut/internal/manifest"
 	"github.com/coconut-db/coconut/internal/partition"
 	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/server"
 	"github.com/coconut-db/coconut/internal/storage"
 	"github.com/coconut-db/coconut/internal/summary"
 )
@@ -73,6 +84,9 @@ type config struct {
 	disableWAL        bool
 	walWindow         time.Duration
 	repair            bool
+	timeout           time.Duration
+	dirPath           string
+	addr              string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -101,6 +115,8 @@ func parseFlags(args []string) (*config, error) {
 	disableWAL := fl.Bool("disable-wal", false, "turn off the LSM write-ahead log (appends since the last flush are lost on a crash)")
 	walWindow := fl.Duration("wal-window", 0, "stretch each WAL group commit by this duration to batch more concurrent appends")
 	repair := fl.Bool("repair", false, "after scrubbing, repair corrupt artifacts re-derivable from the raw dataset (scrub command)")
+	timeout := fl.Duration("timeout", 30*time.Second, "per-query deadline (query command) / per-request deadline (serve command)")
+	addr := fl.String("addr", ":7737", "listen address (serve command)")
 	noChecksums := fl.Bool("no-checksums", false, "build in the legacy unchecksummed block format (build command; reads are not verified)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
@@ -113,6 +129,9 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if *queryWorkers < 0 {
 		return nil, fmt.Errorf("-query-workers must be at least 1, got %d (0 selects all CPUs)", *queryWorkers)
+	}
+	if *timeout <= 0 {
+		return nil, fmt.Errorf("-timeout must be positive, got %v", *timeout)
 	}
 	fs, err := storage.NewOSFS(*dir)
 	if err != nil {
@@ -152,12 +171,15 @@ func parseFlags(args []string) (*config, error) {
 		disableWAL:        *disableWAL,
 		walWindow:         *walWindow,
 		repair:            *repair,
+		timeout:           *timeout,
+		dirPath:           *dir,
+		addr:              *addr,
 	}, nil
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info|stream|scrub> [flags]")
+		fmt.Fprintln(os.Stderr, "usage: coconut <build|query|info|stream|scrub|serve> [flags]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
@@ -177,6 +199,8 @@ func main() {
 		err = runStream(cfg)
 	case "scrub":
 		err = runScrub(cfg)
+	case "serve":
+		err = runServe(cfg)
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -401,9 +425,9 @@ func runInfo(cfg *config) error {
 // queryFuncs adapts the three reopened variants to a common query surface.
 type queryFuncs struct {
 	seriesLen int
-	exact     func(series.Series) (core.Result, error)
-	approx    func(series.Series) (core.Result, error)
-	knn       func(series.Series, int) ([]core.Neighbor, core.Result, error)
+	exact     func(context.Context, series.Series) (core.Result, error)
+	approx    func(context.Context, series.Series) (core.Result, error)
+	knn       func(context.Context, series.Series, int) ([]core.Neighbor, core.Result, error)
 	close     func() error
 }
 
@@ -421,10 +445,14 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 		}
 		return &queryFuncs{
 			seriesLen: seriesLen,
-			exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
-			approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
-			knn: func(q series.Series, k int) ([]core.Neighbor, core.Result, error) {
-				return ix.ExactSearchKNN(q, k, cfg.radius)
+			exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+				return ix.ExactSearchCtx(ctx, q, cfg.radius)
+			},
+			approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+				return ix.ApproxSearchCtx(ctx, q, cfg.radius)
+			},
+			knn: func(ctx context.Context, q series.Series, k int) ([]core.Neighbor, core.Result, error) {
+				return ix.ExactSearchKNNCtx(ctx, q, k, cfg.radius)
 			},
 			close: ix.Close,
 		}, nil
@@ -435,9 +463,13 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 		}
 		return &queryFuncs{
 			seriesLen: seriesLen,
-			exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
-			approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
-			close:     ix.Close,
+			exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+				return ix.ExactSearchCtx(ctx, q, cfg.radius)
+			},
+			approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+				return ix.ApproxSearchCtx(ctx, q, cfg.radius)
+			},
+			close: ix.Close,
 		}, nil
 	case manifest.VariantLSM:
 		lopt := cfg.lsmOptions()
@@ -451,12 +483,12 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 		}
 		return &queryFuncs{
 			seriesLen: seriesLen,
-			exact: func(q series.Series) (core.Result, error) {
-				r, err := ix.ExactSearch(q)
+			exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+				r, err := ix.ExactSearchCtx(ctx, q)
 				return conv(r), err
 			},
-			approx: func(q series.Series) (core.Result, error) {
-				r, err := ix.ApproxSearch(q)
+			approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+				r, err := ix.ApproxSearchCtx(ctx, q)
 				return conv(r), err
 			},
 			close: ix.Close,
@@ -470,10 +502,14 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 			}
 			return &queryFuncs{
 				seriesLen: seriesLen,
-				exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
-				approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
-				knn: func(q series.Series, k int) ([]core.Neighbor, core.Result, error) {
-					return ix.ExactSearchKNN(q, k, cfg.radius)
+				exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+					return ix.ExactSearchCtx(ctx, q, cfg.radius)
+				},
+				approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+					return ix.ApproxSearchCtx(ctx, q, cfg.radius)
+				},
+				knn: func(ctx context.Context, q series.Series, k int) ([]core.Neighbor, core.Result, error) {
+					return ix.ExactSearchKNNCtx(ctx, q, k, cfg.radius)
 				},
 				close: ix.Close,
 			}, nil
@@ -484,9 +520,13 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 			}
 			return &queryFuncs{
 				seriesLen: seriesLen,
-				exact:     func(q series.Series) (core.Result, error) { return ix.ExactSearch(q, cfg.radius) },
-				approx:    func(q series.Series) (core.Result, error) { return ix.ApproxSearch(q, cfg.radius) },
-				close:     ix.Close,
+				exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+					return ix.ExactSearchCtx(ctx, q, cfg.radius)
+				},
+				approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+					return ix.ApproxSearchCtx(ctx, q, cfg.radius)
+				},
+				close: ix.Close,
 			}, nil
 		case manifest.VariantLSM:
 			lopt := cfg.lsmOptions()
@@ -500,12 +540,12 @@ func openForQuery(cfg *config) (*queryFuncs, error) {
 			}
 			return &queryFuncs{
 				seriesLen: seriesLen,
-				exact: func(q series.Series) (core.Result, error) {
-					r, err := ix.ExactSearch(q)
+				exact: func(ctx context.Context, q series.Series) (core.Result, error) {
+					r, err := ix.ExactSearchCtx(ctx, q)
 					return conv(r), err
 				},
-				approx: func(q series.Series) (core.Result, error) {
-					r, err := ix.ApproxSearch(q)
+				approx: func(ctx context.Context, q series.Series) (core.Result, error) {
+					r, err := ix.ApproxSearchCtx(ctx, q)
 					return conv(r), err
 				},
 				close: ix.Close,
@@ -541,12 +581,18 @@ func runQuery(cfg *config) error {
 			return err
 		}
 		q.ZNormalize()
+		// Each query runs under its own -timeout deadline; an expired
+		// deadline surfaces as context.DeadlineExceeded, never a partial
+		// answer.
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 		start := time.Now()
 		if cfg.k > 1 {
 			if ix.knn == nil {
+				cancel()
 				return errors.New("-k > 1 is only supported on tree indexes")
 			}
-			ns, stats, err := ix.knn(q, cfg.k)
+			ns, stats, err := ix.knn(ctx, q, cfg.k)
+			cancel()
 			if err != nil {
 				return err
 			}
@@ -560,10 +606,11 @@ func runQuery(cfg *config) error {
 		}
 		var res core.Result
 		if cfg.approx {
-			res, err = ix.approx(q)
+			res, err = ix.approx(ctx, q)
 		} else {
-			res, err = ix.exact(q)
+			res, err = ix.exact(ctx, q)
 		}
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -700,6 +747,52 @@ func runStream(cfg *config) error {
 	fmt.Printf("  index: %d series across %d runs, %s on disk\n",
 		ix.Count(), ix.NumRuns(), byteSize(ix.SizeBytes()))
 	return nil
+}
+
+// runServe serves the persisted index -name over HTTP/JSON, delegating
+// the whole request lifecycle — deadlines, admission control, health and
+// stats, graceful drain — to the internal/server package coconutd uses.
+func runServe(cfg *config) error {
+	fs, err := coconut.NewDiskStorage(cfg.dirPath)
+	if err != nil {
+		return err
+	}
+	h, err := server.OpenHandle(context.Background(), coconut.Config{
+		Storage:      fs,
+		Name:         cfg.opt.Name,
+		QueryWorkers: cfg.opt.QueryWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	mgr := server.NewManager()
+	mgr.Add(h)
+	srv := server.New(mgr, server.Options{DefaultTimeout: cfg.timeout})
+	hs := srv.NewHTTPServer(cfg.addr)
+	fmt.Printf("serving index %q (%s, %d series) on %s\n", h.Name, h.Variant, h.Count(), cfg.addr)
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		mgr.CloseAll()
+		return err
+	case sig := <-sigc:
+		fmt.Printf("received %v, draining\n", sig)
+		if err := srv.Shutdown(context.Background(), hs); err != nil {
+			return err
+		}
+		<-errc
+		return nil
+	}
 }
 
 func byteSize(n int64) string {

@@ -71,6 +71,20 @@
 // background compaction failure is sticky and surfaces on the next
 // Insert/Flush/Sync/Close.
 //
+// # Cancellation
+//
+// Every query and mutation has a context-taking variant (SearchCtx,
+// SearchApproxCtx, SearchKNNCtx, InsertCtx, and ctx-taking Build/Open
+// wrappers). Cancellation is honored end to end: a query observes its
+// context between leaf visits, candidate verifications, partition probes,
+// and LSM run probes, so a cancelled or deadline-exceeded context returns
+// ctx.Err() promptly — never a partial or wrong answer. On the write path
+// the context is admission control: it is checked before any bytes move,
+// and an LSM insert whose context expires while waiting for WAL group
+// commit abandons the wait (returning ctx.Err()) without disturbing the
+// batch — the record still becomes durable. The context-free methods are
+// exactly their Ctx counterparts under context.Background().
+//
 // # Persistence
 //
 // Every build commits a versioned, checksummed manifest alongside the
@@ -86,6 +100,7 @@
 package coconut
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -395,6 +410,10 @@ type treeBackend interface {
 	ApproxSearch(q series.Series, radius int) (core.Result, error)
 	ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, core.Result, error)
 	InsertBatch(batch []series.Series) error
+	ExactSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error)
+	ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error)
+	ExactSearchKNNCtx(ctx context.Context, q series.Series, k, radius int) ([]core.Neighbor, core.Result, error)
+	InsertBatchCtx(ctx context.Context, batch []series.Series) error
 	Count() int64
 	NumLeaves() int
 	AvgLeafFill() float64
@@ -411,20 +430,54 @@ type TreeIndex struct {
 	ix treeBackend
 }
 
+// ctxGate implements the coarse-grained cancellation contract of the
+// Build*/Open* Ctx wrappers: the context is checked at entry (before any
+// file is touched) and again after the phase completes — a build/open that
+// finishes under an already-done ctx closes the fresh handle and returns
+// ctx.Err(). Construction itself is not interrupted mid-pass; its phases
+// are sequential bulk I/O, and a cancelled caller loses nothing but time
+// already spent.
+func ctxGate[T interface{ Close() error }](ctx context.Context, build func() (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	ix, err := build()
+	if err != nil {
+		return zero, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		ix.Close()
+		return zero, cerr
+	}
+	return ix, nil
+}
+
 // BuildTreeIndex bulk-loads a Coconut-Tree over the dataset.
 func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
+	return BuildTreeIndexCtx(context.Background(), cfg)
+}
+
+// BuildTreeIndexCtx is BuildTreeIndex with coarse-grained cancellation:
+// ctx is checked before the build starts and after it finishes (see
+// ctxGate); it does not interrupt the bulk-load mid-pass.
+func BuildTreeIndexCtx(ctx context.Context, cfg Config) (*TreeIndex, error) {
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Partitions >= 2 {
-		ix, err := partition.BuildTree(opt, cfg.Partitions)
+		ix, err := ctxGate(ctx, func() (*partition.Tree, error) {
+			return partition.BuildTree(opt, cfg.Partitions)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &TreeIndex{ix: ix}, nil
 	}
-	ix, err := core.BuildTree(opt)
+	ix, err := ctxGate(ctx, func() (*core.TreeIndex, error) {
+		return core.BuildTree(opt)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -438,6 +491,13 @@ func BuildTreeIndex(cfg Config) (*TreeIndex, error) {
 // Config fields are adopted from the manifest; conflicting ones fail with
 // ErrConfigMismatch.
 func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
+	return OpenTreeIndexCtx(context.Background(), cfg)
+}
+
+// OpenTreeIndexCtx is OpenTreeIndex with coarse-grained cancellation:
+// ctx is checked before the manifest is read and after the handle is
+// reconstructed (see ctxGate); the reopen is not interrupted mid-pass.
+func OpenTreeIndexCtx(ctx context.Context, cfg Config) (*TreeIndex, error) {
 	partitioned, err := cfg.mergeStored(manifest.VariantTree)
 	if err != nil {
 		return nil, err
@@ -447,13 +507,17 @@ func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
 		return nil, err
 	}
 	if partitioned {
-		ix, err := partition.OpenTree(opt, cfg.Partitions, cfg.AllowDegraded)
+		ix, err := ctxGate(ctx, func() (*partition.Tree, error) {
+			return partition.OpenTree(opt, cfg.Partitions, cfg.AllowDegraded)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &TreeIndex{ix: ix}, nil
 	}
-	ix, err := core.OpenTree(opt)
+	ix, err := ctxGate(ctx, func() (*core.TreeIndex, error) {
+		return core.OpenTree(opt)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -462,20 +526,42 @@ func OpenTreeIndex(cfg Config) (*TreeIndex, error) {
 
 // Search returns the exact nearest neighbor of q (CoconutTreeSIMS).
 func (t *TreeIndex) Search(q Series) (Result, error) {
-	r, err := t.ix.ExactSearch(q, 1)
+	return t.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search with cancellation: the query observes ctx between
+// leaf visits and candidate verifications (across every partition), so a
+// cancelled or expired ctx returns ctx.Err() promptly — never a partial
+// answer.
+func (t *TreeIndex) SearchCtx(ctx context.Context, q Series) (Result, error) {
+	r, err := t.ix.ExactSearchCtx(ctx, q, 1)
 	return fromCore(r), err
 }
 
 // SearchApprox returns a fast approximate nearest neighbor, examining the
 // target leaf plus radius neighbors on each side (Algorithm 4).
 func (t *TreeIndex) SearchApprox(q Series, radius int) (Result, error) {
-	r, err := t.ix.ApproxSearch(q, radius)
+	return t.SearchApproxCtx(context.Background(), q, radius)
+}
+
+// SearchApproxCtx is SearchApprox with cancellation (see SearchCtx).
+func (t *TreeIndex) SearchApproxCtx(ctx context.Context, q Series, radius int) (Result, error) {
+	r, err := t.ix.ApproxSearchCtx(ctx, q, radius)
 	return fromCore(r), err
 }
 
 // Insert adds new series to the index and dataset (batched; sorting the
 // batch internally concentrates leaf touches).
 func (t *TreeIndex) Insert(batch []Series) error { return t.ix.InsertBatch(batch) }
+
+// InsertCtx is Insert with admission control: ctx is checked before any
+// bytes move, so a done ctx rejects the batch up front with ctx.Err().
+// Once the batch is admitted it runs to completion — aborting a routed
+// multi-partition insert midway would leave the dataset and index out of
+// step.
+func (t *TreeIndex) InsertCtx(ctx context.Context, batch []Series) error {
+	return t.ix.InsertBatchCtx(ctx, batch)
+}
 
 // Count returns the number of indexed series.
 func (t *TreeIndex) Count() int64 { return t.ix.Count() }
@@ -512,6 +598,8 @@ func (t *TreeIndex) Close() error { return t.ix.Close() }
 type trieBackend interface {
 	ExactSearch(q series.Series, radius int) (core.Result, error)
 	ApproxSearch(q series.Series, radius int) (core.Result, error)
+	ExactSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error)
+	ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error)
 	Count() int64
 	NumLeaves() int
 	AvgLeafFill() float64
@@ -529,18 +617,28 @@ type TrieIndex struct {
 
 // BuildTrieIndex bulk-loads a Coconut-Trie over the dataset.
 func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
+	return BuildTrieIndexCtx(context.Background(), cfg)
+}
+
+// BuildTrieIndexCtx is BuildTrieIndex with coarse-grained cancellation
+// (see BuildTreeIndexCtx).
+func BuildTrieIndexCtx(ctx context.Context, cfg Config) (*TrieIndex, error) {
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Partitions >= 2 {
-		ix, err := partition.BuildTrie(opt, cfg.Partitions)
+		ix, err := ctxGate(ctx, func() (*partition.Trie, error) {
+			return partition.BuildTrie(opt, cfg.Partitions)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &TrieIndex{ix: ix}, nil
 	}
-	ix, err := core.BuildTrie(opt)
+	ix, err := ctxGate(ctx, func() (*core.TrieIndex, error) {
+		return core.BuildTrie(opt)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -555,6 +653,12 @@ func BuildTrieIndex(cfg Config) (*TrieIndex, error) {
 // adopted from the manifest; conflicting ones fail with
 // ErrConfigMismatch.
 func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
+	return OpenTrieIndexCtx(context.Background(), cfg)
+}
+
+// OpenTrieIndexCtx is OpenTrieIndex with coarse-grained cancellation
+// (see OpenTreeIndexCtx).
+func OpenTrieIndexCtx(ctx context.Context, cfg Config) (*TrieIndex, error) {
 	partitioned, err := cfg.mergeStored(manifest.VariantTrie)
 	if err != nil {
 		return nil, err
@@ -564,13 +668,17 @@ func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
 		return nil, err
 	}
 	if partitioned {
-		ix, err := partition.OpenTrie(opt, cfg.Partitions, cfg.AllowDegraded)
+		ix, err := ctxGate(ctx, func() (*partition.Trie, error) {
+			return partition.OpenTrie(opt, cfg.Partitions, cfg.AllowDegraded)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &TrieIndex{ix: ix}, nil
 	}
-	ix, err := core.OpenTrie(opt)
+	ix, err := ctxGate(ctx, func() (*core.TrieIndex, error) {
+		return core.OpenTrie(opt)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -579,13 +687,24 @@ func OpenTrieIndex(cfg Config) (*TrieIndex, error) {
 
 // Search returns the exact nearest neighbor of q.
 func (t *TrieIndex) Search(q Series) (Result, error) {
-	r, err := t.ix.ExactSearch(q, 0)
+	return t.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search with cancellation: a done ctx returns ctx.Err()
+// promptly, never a partial answer.
+func (t *TrieIndex) SearchCtx(ctx context.Context, q Series) (Result, error) {
+	r, err := t.ix.ExactSearchCtx(ctx, q, 0)
 	return fromCore(r), err
 }
 
 // SearchApprox returns a fast approximate nearest neighbor.
 func (t *TrieIndex) SearchApprox(q Series, radius int) (Result, error) {
-	r, err := t.ix.ApproxSearch(q, radius)
+	return t.SearchApproxCtx(context.Background(), q, radius)
+}
+
+// SearchApproxCtx is SearchApprox with cancellation (see SearchCtx).
+func (t *TrieIndex) SearchApproxCtx(ctx context.Context, q Series, radius int) (Result, error) {
+	r, err := t.ix.ApproxSearchCtx(ctx, q, radius)
 	return fromCore(r), err
 }
 
@@ -624,7 +743,13 @@ type Neighbor struct {
 // SearchKNN returns the k exact nearest neighbors of q in ascending
 // distance order.
 func (t *TreeIndex) SearchKNN(q Series, k int) ([]Neighbor, error) {
-	ns, _, err := t.ix.ExactSearchKNN(q, k, 1)
+	return t.SearchKNNCtx(context.Background(), q, k)
+}
+
+// SearchKNNCtx is SearchKNN with cancellation (see SearchCtx): a done ctx
+// returns ctx.Err(), never a truncated neighbor list.
+func (t *TreeIndex) SearchKNNCtx(ctx context.Context, q Series, k int) ([]Neighbor, error) {
+	ns, _, err := t.ix.ExactSearchKNNCtx(ctx, q, k, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -641,6 +766,9 @@ type lsmBackend interface {
 	ExactSearch(q series.Series) (lsm.Result, error)
 	ApproxSearch(q series.Series) (lsm.Result, error)
 	Append(batch []series.Series) error
+	ExactSearchCtx(ctx context.Context, q series.Series) (lsm.Result, error)
+	ApproxSearchCtx(ctx context.Context, q series.Series) (lsm.Result, error)
+	AppendCtx(ctx context.Context, batch []series.Series) error
 	Flush() error
 	Sync() error
 	Count() int64
@@ -685,18 +813,28 @@ func (c *Config) toLSM(opt core.Options) lsm.Options {
 
 // BuildLSMIndex bulk-loads the initial run over the dataset.
 func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
+	return BuildLSMIndexCtx(context.Background(), cfg)
+}
+
+// BuildLSMIndexCtx is BuildLSMIndex with coarse-grained cancellation
+// (see BuildTreeIndexCtx).
+func BuildLSMIndexCtx(ctx context.Context, cfg Config) (*LSMIndex, error) {
 	opt, err := cfg.toCore()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Partitions >= 2 {
-		ix, err := partition.BuildLSM(cfg.toLSM(opt), cfg.Partitions)
+		ix, err := ctxGate(ctx, func() (*partition.LSM, error) {
+			return partition.BuildLSM(cfg.toLSM(opt), cfg.Partitions)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &LSMIndex{ix: ix}, nil
 	}
-	ix, err := lsm.Build(cfg.toLSM(opt))
+	ix, err := ctxGate(ctx, func() (*lsm.Index, error) {
+		return lsm.Build(cfg.toLSM(opt))
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -712,6 +850,12 @@ func BuildLSMIndex(cfg Config) (*LSMIndex, error) {
 // set. Unset Config fields are adopted from the manifest; conflicting
 // ones fail with ErrConfigMismatch.
 func OpenLSMIndex(cfg Config) (*LSMIndex, error) {
+	return OpenLSMIndexCtx(context.Background(), cfg)
+}
+
+// OpenLSMIndexCtx is OpenLSMIndex with coarse-grained cancellation
+// (see OpenTreeIndexCtx).
+func OpenLSMIndexCtx(ctx context.Context, cfg Config) (*LSMIndex, error) {
 	partitioned, err := cfg.mergeStored(manifest.VariantLSM)
 	if err != nil {
 		return nil, err
@@ -721,13 +865,17 @@ func OpenLSMIndex(cfg Config) (*LSMIndex, error) {
 		return nil, err
 	}
 	if partitioned {
-		ix, err := partition.OpenLSM(cfg.toLSM(opt), cfg.Partitions)
+		ix, err := ctxGate(ctx, func() (*partition.LSM, error) {
+			return partition.OpenLSM(cfg.toLSM(opt), cfg.Partitions)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return &LSMIndex{ix: ix}, nil
 	}
-	ix, err := lsm.Open(cfg.toLSM(opt))
+	ix, err := ctxGate(ctx, func() (*lsm.Index, error) {
+		return lsm.Open(cfg.toLSM(opt))
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -736,18 +884,39 @@ func OpenLSMIndex(cfg Config) (*LSMIndex, error) {
 
 // Search returns the exact nearest neighbor of q.
 func (l *LSMIndex) Search(q Series) (Result, error) {
-	r, err := l.ix.ExactSearch(q)
+	return l.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search with cancellation: the query observes ctx between
+// run probes and candidate verifications (across every partition), so a
+// done ctx returns ctx.Err() promptly — never a partial answer.
+func (l *LSMIndex) SearchCtx(ctx context.Context, q Series) (Result, error) {
+	r, err := l.ix.ExactSearchCtx(ctx, q)
 	return Result{Position: r.Pos, Distance: r.Dist, VisitedSeries: r.VisitedRecords}, err
 }
 
 // SearchApprox returns a fast approximate nearest neighbor.
 func (l *LSMIndex) SearchApprox(q Series) (Result, error) {
-	r, err := l.ix.ApproxSearch(q)
+	return l.SearchApproxCtx(context.Background(), q)
+}
+
+// SearchApproxCtx is SearchApprox with cancellation (see SearchCtx).
+func (l *LSMIndex) SearchApproxCtx(ctx context.Context, q Series) (Result, error) {
+	r, err := l.ix.ApproxSearchCtx(ctx, q)
 	return Result{Position: r.Pos, Distance: r.Dist, VisitedSeries: r.VisitedRecords}, err
 }
 
 // Insert appends new series; full memtables flush to new sorted runs.
 func (l *LSMIndex) Insert(batch []Series) error { return l.ix.Append(batch) }
+
+// InsertCtx is Insert with cancellation. The ctx is admission control —
+// checked before any bytes move — plus an interruptible durability wait:
+// if ctx expires while the insert waits on WAL group commit, InsertCtx
+// returns ctx.Err() without disturbing the batch (the records still
+// become durable; only this caller stops waiting for the fsync).
+func (l *LSMIndex) InsertCtx(ctx context.Context, batch []Series) error {
+	return l.ix.AppendCtx(ctx, batch)
+}
 
 // Flush forces the memtable to disk.
 func (l *LSMIndex) Flush() error { return l.ix.Flush() }

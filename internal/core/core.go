@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -290,6 +291,23 @@ type ApproxWindow struct {
 	Fetch window.FetchFunc
 	// Leaves counts the leaf pages the window spans (LSM: runs probed).
 	Leaves int64
+}
+
+// CtxFetch wraps a window fetcher with a cancellation check before every
+// fetch — the approximate phase's fetches are serial, so per-fetch checks
+// are the natural cancellation granularity there (the sharded verification
+// scans detach instead; see shard.ScanCtx). A Background context wraps to
+// the original fetcher unchanged.
+func CtxFetch(ctx context.Context, f window.FetchFunc) window.FetchFunc {
+	if ctx.Done() == nil {
+		return f
+	}
+	return func(c window.Cand, dst series.Series) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return f(c, dst)
+	}
 }
 
 // leafOfOrd locates the leaf (by directory position) holding the record

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -33,11 +34,19 @@ type Neighbor = shard.Neighbor
 // QueryWorkers; only the Visited* counters vary (weaker per-shard bounds
 // verify a few extra candidates).
 func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor, Result, error) {
+	return ix.ExactSearchKNNCtx(context.Background(), q, k, radius)
+}
+
+// ExactSearchKNNCtx is ExactSearchKNN observing ctx: cancellation is
+// checked at leaf-visit granularity, a cancelled query returns ctx.Err()
+// and never a partial neighbor set, and shards stuck in a blocking read
+// are abandoned rather than waited for.
+func (ix *TreeIndex) ExactSearchKNNCtx(ctx context.Context, q series.Series, k, radius int) ([]Neighbor, Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
 	var kb shard.BSF
 	kb.Init(math.Inf(1))
-	out, stats, err := ix.exactSearchKNN(q, k, radius, &kb)
+	out, stats, err := ix.exactSearchKNN(ctx, q, k, radius, &kb)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -60,12 +69,18 @@ func (ix *TreeIndex) ExactSearchKNN(q series.Series, k, radius int) ([]Neighbor,
 // comparisons as the shared exact bound. Returned neighbors and stats are
 // in SQUARED space.
 func (ix *TreeIndex) ExactSearchKNNShared(q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
-	ix.qmu.RLock()
-	defer ix.qmu.RUnlock()
-	return ix.exactSearchKNN(q, k, radius, kb)
+	return ix.ExactSearchKNNSharedCtx(context.Background(), q, k, radius, kb)
 }
 
-func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
+// ExactSearchKNNSharedCtx is ExactSearchKNNShared observing ctx (see
+// ExactSearchKNNCtx).
+func (ix *TreeIndex) ExactSearchKNNSharedCtx(ctx context.Context, q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
+	ix.qmu.RLock()
+	defer ix.qmu.RUnlock()
+	return ix.exactSearchKNN(ctx, q, k, radius, kb)
+}
+
+func (ix *TreeIndex) exactSearchKNN(ctx context.Context, q series.Series, k, radius int, kb *shard.BSF) ([]Neighbor, Result, error) {
 	stats := Result{Pos: -1, Dist: math.Inf(1)}
 	if k < 1 {
 		k = 1
@@ -76,7 +91,7 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int, kb *shard.BS
 	h := shard.NewKNNHeap(k)
 
 	// Seed: scan the target neighborhood, collecting up to k candidates.
-	if err := ix.knnSeed(q, radius, h, &stats); err != nil {
+	if err := ix.knnSeed(ctx, q, radius, h, &stats); err != nil {
 		return nil, stats, err
 	}
 	kb.Lower(h.Bound())
@@ -92,9 +107,9 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int, kb *shard.BS
 	seed := append([]Neighbor(nil), h.Items()...)
 	var perShard [][]Neighbor
 	if ix.opt.Materialized {
-		perShard, err = ix.knnScanLeaves(q, k, seed, mindists, &stats, kb)
+		perShard, err = ix.knnScanLeaves(ctx, q, k, seed, mindists, &stats, kb)
 	} else {
-		perShard, err = ix.knnScanRawFile(q, k, seed, mindists, &stats, kb)
+		perShard, err = ix.knnScanRawFile(ctx, q, k, seed, mindists, &stats, kb)
 	}
 	if err != nil {
 		return nil, stats, err
@@ -118,7 +133,7 @@ func (ix *TreeIndex) exactSearchKNN(q series.Series, k, radius int, kb *shard.BS
 // survive the seed bound are remapped to raw-file position order and the
 // position range is partitioned into contiguous shards, each reading its
 // slice of the raw file strictly forward.
-func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
+func (ix *TreeIndex) knnScanRawFile(ctx context.Context, q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
 	type cand struct {
 		pos int64
 		lb  float64
@@ -145,7 +160,7 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 	perShard := make([][]Neighbor, workers)
 	visited := make([]int64, workers)
 	seriesLen := ix.opt.S.Params().SeriesLen
-	err := shard.Scan(workers, len(cands), func(si int, rr shard.Range, cancelled func() bool) error {
+	err := shard.ScanCtx(ctx, workers, len(cands), func(si int, rr shard.Range, cancelled func() bool) error {
 		lh := shard.NewKNNHeap(k)
 		for _, n := range seed {
 			lh.Offer(n)
@@ -182,6 +197,11 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 		perShard[si] = lh.Items()
 		return nil
 	})
+	// On a ctx error the abandoned shards may still be writing perShard and
+	// visited: neither is read, the caller sees ctx.Err() and discards.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	for _, v := range visited {
 		stats.VisitedRecords += v
 	}
@@ -191,12 +211,12 @@ func (ix *TreeIndex) knnScanRawFile(q series.Series, k int, seed []Neighbor, min
 // knnScanLeaves is the materialized verification scan: the leaf directory
 // is partitioned into contiguous shards that skip leaves with no candidate
 // within the shard's bound and scan the rest in place.
-func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
+func (ix *TreeIndex) knnScanLeaves(ctx context.Context, q series.Series, k int, seed []Neighbor, mindists []float64, stats *Result, kb *shard.BSF) ([][]Neighbor, error) {
 	dir, bases := ix.leafBases()
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
 	perShard := make([][]Neighbor, workers)
 	visited := make([][2]int64, workers) // records, leaves
-	err := shard.Scan(workers, len(dir), func(si int, rr shard.Range, cancelled func() bool) error {
+	err := shard.ScanCtx(ctx, workers, len(dir), func(si int, rr shard.Range, cancelled func() bool) error {
 		lh := shard.NewKNNHeap(k)
 		for _, n := range seed {
 			lh.Offer(n)
@@ -244,6 +264,9 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 		perShard[si] = lh.Items()
 		return nil
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	for _, v := range visited {
 		stats.VisitedRecords += v[0]
 		stats.VisitedLeaves += v[1]
@@ -251,8 +274,9 @@ func (ix *TreeIndex) knnScanLeaves(q series.Series, k int, seed []Neighbor, mind
 	return perShard, err
 }
 
-// knnSeed scans the query's target leaf (±radius) into the heap.
-func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *shard.KNNHeap, stats *Result) error {
+// knnSeed scans the query's target leaf (±radius) into the heap,
+// checking ctx once per leaf.
+func (ix *TreeIndex) knnSeed(ctx context.Context, q series.Series, radius int, h *shard.KNNHeap, stats *Result) error {
 	key, err := ix.opt.S.KeyOf(q)
 	if err != nil {
 		return err
@@ -284,6 +308,9 @@ func (ix *TreeIndex) knnSeed(q series.Series, radius int, h *shard.KNNHeap, stat
 	saxScratch := make(summary.SAX, p.Segments)
 	buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
 	for li := lo; li <= hi; li++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := ix.bt.ReadLeaf(dir[li], buf)
 		if err != nil {
 			return err

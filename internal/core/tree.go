@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -41,6 +42,9 @@ type TreeIndex struct {
 	// qmu is the handle lock: queries hold it shared, mutations
 	// (InsertBatch, DropCaches, Close) exclusively.
 	qmu sync.RWMutex
+	// closed makes Close idempotent: a second Close (or one racing a
+	// cancelled query's teardown) is a no-op instead of a double file close.
+	closed bool
 	// lazyMu guards the lazily (re)built state below: the SIMS summary
 	// array refresh after inserts/Open, and the leaf-id -> chain-position
 	// index. Queries only ever read that state after passing through a
@@ -269,10 +273,16 @@ func (ix *TreeIndex) syncLocked() error {
 
 // Close persists pending metadata (see Sync) and releases the file
 // handles. It must not race in-flight queries; the handle lock makes it
-// wait for them.
+// wait for them. Close is idempotent, and shards a cancelled query
+// abandoned may still touch the files after Close — those reads fail with
+// an I/O error that nobody reads, which is safe by construction.
 func (ix *TreeIndex) Close() error {
 	ix.qmu.Lock()
 	defer ix.qmu.Unlock()
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
 	syncErr := ix.syncLocked()
 	err1 := ix.bt.Close()
 	err2 := ix.rawFile.Close()
@@ -341,15 +351,21 @@ func finishResult(res Result) Result {
 // only on the sorted record multiset, so the answer is identical across
 // layouts (see internal/window). Safe for concurrent use.
 func (ix *TreeIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	return ix.ApproxSearchCtx(context.Background(), q, radius)
+}
+
+// ApproxSearchCtx is ApproxSearch observing ctx: cancellation is checked
+// before every candidate fetch, and a cancelled query returns ctx.Err().
+func (ix *TreeIndex) ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	res, err := ix.approxSearch(q, radius)
+	res, err := ix.approxSearch(ctx, q, radius)
 	return finishResult(res), err
 }
 
 // approxSearch is the internal form of ApproxSearch; res.Dist holds the
 // SQUARED best distance.
-func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
+func (ix *TreeIndex) approxSearch(ctx context.Context, q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, ErrEmptyIndex
@@ -360,7 +376,7 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	}
 	half := ix.opt.ApproxWindow * (radius + 1) / 2
 	cands := window.Merge(aw.Below, aw.Above, half)
-	pos, sq, visited, err := window.Eval(q, cands, aw.Fetch)
+	pos, sq, visited, err := window.Eval(q, cands, CtxFetch(ctx, aw.Fetch))
 	res.Pos, res.Dist = pos, sq
 	res.VisitedRecords = visited
 	res.VisitedLeaves = aw.Leaves
@@ -373,12 +389,20 @@ func (ix *TreeIndex) approxSearch(q series.Series, radius int) (Result, error) {
 // partition layer serializes queries against mutations with its own lock.
 // An empty index contributes nothing.
 func (ix *TreeIndex) ApproxWindowCands(q series.Series, radius int) (ApproxWindow, error) {
+	return ix.ApproxWindowCandsCtx(context.Background(), q, radius)
+}
+
+// ApproxWindowCandsCtx is ApproxWindowCands with cancellation: the
+// returned window's Fetch observes ctx between records.
+func (ix *TreeIndex) ApproxWindowCandsCtx(ctx context.Context, q series.Series, radius int) (ApproxWindow, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
 	if ix.count == 0 {
 		return ApproxWindow{}, nil
 	}
-	return ix.approxWindow(q, radius)
+	aw, err := ix.approxWindow(q, radius)
+	aw.Fetch = CtxFetch(ctx, aw.Fetch)
+	return aw, err
 }
 
 // approxWindow collects the tree's window contribution: the trailing and
@@ -512,9 +536,17 @@ func (ix *TreeIndex) ensureSIMS() error {
 // order otherwise. Safe for concurrent use; (Pos, Dist) is identical for
 // any worker count.
 func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
+	return ix.ExactSearchCtx(context.Background(), q, radius)
+}
+
+// ExactSearchCtx is ExactSearch observing ctx: cancellation is checked at
+// leaf-visit granularity in the verification scan, a cancelled query
+// returns ctx.Err() promptly (never a partial answer), and shards stuck in
+// a blocking read are abandoned rather than waited for.
+func (ix *TreeIndex) ExactSearchCtx(ctx context.Context, q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	res, err := ix.exactSearch(q, radius)
+	res, err := ix.exactSearch(ctx, q, radius)
 	return finishResult(res), err
 }
 
@@ -522,20 +554,20 @@ func (ix *TreeIndex) ExactSearch(q series.Series, radius int) (Result, error) {
 // lower bounds, the shared best-so-far, and the verification scans all
 // carry squared distances, so the per-key sqrt of the old kernel and the
 // per-candidate sqrt of the old scan are gone entirely.
-func (ix *TreeIndex) exactSearch(q series.Series, radius int) (Result, error) {
-	res, err := ix.approxSearch(q, radius)
+func (ix *TreeIndex) exactSearch(ctx context.Context, q series.Series, radius int) (Result, error) {
+	res, err := ix.approxSearch(ctx, q, radius)
 	if err != nil {
 		return res, err
 	}
 	var bound shard.BSF
 	bound.Init(res.Dist)
-	return ix.exactVerify(q, res, &bound)
+	return ix.exactVerify(ctx, q, res, &bound)
 }
 
 // exactVerify is the SIMS verification phase: res carries the (squared)
 // seed answer, bound the shared best-so-far — the query's own when
 // monolithic, the cross-partition bound when scatter-gathered.
-func (ix *TreeIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TreeIndex) exactVerify(ctx context.Context, q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	if err := ix.ensureSIMS(); err != nil {
 		return res, err
 	}
@@ -546,9 +578,9 @@ func (ix *TreeIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) 
 	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	if ix.opt.Materialized {
-		return ix.simsOverLeaves(q, mindists, res, bound)
+		return ix.simsOverLeaves(ctx, q, mindists, res, bound)
 	}
-	return ix.simsOverRawFile(q, mindists, res, bound)
+	return ix.simsOverRawFile(ctx, q, mindists, res, bound)
 }
 
 // ExactVerify runs only the verification phase against an externally
@@ -557,13 +589,18 @@ func (ix *TreeIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) 
 // and its counters cover this index's verification work only; an index
 // that finds no improvement returns the seed unchanged.
 func (ix *TreeIndex) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	return ix.ExactVerifyCtx(context.Background(), q, seedPos, seedSq, bound)
+}
+
+// ExactVerifyCtx is ExactVerify observing ctx (see ExactSearchCtx).
+func (ix *TreeIndex) ExactVerifyCtx(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
 	res := Result{Pos: seedPos, Dist: seedSq}
 	if ix.count == 0 {
 		return res, nil
 	}
-	return ix.exactVerify(q, res, bound)
+	return ix.exactVerify(ctx, q, res, bound)
 }
 
 // applyScan folds a ScanReduce result into res.
@@ -582,10 +619,10 @@ func applyScan(res Result, pos int64, dist float64, vr, vl int64) Result {
 // keeps the reduced answer identical to a serial scan. mindists and all
 // Dist fields are squared distances; the pruning logic is oblivious to the
 // space because sqrt preserves order.
-func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TreeIndex) simsOverLeaves(ctx context.Context, q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	dir, bases := ix.leafBases()
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(dir))
-	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(dir), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+	pos, dist, vr, vl, err := shard.ScanReduceCtx(ctx, workers, len(dir), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 		buf := make([]byte, ix.opt.LeafCap*ix.opt.recordSize())
 		for li := r.Lo; li < r.Hi; li++ {
@@ -636,7 +673,7 @@ func (ix *TreeIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 // position range is partitioned into contiguous shards (each still reads
 // its slice of the raw file in ascending position order). A shared
 // best-so-far bound lets shards prune each other's candidates.
-func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TreeIndex) simsOverRawFile(ctx context.Context, q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	type cand struct {
 		pos int64
 		lb  float64
@@ -650,7 +687,7 @@ func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 	seriesLen := ix.opt.S.Params().SeriesLen
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+	pos, dist, vr, vl, err := shard.ScanReduceCtx(ctx, workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, seriesLen)
 		for i := r.Lo; i < r.Hi; i++ {
 			if cancelled() {
@@ -687,6 +724,18 @@ func (ix *TreeIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 // updates arrive in volume. InsertBatch takes the handle lock exclusively,
 // so it serializes against in-flight queries.
 func (ix *TreeIndex) InsertBatch(batch []series.Series) error {
+	return ix.InsertBatchCtx(context.Background(), batch)
+}
+
+// InsertBatchCtx is InsertBatch with cancellation checked only at entry
+// (and while queued on the handle lock is not interruptible): once raw
+// bytes start landing the batch runs to completion, because a half-applied
+// insert would leave the tree and the dataset disagreeing. Write-path
+// cancellation is therefore admission control, not abort.
+func (ix *TreeIndex) InsertBatchCtx(ctx context.Context, batch []series.Series) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ix.qmu.Lock()
 	defer ix.qmu.Unlock()
 	p := ix.opt.S.Params()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -34,7 +35,9 @@ import (
 type TrieIndex struct {
 	opt Options
 	// qmu is the handle lock: queries hold it shared, Close exclusively.
-	qmu      sync.RWMutex
+	qmu sync.RWMutex
+	// closed makes Close idempotent (see TreeIndex.closed).
+	closed   bool
 	tr       *trie.Trie
 	leaves   []*trie.Node // leaf nodes in sorted (z-)order
 	leafOrd  map[*trie.Node]int
@@ -369,10 +372,17 @@ func (ix *TrieIndex) SizeBytes() int64 {
 // Trie exposes the underlying structure (read-only).
 func (ix *TrieIndex) Trie() *trie.Trie { return ix.tr }
 
-// Close releases file handles, waiting for in-flight queries.
+// Close releases file handles, waiting for in-flight queries. It is
+// idempotent and safe to call concurrently with cancelled queries: shards
+// abandoned by a cancelled fan-out may still touch the files afterwards,
+// and their reads fail into slots the query never looks at.
 func (ix *TrieIndex) Close() error {
 	ix.qmu.Lock()
 	defer ix.qmu.Unlock()
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
 	err1 := ix.leafFile.Close()
 	err2 := ix.rawFile.Close()
 	if err1 != nil {
@@ -404,15 +414,22 @@ func (ix *TrieIndex) recordSquaredDistance(q series.Series, rec []byte, scratch 
 // the sorted record multiset, so the answer is identical across layouts
 // (see internal/window). Safe for concurrent use.
 func (ix *TrieIndex) ApproxSearch(q series.Series, radius int) (Result, error) {
+	return ix.ApproxSearchCtx(context.Background(), q, radius)
+}
+
+// ApproxSearchCtx is ApproxSearch with cancellation: the candidate fetch
+// loop observes ctx between records and returns ctx.Err() without a
+// partial answer.
+func (ix *TrieIndex) ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	res, err := ix.approxSearch(q, radius)
+	res, err := ix.approxSearch(ctx, q, radius)
 	return finishResult(res), err
 }
 
 // approxSearch is the internal form of ApproxSearch; res.Dist holds the
 // SQUARED best distance.
-func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
+func (ix *TrieIndex) approxSearch(ctx context.Context, q series.Series, radius int) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, ErrEmptyIndex
@@ -423,7 +440,7 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 	}
 	half := ix.opt.ApproxWindow * (radius + 1) / 2
 	cands := window.Merge(aw.Below, aw.Above, half)
-	pos, sq, visited, err := window.Eval(q, cands, aw.Fetch)
+	pos, sq, visited, err := window.Eval(q, cands, CtxFetch(ctx, aw.Fetch))
 	res.Pos, res.Dist = pos, sq
 	res.VisitedRecords = visited
 	res.VisitedLeaves = aw.Leaves
@@ -435,12 +452,20 @@ func (ix *TrieIndex) approxSearch(q series.Series, radius int) (Result, error) {
 // TreeIndex.ApproxWindowCands for the locking contract). An empty index
 // contributes nothing.
 func (ix *TrieIndex) ApproxWindowCands(q series.Series, radius int) (ApproxWindow, error) {
+	return ix.ApproxWindowCandsCtx(context.Background(), q, radius)
+}
+
+// ApproxWindowCandsCtx is ApproxWindowCands with cancellation: the
+// returned window's Fetch observes ctx between records.
+func (ix *TrieIndex) ApproxWindowCandsCtx(ctx context.Context, q series.Series, radius int) (ApproxWindow, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
 	if ix.count == 0 {
 		return ApproxWindow{}, nil
 	}
-	return ix.approxWindow(q, radius)
+	aw, err := ix.approxWindow(q, radius)
+	aw.Fetch = CtxFetch(ctx, aw.Fetch)
+	return aw, err
 }
 
 // approxWindow collects the trie's window contribution: the trailing and
@@ -518,27 +543,34 @@ func (ix *TrieIndex) windowFetch() window.FetchFunc {
 // (leaves when materialized, raw file in position order otherwise). Safe
 // for concurrent use; (Pos, Dist) is identical for any worker count.
 func (ix *TrieIndex) ExactSearch(q series.Series, radius int) (Result, error) {
+	return ix.ExactSearchCtx(context.Background(), q, radius)
+}
+
+// ExactSearchCtx is ExactSearch with cancellation: the verification scan
+// observes ctx at leaf/candidate granularity and returns ctx.Err() without
+// a partial answer.
+func (ix *TrieIndex) ExactSearchCtx(ctx context.Context, q series.Series, radius int) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
-	res, err := ix.exactSearch(q, radius)
+	res, err := ix.exactSearch(ctx, q, radius)
 	return finishResult(res), err
 }
 
 // exactSearch runs the SIMS pipeline in squared space (see
 // TreeIndex.exactSearch).
-func (ix *TrieIndex) exactSearch(q series.Series, radius int) (Result, error) {
-	res, err := ix.approxSearch(q, radius)
+func (ix *TrieIndex) exactSearch(ctx context.Context, q series.Series, radius int) (Result, error) {
+	res, err := ix.approxSearch(ctx, q, radius)
 	if err != nil {
 		return res, err
 	}
 	var bound shard.BSF
 	bound.Init(res.Dist)
-	return ix.exactVerify(q, res, &bound)
+	return ix.exactVerify(ctx, q, res, &bound)
 }
 
 // exactVerify is the SIMS verification phase with an externally supplied
 // shared bound (see TreeIndex.exactVerify).
-func (ix *TrieIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TrieIndex) exactVerify(ctx context.Context, q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return res, err
@@ -546,9 +578,9 @@ func (ix *TrieIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) 
 	mindists := ix.opt.S.MinDistsToKeys(qPAA, ix.keys, ix.opt.QueryWorkers)
 
 	if ix.opt.Materialized {
-		return ix.simsOverLeaves(q, mindists, res, bound)
+		return ix.simsOverLeaves(ctx, q, mindists, res, bound)
 	}
-	return ix.simsOverRawFile(q, mindists, res, bound)
+	return ix.simsOverRawFile(ctx, q, mindists, res, bound)
 }
 
 // ExactVerify runs only the verification phase against an externally
@@ -556,21 +588,26 @@ func (ix *TrieIndex) exactVerify(q series.Series, res Result, bound *shard.BSF) 
 // TreeIndex.ExactVerify). Returned Result is SQUARED, counters cover this
 // index's verification work only.
 func (ix *TrieIndex) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	return ix.ExactVerifyCtx(context.Background(), q, seedPos, seedSq, bound)
+}
+
+// ExactVerifyCtx is ExactVerify with cancellation.
+func (ix *TrieIndex) ExactVerifyCtx(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
 	ix.qmu.RLock()
 	defer ix.qmu.RUnlock()
 	res := Result{Pos: seedPos, Dist: seedSq}
 	if ix.count == 0 {
 		return res, nil
 	}
-	return ix.exactVerify(q, res, bound)
+	return ix.exactVerify(ctx, q, res, bound)
 }
 
 // simsOverLeaves shards the materialized verification scan over contiguous
 // runs of trie leaves; see TreeIndex.simsOverLeaves for the determinism
 // contract.
-func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TrieIndex) simsOverLeaves(ctx context.Context, q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(ix.leaves))
-	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(ix.leaves), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+	pos, dist, vr, vl, err := shard.ScanReduceCtx(ctx, workers, len(ix.leaves), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, ix.opt.S.Params().SeriesLen)
 		for li := r.Lo; li < r.Hi; li++ {
 			if cancelled() {
@@ -616,7 +653,7 @@ func (ix *TrieIndex) simsOverLeaves(q series.Series, mindists []float64, res Res
 
 // simsOverRawFile shards the non-materialized position-ordered raw scan;
 // see TreeIndex.simsOverRawFile.
-func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
+func (ix *TrieIndex) simsOverRawFile(ctx context.Context, q series.Series, mindists []float64, res Result, bound *shard.BSF) (Result, error) {
 	type cand struct {
 		pos int64
 		lb  float64
@@ -630,7 +667,7 @@ func (ix *TrieIndex) simsOverRawFile(q series.Series, mindists []float64, res Re
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 	seriesLen := ix.opt.S.Params().SeriesLen
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	pos, dist, vr, vl, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
+	pos, dist, vr, vl, err := shard.ScanReduceCtx(ctx, workers, len(cands), res.Pos, res.Dist, func(r shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, seriesLen)
 		for i := r.Lo; i < r.Hi; i++ {
 			if cancelled() {

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/core"
+)
+
+// servingAdmissionCap mirrors a deliberately small coconutd
+// MaxInFlightQueries so the 64-client row saturates: requests past the cap
+// are shed immediately (429 in the HTTP front end) instead of queueing.
+const servingAdmissionCap = 16
+
+// servingDeadline is the per-request deadline each admitted query runs
+// under, mirroring coconutd's default server timeout.
+const servingDeadline = 30 * time.Second
+
+// LatencyUnderConcurrency measures exact-query latency percentiles on one
+// shared Coconut-Tree handle under coconutd's serving policy: a bounded
+// admission semaphore that sheds excess load rather than queueing it, and
+// a per-request deadline context on every admitted query. The table
+// reports p50/p99 of answered requests and the shed rate at 1, 8, and 64
+// closed-loop clients — at 64 clients the admission cap (16) saturates,
+// and the figure shows shedding holding the tail of the *answered*
+// requests steady instead of letting queueing push p99 out. The HTTP
+// transport itself is exercised by the internal/server tests and the CI
+// coconutd smoke job; this figure isolates the policy from the transport
+// so the rows are machine-independent apart from CPU speed.
+func LatencyUnderConcurrency(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "LatencyUnderConcurrency",
+		Title:  fmt.Sprintf("Exact-query latency under concurrent clients (admission cap %d, shed past it)", servingAdmissionCap),
+		Header: []string{"clients", "offered", "answered", "shed", "shed-rate", "p50", "p99"},
+	}
+	e, err := newEnv(sc, "randomwalk", sc.BaseCount)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := e.coreOptions(false, budgetFor(sc, sc.BaseCount, 0.25))
+	if err != nil {
+		return nil, err
+	}
+	opt.QueryWorkers = 1
+	ix, err := core.BuildTree(opt)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+
+	qs := e.queries(sc.Queries)
+	offered := sc.Queries * 15
+	if offered < 150 {
+		offered = 150
+	}
+	sem := make(chan struct{}, servingAdmissionCap)
+	for _, clients := range []int{1, 8, 64} {
+		var (
+			next, shed atomic.Int64
+			mu         sync.Mutex
+			lats       []time.Duration
+			firstErr   error
+			wg         sync.WaitGroup
+		)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var local []time.Duration
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= offered {
+						break
+					}
+					select {
+					case sem <- struct{}{}:
+					default:
+						shed.Add(1)
+						continue // shed: answered instantly with 429, not queued
+					}
+					start := time.Now()
+					ctx, cancel := context.WithTimeout(context.Background(), servingDeadline)
+					_, err := ix.ExactSearchCtx(ctx, qs[i%len(qs)], 1)
+					cancel()
+					<-sem
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					local = append(local, time.Since(start))
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if len(lats) == 0 {
+			return nil, fmt.Errorf("latency figure: %d clients answered no requests", clients)
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		p50 := lats[len(lats)/2]
+		p99 := lats[min(len(lats)-1, len(lats)*99/100)]
+		sh := shed.Load()
+		t.Add(fmt.Sprint(clients), fmt.Sprint(offered), fmt.Sprint(len(lats)),
+			fmt.Sprint(sh), pct(float64(sh)/float64(offered)), ms(p50), ms(p99))
+	}
+	return t, nil
+}

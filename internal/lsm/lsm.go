@@ -20,6 +20,7 @@
 package lsm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -255,6 +256,9 @@ type Index struct {
 	// them from the raw dataset.
 	quarantined []manifest.RunInfo
 	mu          sync.RWMutex
+	// closed makes Close idempotent: a second Close (even concurrent with
+	// the first) returns nil instead of double-closing the files.
+	closed bool
 	// cond (on the write side of mu) signals backpressure waiters and
 	// Sync/Close drains whenever a compaction finishes or fails.
 	cond    *sync.Cond
@@ -618,13 +622,26 @@ func (ix *Index) memCapacity() int {
 // return means every series in the batch is durable (fsynced WAL record
 // plus fsynced raw bytes, or already covered by a flushed run).
 func (ix *Index) Append(batch []series.Series) error {
+	return ix.AppendCtx(context.Background(), batch)
+}
+
+// AppendCtx is Append with cancellation as admission control: the context
+// is checked before any raw byte lands — once admitted, the batch runs to
+// completion (a half-applied batch would corrupt the index) — and again
+// while waiting for the group commit. A cancelled appender abandons its
+// durability wait without disturbing the batch: the committer still fsyncs
+// it, so the logged entries stay durable and consistent.
+func (ix *Index) AppendCtx(ctx context.Context, batch []series.Series) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	ix.mu.Lock()
 	lsn, err := ix.appendLocked(batch)
 	ix.mu.Unlock()
 	if err != nil || ix.wal == nil {
 		return err
 	}
-	return ix.wal.waitDurable(lsn)
+	return ix.wal.waitDurableCtx(ctx, lsn)
 }
 
 func (ix *Index) appendLocked(batch []series.Series) (int64, error) {
@@ -778,10 +795,17 @@ func (ix *Index) AppendEntriesNoWait(entries []Entry) (int64, error) {
 // committed into the WAL, or covered by a flushed run). With the WAL
 // disabled there is nothing to wait for.
 func (ix *Index) WaitDurable(lsn int64) error {
+	return ix.WaitDurableCtx(context.Background(), lsn)
+}
+
+// WaitDurableCtx is WaitDurable with cancellation: a cancelled waiter
+// returns ctx.Err() and abandons the wait; the group commit itself is
+// unaffected, so the entries still become durable.
+func (ix *Index) WaitDurableCtx(ctx context.Context, lsn int64) error {
 	if ix.wal == nil {
 		return nil
 	}
-	return ix.wal.waitDurable(lsn)
+	return ix.wal.waitDurableCtx(ctx, lsn)
 }
 
 // lePosLess orders positions by the lexicographic order of their
@@ -1322,6 +1346,11 @@ func (ix *Index) SizeBytes() int64 {
 // the committed manifest describes, so Open reconstructs this index.
 func (ix *Index) Close() error {
 	ix.mu.Lock()
+	if ix.closed {
+		ix.mu.Unlock()
+		return nil
+	}
+	ix.closed = true
 	flushErr := ix.flushLocked()
 	drainErr := ix.drainLocked()
 	var quit chan struct{}
@@ -1499,9 +1528,16 @@ func (ix *Index) readRaw(pos int64, dst series.Series) error {
 // after flushes and compactions, and across partition counts. Safe for
 // concurrent use.
 func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
+	return ix.ApproxSearchCtx(context.Background(), q)
+}
+
+// ApproxSearchCtx is ApproxSearch with cancellation: the candidate fetch
+// loop observes ctx between records and returns ctx.Err() without a
+// partial answer.
+func (ix *Index) ApproxSearchCtx(ctx context.Context, q series.Series) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	res, err := ix.approxLocked(q)
+	res, err := ix.approxLocked(ctx, q)
 	res.Dist = math.Sqrt(res.Dist)
 	return res, err
 }
@@ -1509,7 +1545,7 @@ func (ix *Index) ApproxSearch(q series.Series) (Result, error) {
 // approxLocked is the internal form of ApproxSearch: res.Dist holds the
 // SQUARED best distance (the LSM query path, like core's, stays in squared
 // space until a public entry point materializes a Euclidean distance).
-func (ix *Index) approxLocked(q series.Series) (Result, error) {
+func (ix *Index) approxLocked(ctx context.Context, q series.Series) (Result, error) {
 	res := Result{Pos: -1, Dist: math.Inf(1)}
 	if ix.count == 0 {
 		return res, errors.New("lsm: index is empty")
@@ -1519,10 +1555,10 @@ func (ix *Index) approxLocked(q series.Series) (Result, error) {
 		return res, err
 	}
 	res.VisitedRuns = runs
-	cands := window.Merge(below, above, ix.opt.Window/2)
-	pos, sq, visited, err := window.Eval(q, cands, func(c window.Cand, dst series.Series) error {
-		return ix.readRaw(c.Pos, dst)
-	})
+	pos, sq, visited, err := window.Eval(q, window.Merge(below, above, ix.opt.Window/2),
+		core.CtxFetch(ctx, func(c window.Cand, dst series.Series) error {
+			return ix.readRaw(c.Pos, dst)
+		}))
 	res.Pos, res.Dist, res.VisitedRecords = pos, sq, visited
 	return res, err
 }
@@ -1590,6 +1626,12 @@ func (ix *Index) windowCandsLocked(q series.Series) (below, above []window.Cand,
 // cross-partition window may still be non-empty). The Leaves counter
 // reports runs probed.
 func (ix *Index) ApproxWindowCands(q series.Series) (core.ApproxWindow, error) {
+	return ix.ApproxWindowCandsCtx(context.Background(), q)
+}
+
+// ApproxWindowCandsCtx is ApproxWindowCands with cancellation: the
+// returned window's Fetch observes ctx between records.
+func (ix *Index) ApproxWindowCandsCtx(ctx context.Context, q series.Series) (core.ApproxWindow, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var aw core.ApproxWindow
@@ -1601,9 +1643,9 @@ func (ix *Index) ApproxWindowCands(q series.Series) (core.ApproxWindow, error) {
 		return aw, err
 	}
 	aw.Below, aw.Above, aw.Leaves = below, above, runs
-	aw.Fetch = func(c window.Cand, dst series.Series) error {
+	aw.Fetch = core.CtxFetch(ctx, func(c window.Cand, dst series.Series) error {
 		return ix.readRaw(c.Pos, dst)
-	}
+	})
 	return aw, nil
 }
 
@@ -1615,22 +1657,29 @@ func (ix *Index) ApproxWindowCands(q series.Series) (core.ApproxWindow, error) {
 // bound — the Euclidean distance is materialized once, at return. Safe for
 // concurrent use; (Pos, Dist) is identical for any worker count.
 func (ix *Index) ExactSearch(q series.Series) (Result, error) {
+	return ix.ExactSearchCtx(context.Background(), q)
+}
+
+// ExactSearchCtx is ExactSearch with cancellation: every phase — window
+// fetch, per-run lower bounds, verification scan — observes ctx and
+// returns ctx.Err() without a partial answer.
+func (ix *Index) ExactSearchCtx(ctx context.Context, q series.Series) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	res, err := ix.exactLocked(q)
+	res, err := ix.exactLocked(ctx, q)
 	res.Dist = math.Sqrt(res.Dist)
 	return res, err
 }
 
 // exactLocked runs the SIMS pipeline in squared space.
-func (ix *Index) exactLocked(q series.Series) (Result, error) {
-	res, err := ix.approxLocked(q)
+func (ix *Index) exactLocked(ctx context.Context, q series.Series) (Result, error) {
+	res, err := ix.approxLocked(ctx, q)
 	if err != nil {
 		return res, err
 	}
 	var bound shard.BSF
 	bound.Init(res.Dist)
-	return ix.exactVerifyLocked(q, res, &bound)
+	return ix.exactVerifyLocked(ctx, q, res, &bound)
 }
 
 // ExactVerify is the partition-layer entry: verify the seed (seedPos,
@@ -1638,19 +1687,24 @@ func (ix *Index) exactLocked(q series.Series) (Result, error) {
 // cross-partition bound, and return the best in squared space with
 // verify-phase counters only. An empty index returns the seed unchanged.
 func (ix *Index) ExactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
+	return ix.ExactVerifyCtx(context.Background(), q, seedPos, seedSq, bound)
+}
+
+// ExactVerifyCtx is ExactVerify with cancellation.
+func (ix *Index) ExactVerifyCtx(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	res := Result{Pos: seedPos, Dist: seedSq}
 	if ix.count == 0 {
 		return res, nil
 	}
-	return ix.exactVerifyLocked(q, res, bound)
+	return ix.exactVerifyLocked(ctx, q, res, bound)
 }
 
 // exactVerifyLocked is the verification phase: lower-bound every record,
 // then scan the surviving candidates in position order, tightening res
 // (and the shared bound) as closer records are found.
-func (ix *Index) exactVerifyLocked(q series.Series, res Result, bound *shard.BSF) (Result, error) {
+func (ix *Index) exactVerifyLocked(ctx context.Context, q series.Series, res Result, bound *shard.BSF) (Result, error) {
 	qPAA, err := ix.opt.S.PAA(q, nil)
 	if err != nil {
 		return res, err
@@ -1673,7 +1727,7 @@ func (ix *Index) exactVerifyLocked(q series.Series, res Result, bound *shard.BSF
 	// lower-bound pass, so a single-run index (fresh bulk load, or fully
 	// compacted) still shards its dominant scan across all QueryWorkers.
 	innerWorkers := shard.PerGroup(ix.opt.QueryWorkers, runWorkers)
-	shardErr := shard.Scan(runWorkers, len(ix.runs),
+	shardErr := shard.ScanCtx(ctx, runWorkers, len(ix.runs),
 		func(si int, rr shard.Range, cancelled func() bool) error {
 			for i := rr.Lo; i < rr.Hi; i++ {
 				if cancelled() {
@@ -1693,6 +1747,8 @@ func (ix *Index) exactVerifyLocked(q series.Series, res Result, bound *shard.BSF
 			return nil
 		})
 	if shardErr != nil {
+		// On a ctx error abandoned shards may still be writing perRun; it is
+		// never read on this path.
 		return res, shardErr
 	}
 	var cands []cand
@@ -1709,7 +1765,7 @@ func (ix *Index) exactVerifyLocked(q series.Series, res Result, bound *shard.BSF
 	sort.Slice(cands, func(a, b int) bool { return cands[a].pos < cands[b].pos })
 
 	workers := shard.Resolve(ix.opt.QueryWorkers, len(cands))
-	pos, dist, vr, _, err := shard.ScanReduce(workers, len(cands), res.Pos, res.Dist, func(rr shard.Range, local *shard.Outcome, cancelled func() bool) error {
+	pos, dist, vr, _, err := shard.ScanReduceCtx(ctx, workers, len(cands), res.Pos, res.Dist, func(rr shard.Range, local *shard.Outcome, cancelled func() bool) error {
 		scratch := make(series.Series, p.SeriesLen)
 		for i := rr.Lo; i < rr.Hi; i++ {
 			if cancelled() {

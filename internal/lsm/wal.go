@@ -20,6 +20,7 @@
 package lsm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -165,16 +166,38 @@ func (w *wal) log(entries []Entry) (int64, error) {
 // waitDurable blocks until every entry with LSN <= lsn is durable — group
 // commit released the batch, or a flush covered it with a run.
 func (w *wal) waitDurable(lsn int64) error {
+	return w.waitDurableCtx(context.Background(), lsn)
+}
+
+// waitDurableCtx is waitDurable with cancellation: a done context wakes
+// the waiter (via an AfterFunc broadcast) and it returns ctx.Err(). The
+// abandoned wait has no effect on the group commit — the committer still
+// fsyncs the batch, so the caller's entries become durable anyway; the
+// caller merely stops being told about it.
+func (w *wal) waitDurableCtx(ctx context.Context, lsn int64) error {
 	if w.syncEach {
+		// The per-append-fsync baseline performs the sync inline; it is not
+		// interruptible mid-fsync, matching the admission-control contract.
 		return w.syncTo(lsn)
+	}
+	if done := ctx.Done(); done != nil {
+		stop := context.AfterFunc(ctx, func() {
+			w.mu.Lock()
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		})
+		defer stop()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.durable < lsn && w.err == nil && !w.quit {
+	for w.durable < lsn && w.err == nil && !w.quit && ctx.Err() == nil {
 		w.cond.Wait()
 	}
 	if w.durable >= lsn {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if w.err != nil {
 		return w.err

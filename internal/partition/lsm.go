@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -36,6 +37,7 @@ type LSM struct {
 	// mu serializes appends: raw-file writes assign global arrival-order
 	// positions before entries route to their owning partition's memtable.
 	mu      sync.Mutex
+	closed  bool
 	rawFile storage.File
 }
 
@@ -225,11 +227,11 @@ func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile st
 type lsmChild struct{ ix *lsm.Index }
 
 func (c lsmChild) count() int64 { return c.ix.Count() }
-func (c lsmChild) approxWindow(q series.Series, _ int) (core.ApproxWindow, error) {
-	return c.ix.ApproxWindowCands(q)
+func (c lsmChild) approxWindow(ctx context.Context, q series.Series, _ int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCandsCtx(ctx, q)
 }
-func (c lsmChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
-	r, err := c.ix.ExactVerify(q, seedPos, seedSq, bound)
+func (c lsmChild) exactVerify(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	r, err := c.ix.ExactVerifyCtx(ctx, q, seedPos, seedSq, bound)
 	return core.Result{Pos: r.Pos, Dist: r.Dist, VisitedRecords: r.VisitedRecords, VisitedLeaves: r.VisitedRuns}, err
 }
 
@@ -242,7 +244,14 @@ func lsmResult(r core.Result) lsm.Result {
 // ExactSearch returns the exact nearest neighbor of q via scatter-gather
 // SIMS, identical to a single-partition index's answer.
 func (l *LSM) ExactSearch(q series.Series) (lsm.Result, error) {
-	r, err := l.g.exactSq(q, 0)
+	return l.ExactSearchCtx(context.Background(), q)
+}
+
+// ExactSearchCtx is ExactSearch with cancellation: a parent cancel cancels
+// every partition's verification, the first child error cancels its
+// siblings, and a done ctx returns ctx.Err() — never a partial answer.
+func (l *LSM) ExactSearchCtx(ctx context.Context, q series.Series) (lsm.Result, error) {
+	r, err := l.g.exactSq(ctx, q, 0)
 	r.Dist = math.Sqrt(r.Dist)
 	return lsmResult(r), err
 }
@@ -250,7 +259,12 @@ func (l *LSM) ExactSearch(q series.Series) (lsm.Result, error) {
 // ApproxSearch returns the approximate nearest neighbor from the merged
 // cross-partition window.
 func (l *LSM) ApproxSearch(q series.Series) (lsm.Result, error) {
-	r, err := l.g.approxSq(q, 0)
+	return l.ApproxSearchCtx(context.Background(), q)
+}
+
+// ApproxSearchCtx is ApproxSearch with cancellation (see ExactSearchCtx).
+func (l *LSM) ApproxSearchCtx(ctx context.Context, q series.Series) (lsm.Result, error) {
+	r, err := l.g.approxSq(ctx, q, 0)
 	r.Dist = math.Sqrt(r.Dist)
 	return lsmResult(r), err
 }
@@ -263,6 +277,19 @@ func (l *LSM) ApproxSearch(q series.Series) (lsm.Result, error) {
 // durability token after releasing it, so concurrent Append calls share
 // each child's group commit instead of serializing whole-batch fsyncs.
 func (l *LSM) Append(batch []series.Series) error {
+	return l.AppendCtx(context.Background(), batch)
+}
+
+// AppendCtx is Append with cancellation as admission control: the context
+// is checked once before any raw byte lands; once admitted the batch is
+// fully routed and logged (aborting mid-route would leave raw bytes some
+// partitions indexed and others did not). A cancelled appender abandons
+// the durability waits — the children's group commits still fsync the
+// logged entries, so the index stays consistent.
+func (l *LSM) AppendCtx(ctx context.Context, batch []series.Series) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(batch) == 0 {
 		return nil
 	}
@@ -272,12 +299,12 @@ func (l *LSM) Append(batch []series.Series) error {
 	if err != nil {
 		return err
 	}
-	return shard.FanOut(shard.Resolve(l.workers, len(l.kids)), len(l.kids),
+	return shard.FanOutCtx(ctx, shard.Resolve(l.workers, len(l.kids)), len(l.kids),
 		func(i int, cancelled func() bool) error {
 			if cancelled() || tokens[i] < 0 {
 				return nil
 			}
-			return l.kids[i].WaitDurable(tokens[i])
+			return l.kids[i].WaitDurableCtx(ctx, tokens[i])
 		})
 }
 
@@ -458,8 +485,16 @@ func (l *LSM) SizeBytes() int64 {
 }
 
 // Close flushes, drains, and closes every partition, then releases the
-// raw handle.
+// raw handle. It is idempotent and safe to call concurrently with
+// cancelled queries and abandoned durability waiters.
 func (l *LSM) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
 	first := l.flushRawSums()
 	for _, k := range l.kids {
 		if k == nil {

@@ -23,11 +23,13 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/manifest"
@@ -329,8 +331,58 @@ func divideBudget(total int64, n int, floor int64) int64 {
 // are SQUARED.
 type searcher interface {
 	count() int64
-	approxWindow(q series.Series, radius int) (core.ApproxWindow, error)
-	exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error)
+	approxWindow(ctx context.Context, q series.Series, radius int) (core.ApproxWindow, error)
+	exactVerify(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error)
+}
+
+// childCancel wires "the first child error cancels its siblings" onto a
+// scatter fan-out: children run under a derived context (so a parent
+// cancel reaches every child too), fail records the first real failure and
+// cancels the rest, and finish resolves the fan-out's outcome with the
+// parent's cancellation taking precedence over everything — a query never
+// reports a child error when the caller itself gave up.
+type childCancel struct {
+	cctx   context.Context
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+}
+
+func newChildCancel(ctx context.Context) *childCancel {
+	cc := &childCancel{}
+	cc.cctx, cc.cancel = context.WithCancel(ctx)
+	return cc
+}
+
+// fail records the first failure and cancels the sibling children.
+func (cc *childCancel) fail(err error) error {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	cc.mu.Unlock()
+	cc.cancel()
+	return err
+}
+
+// resolve decides the fan-out result: parent cancellation first, then the
+// first child failure (a sibling that merely observed the cancellation
+// reports context.Canceled, which must not mask the failure that caused
+// it), then the fan-out's own error. It deliberately does NOT cancel the
+// derived context — children hand back fetch closures bound to cc.cctx
+// that the merged evaluation calls after the fan-out joins, so the caller
+// defers cc.cancel() to its own exit instead.
+func (cc *childCancel) resolve(ctx context.Context, ferr error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	cc.mu.Lock()
+	err := cc.err
+	cc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ferr
 }
 
 // gather fans a query out over the partitions and merges the answers
@@ -361,25 +413,29 @@ func (g *gather) total() int64 {
 // into exactly the window a single sorted sequence of the union would
 // produce, and one global evaluation visits them best-lower-bound-first,
 // dispatching fetches back to the owning partition.
-func (g *gather) approxSq(q series.Series, radius int) (core.Result, error) {
+func (g *gather) approxSq(ctx context.Context, q series.Series, radius int) (core.Result, error) {
 	res := core.Result{Pos: -1, Dist: math.Inf(1)}
 	if g.total() == 0 {
 		return res, core.ErrEmptyIndex
 	}
+	cc := newChildCancel(ctx)
+	defer cc.cancel()
 	aws := make([]core.ApproxWindow, len(g.kids))
-	err := shard.FanOut(shard.Resolve(g.workers, len(g.kids)), len(g.kids),
+	ferr := shard.FanOutCtx(ctx, shard.Resolve(g.workers, len(g.kids)), len(g.kids),
 		func(i int, cancelled func() bool) error {
 			if cancelled() || g.kids[i] == nil {
 				return nil
 			}
-			aw, err := g.kids[i].approxWindow(q, radius)
+			aw, err := g.kids[i].approxWindow(cc.cctx, q, radius)
 			if err != nil {
-				return err
+				return cc.fail(err)
 			}
 			aws[i] = aw
 			return nil
 		})
-	if err != nil {
+	if err := cc.resolve(ctx, ferr); err != nil {
+		// On a ctx error abandoned children may still be writing aws; it is
+		// never read on this path.
 		return res, err
 	}
 	var below, above []window.Cand
@@ -397,9 +453,9 @@ func (g *gather) approxSq(q series.Series, radius int) (core.Result, error) {
 		res.VisitedLeaves += aws[i].Leaves
 	}
 	cands := window.Merge(below, above, g.half(radius))
-	pos, sq, visited, err := window.Eval(q, cands, func(c window.Cand, dst series.Series) error {
+	pos, sq, visited, err := window.Eval(q, cands, core.CtxFetch(ctx, func(c window.Cand, dst series.Series) error {
 		return fetches[c.Src](c, dst)
-	})
+	}))
 	res.Pos, res.Dist, res.VisitedRecords = pos, sq, visited
 	return res, err
 }
@@ -410,8 +466,8 @@ func (g *gather) approxSq(q series.Series, radius int) (core.Result, error) {
 // differently), the shared atomic bound lets partitions prune each other,
 // and the per-partition results merge under the total (distance, position)
 // order — the same order a single index's sharded scan reduces under.
-func (g *gather) exactSq(q series.Series, radius int) (core.Result, error) {
-	res, err := g.approxSq(q, radius)
+func (g *gather) exactSq(ctx context.Context, q series.Series, radius int) (core.Result, error) {
+	res, err := g.approxSq(ctx, q, radius)
 	if err != nil {
 		return res, err
 	}
@@ -421,19 +477,23 @@ func (g *gather) exactSq(q series.Series, radius int) (core.Result, error) {
 	for i := range outs {
 		outs[i] = core.Result{Pos: -1, Dist: math.Inf(1)}
 	}
-	err = shard.FanOut(shard.Resolve(g.workers, len(g.kids)), len(g.kids),
+	cc := newChildCancel(ctx)
+	defer cc.cancel()
+	ferr := shard.FanOutCtx(ctx, shard.Resolve(g.workers, len(g.kids)), len(g.kids),
 		func(i int, cancelled func() bool) error {
 			if cancelled() || g.kids[i] == nil {
 				return nil
 			}
-			r, err := g.kids[i].exactVerify(q, res.Pos, res.Dist, &bound)
+			r, err := g.kids[i].exactVerify(cc.cctx, q, res.Pos, res.Dist, &bound)
 			if err != nil {
-				return err
+				return cc.fail(err)
 			}
 			outs[i] = r
 			return nil
 		})
-	if err != nil {
+	if err := cc.resolve(ctx, ferr); err != nil {
+		// On a ctx error abandoned children may still be writing outs; it is
+		// never read on this path.
 		return res, err
 	}
 	for _, r := range outs {

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -36,6 +37,7 @@ type Tree struct {
 	// mu serializes inserts: raw-file appends assign global arrival-order
 	// positions before records route to their owning partition.
 	mu      sync.Mutex
+	closed  bool
 	rawFile storage.File
 }
 
@@ -223,24 +225,36 @@ func newTree(opt core.Options, bounds []summary.Key, kids []*core.TreeIndex, raw
 type treeChild struct{ ix *core.TreeIndex }
 
 func (c treeChild) count() int64 { return c.ix.Count() }
-func (c treeChild) approxWindow(q series.Series, radius int) (core.ApproxWindow, error) {
-	return c.ix.ApproxWindowCands(q, radius)
+func (c treeChild) approxWindow(ctx context.Context, q series.Series, radius int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCandsCtx(ctx, q, radius)
 }
-func (c treeChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
-	return c.ix.ExactVerify(q, seedPos, seedSq, bound)
+func (c treeChild) exactVerify(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	return c.ix.ExactVerifyCtx(ctx, q, seedPos, seedSq, bound)
 }
 
 // ExactSearch returns the exact nearest neighbor of q via scatter-gather
 // SIMS, identical to a single-partition index's answer.
 func (t *Tree) ExactSearch(q series.Series, radius int) (core.Result, error) {
-	r, err := t.g.exactSq(q, radius)
+	return t.ExactSearchCtx(context.Background(), q, radius)
+}
+
+// ExactSearchCtx is ExactSearch with cancellation: a parent cancel cancels
+// every partition's verification, the first child error cancels its
+// siblings, and a done ctx returns ctx.Err() — never a partial answer.
+func (t *Tree) ExactSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.exactSq(ctx, q, radius)
 	return finish(r), err
 }
 
 // ApproxSearch returns the approximate nearest neighbor from the merged
 // cross-partition window.
 func (t *Tree) ApproxSearch(q series.Series, radius int) (core.Result, error) {
-	r, err := t.g.approxSq(q, radius)
+	return t.ApproxSearchCtx(context.Background(), q, radius)
+}
+
+// ApproxSearchCtx is ApproxSearch with cancellation (see ExactSearchCtx).
+func (t *Tree) ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.approxSq(ctx, q, radius)
 	return finish(r), err
 }
 
@@ -249,6 +263,13 @@ func (t *Tree) ApproxSearch(q series.Series, radius int) (core.Result, error) {
 // and the per-partition sets merge under the (distance, position) total
 // order.
 func (t *Tree) ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, core.Result, error) {
+	return t.ExactSearchKNNCtx(context.Background(), q, k, radius)
+}
+
+// ExactSearchKNNCtx is ExactSearchKNN with cancellation: a parent cancel
+// cancels every partition's scan, the first child error cancels its
+// siblings, and a done ctx returns ctx.Err() — never a partial top-k.
+func (t *Tree) ExactSearchKNNCtx(ctx context.Context, q series.Series, k, radius int) ([]core.Neighbor, core.Result, error) {
 	stats := core.Result{Pos: -1, Dist: math.Inf(1)}
 	if k < 1 {
 		k = 1
@@ -261,18 +282,22 @@ func (t *Tree) ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, 
 	n := len(t.kids)
 	perChild := make([][]core.Neighbor, n)
 	childStats := make([]core.Result, n)
-	err := shard.FanOut(shard.Resolve(t.g.workers, n), n, func(i int, cancelled func() bool) error {
+	cc := newChildCancel(ctx)
+	defer cc.cancel()
+	ferr := shard.FanOutCtx(ctx, shard.Resolve(t.g.workers, n), n, func(i int, cancelled func() bool) error {
 		if cancelled() || t.kids[i] == nil || t.kids[i].Count() == 0 {
 			return nil
 		}
-		ns, st, err := t.kids[i].ExactSearchKNNShared(q, k, radius, &kb)
+		ns, st, err := t.kids[i].ExactSearchKNNSharedCtx(cc.cctx, q, k, radius, &kb)
 		if err != nil {
-			return err
+			return cc.fail(err)
 		}
 		perChild[i], childStats[i] = ns, st
 		return nil
 	})
-	if err != nil {
+	if err := cc.resolve(ctx, ferr); err != nil {
+		// On a ctx error abandoned children may still be writing perChild
+		// and childStats; neither is read on this path.
 		return nil, stats, err
 	}
 	final := shard.NewKNNHeap(k)
@@ -299,6 +324,17 @@ func (t *Tree) ExactSearchKNN(q series.Series, k, radius int) ([]core.Neighbor, 
 // global arrival-order positions under the partition-level lock) and
 // routes each record to its owning partition's tree.
 func (t *Tree) InsertBatch(batch []series.Series) error {
+	return t.InsertBatchCtx(context.Background(), batch)
+}
+
+// InsertBatchCtx is InsertBatch with cancellation as admission control:
+// the context is checked once before any raw byte lands; once admitted the
+// batch runs to completion — aborting mid-route would leave raw bytes some
+// partitions indexed and others did not.
+func (t *Tree) InsertBatchCtx(ctx context.Context, batch []series.Series) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(batch) == 0 {
@@ -439,8 +475,16 @@ func (t *Tree) Sync() error {
 	return nil
 }
 
-// Close syncs and closes every partition and releases the raw handle.
+// Close syncs and closes every partition and releases the raw handle. It
+// is idempotent and safe to call concurrently with cancelled queries.
 func (t *Tree) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
 	first := t.flushRawSums()
 	for _, k := range t.kids {
 		if k == nil {

@@ -1,7 +1,9 @@
 package partition
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/manifest"
@@ -15,6 +17,9 @@ type Trie struct {
 	kids     []*core.TrieIndex
 	degraded []string
 	g        gather
+
+	mu     sync.Mutex
+	closed bool
 }
 
 // BuildTrie builds an N-way partitioned Coconut-Trie (same pipeline as
@@ -162,24 +167,36 @@ func newTrie(opt core.Options, kids []*core.TrieIndex, degraded []string) *Trie 
 type trieChild struct{ ix *core.TrieIndex }
 
 func (c trieChild) count() int64 { return c.ix.Count() }
-func (c trieChild) approxWindow(q series.Series, radius int) (core.ApproxWindow, error) {
-	return c.ix.ApproxWindowCands(q, radius)
+func (c trieChild) approxWindow(ctx context.Context, q series.Series, radius int) (core.ApproxWindow, error) {
+	return c.ix.ApproxWindowCandsCtx(ctx, q, radius)
 }
-func (c trieChild) exactVerify(q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
-	return c.ix.ExactVerify(q, seedPos, seedSq, bound)
+func (c trieChild) exactVerify(ctx context.Context, q series.Series, seedPos int64, seedSq float64, bound *shard.BSF) (core.Result, error) {
+	return c.ix.ExactVerifyCtx(ctx, q, seedPos, seedSq, bound)
 }
 
 // ExactSearch returns the exact nearest neighbor of q via scatter-gather
 // SIMS, identical to a single-partition index's answer.
 func (t *Trie) ExactSearch(q series.Series, radius int) (core.Result, error) {
-	r, err := t.g.exactSq(q, radius)
+	return t.ExactSearchCtx(context.Background(), q, radius)
+}
+
+// ExactSearchCtx is ExactSearch with cancellation: a parent cancel cancels
+// every partition's verification, the first child error cancels its
+// siblings, and a done ctx returns ctx.Err() — never a partial answer.
+func (t *Trie) ExactSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.exactSq(ctx, q, radius)
 	return finish(r), err
 }
 
 // ApproxSearch returns the approximate nearest neighbor from the merged
 // cross-partition window.
 func (t *Trie) ApproxSearch(q series.Series, radius int) (core.Result, error) {
-	r, err := t.g.approxSq(q, radius)
+	return t.ApproxSearchCtx(context.Background(), q, radius)
+}
+
+// ApproxSearchCtx is ApproxSearch with cancellation (see ExactSearchCtx).
+func (t *Trie) ApproxSearchCtx(ctx context.Context, q series.Series, radius int) (core.Result, error) {
+	r, err := t.g.approxSq(ctx, q, radius)
 	return finish(r), err
 }
 
@@ -235,8 +252,16 @@ func (t *Trie) Degraded() bool { return len(t.degraded) > 0 }
 // QuarantinedChildren returns the names of quarantined partitions.
 func (t *Trie) QuarantinedChildren() []string { return append([]string(nil), t.degraded...) }
 
-// Close closes every partition.
+// Close closes every partition. It is idempotent and safe to call
+// concurrently with cancelled queries.
 func (t *Trie) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
 	var first error
 	for _, k := range t.kids {
 		if k == nil {

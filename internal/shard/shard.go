@@ -13,6 +13,7 @@ package shard
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -154,18 +155,32 @@ func (b *BSF) Prunes(lb float64) bool { return lb > b.Load() }
 // and returns the error of the lowest-indexed failing shard, so the
 // surfaced error is deterministic.
 func Scan(workers, n int, fn func(shard int, r Range, cancelled func() bool) error) error {
-	return scanRanges(Split(n, workers), fn)
+	return scanRanges(context.Background(), Split(n, workers), fn)
 }
 
-func scanRanges(ranges []Range, fn func(shard int, r Range, cancelled func() bool) error) error {
+// ScanCtx is Scan observing ctx: the cancelled predicate trips as soon as
+// ctx is done, and the call returns ctx.Err() promptly even if a shard is
+// stuck inside a blocking operation (the stuck goroutine is abandoned and
+// exits when its operation returns — callers must not reuse buffers they
+// handed to fn after a ctx error). When ScanCtx returns a ctx error, the
+// scan's side effects may be partial; callers must discard them.
+func ScanCtx(ctx context.Context, workers, n int, fn func(shard int, r Range, cancelled func() bool) error) error {
+	return scanRanges(ctx, Split(n, workers), fn)
+}
+
+func scanRanges(ctx context.Context, ranges []Range, fn func(shard int, r Range, cancelled func() bool) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if len(ranges) == 0 {
 		return nil
 	}
-	if len(ranges) == 1 {
+	done := ctx.Done()
+	if len(ranges) == 1 && done == nil {
 		return fn(0, ranges[0], func() bool { return false })
 	}
 	var stop atomic.Bool
-	cancelled := func() bool { return stop.Load() }
+	cancelled := func() bool { return stop.Load() || ctx.Err() != nil }
 	errs := make([]error, len(ranges))
 	var wg sync.WaitGroup
 	for i, r := range ranges {
@@ -178,7 +193,30 @@ func scanRanges(ranges []Range, fn func(shard int, r Range, cancelled func() boo
 			}
 		}(i, r)
 	}
-	wg.Wait()
+	if done == nil {
+		wg.Wait()
+	} else {
+		// Wait for the shards, but detach if ctx fires first: a shard
+		// blocked in a stalled read must not hold the query hostage. The
+		// detached goroutines exit when their blocking operation returns;
+		// their writes land in slots nobody reads after a ctx error.
+		finished := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(finished)
+		}()
+		select {
+		case <-finished:
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	// A shard may have observed cancellation and skipped work items, so a
+	// done ctx always wins over a "complete" scan: never a partial answer
+	// dressed up as a full one.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -197,11 +235,23 @@ func scanRanges(ranges []Range, fn func(shard int, r Range, cancelled func() boo
 // error of the lowest-numbered failing group is returned (deterministic,
 // like Scan).
 func FanOut(workers, n int, fn func(group int, cancelled func() bool) error) error {
+	return FanOutCtx(context.Background(), workers, n, fn)
+}
+
+// FanOutCtx is FanOut observing ctx, with the same detach-on-cancel and
+// never-partial semantics as ScanCtx: once ctx is done the call returns
+// ctx.Err() even if a group is stuck in a blocking operation, and a done
+// ctx always wins over an apparently complete fan-out.
+func FanOutCtx(ctx context.Context, workers, n int, fn func(group int, cancelled func() bool) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
 		return nil
 	}
 	workers = Resolve(workers, n)
-	if workers == 1 {
+	done := ctx.Done()
+	if workers == 1 && done == nil {
 		for i := 0; i < n; i++ {
 			if err := fn(i, func() bool { return false }); err != nil {
 				return err
@@ -213,7 +263,7 @@ func FanOut(workers, n int, fn func(group int, cancelled func() bool) error) err
 		next      atomic.Int64
 		stop      atomic.Bool
 		wg        sync.WaitGroup
-		cancelled = func() bool { return stop.Load() }
+		cancelled = func() bool { return stop.Load() || ctx.Err() != nil }
 	)
 	errs := make([]error, n)
 	for w := 0; w < workers; w++ {
@@ -232,7 +282,23 @@ func FanOut(workers, n int, fn func(group int, cancelled func() bool) error) err
 			}
 		}()
 	}
-	wg.Wait()
+	if done == nil {
+		wg.Wait()
+	} else {
+		finished := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(finished)
+		}()
+		select {
+		case <-finished:
+		case <-done:
+			return ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -351,12 +417,25 @@ func (h *KNNHeap) Sorted() []Neighbor {
 func ScanReduce(workers, n int, seedPos int64, seedDist float64,
 	fn func(r Range, local *Outcome, cancelled func() bool) error,
 ) (pos int64, dist float64, visitedRecords, visitedLeaves int64, err error) {
+	return ScanReduceCtx(context.Background(), workers, n, seedPos, seedDist, fn)
+}
+
+// ScanReduceCtx is ScanReduce observing ctx. On a ctx error the outcomes
+// are never read (detached shards may still be writing them) and the seed
+// answer is returned untouched with zero counters — the caller sees
+// ctx.Err() and must discard the result.
+func ScanReduceCtx(ctx context.Context, workers, n int, seedPos int64, seedDist float64,
+	fn func(r Range, local *Outcome, cancelled func() bool) error,
+) (pos int64, dist float64, visitedRecords, visitedLeaves int64, err error) {
 	ranges := Split(n, workers)
 	outs := make([]Outcome, len(ranges))
-	err = scanRanges(ranges, func(i int, r Range, cancelled func() bool) error {
+	err = scanRanges(ctx, ranges, func(i int, r Range, cancelled func() bool) error {
 		outs[i] = Outcome{Pos: -1, Dist: seedDist}
 		return fn(r, &outs[i], cancelled)
 	})
+	if cerr := ctx.Err(); cerr != nil {
+		return seedPos, seedDist, 0, 0, cerr
+	}
 	pos, dist, visitedRecords, visitedLeaves = Reduce(seedPos, seedDist, outs)
 	return pos, dist, visitedRecords, visitedLeaves, err
 }

@@ -1,11 +1,14 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -122,5 +125,129 @@ func TestScanVisitsEverything(t *testing.T) {
 		if !ok {
 			t.Fatalf("item %d never scanned", i)
 		}
+	}
+}
+
+// TestCtxPreCancelled: an already-done context returns its error
+// immediately from every ctx-taking entry point — the work function is
+// never invoked.
+func TestCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var called atomic.Int64
+	if err := ScanCtx(ctx, 4, 100, func(int, Range, func() bool) error {
+		called.Add(1)
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanCtx: got %v, want context.Canceled", err)
+	}
+	if err := FanOutCtx(ctx, 4, 100, func(int, func() bool) error {
+		called.Add(1)
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FanOutCtx: got %v, want context.Canceled", err)
+	}
+	pos, dist, _, _, err := ScanReduceCtx(ctx, 4, 100, 7, 3.5,
+		func(r Range, local *Outcome, cancelled func() bool) error {
+			called.Add(1)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanReduceCtx: got %v, want context.Canceled", err)
+	}
+	if pos != 7 || dist != 3.5 {
+		t.Fatalf("ScanReduceCtx after cancel returned (%d, %v), want untouched seed (7, 3.5)", pos, dist)
+	}
+	if n := called.Load(); n != 0 {
+		t.Fatalf("work function ran %d times under a pre-cancelled ctx", n)
+	}
+}
+
+// TestScanCtxMidFlightCancel: a cancel while one shard is stuck in a
+// blocking operation returns ctx.Err() promptly (the stuck goroutine is
+// detached, not waited for) and the remaining shards stop taking work.
+func TestScanCtxMidFlightCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ScanCtx(ctx, 4, 4, func(i int, r Range, cancelled func() bool) error {
+			if i == 0 {
+				close(blocked)
+				<-release // a stalled read the ctx cannot interrupt
+			}
+			return nil
+		})
+	}()
+	<-blocked
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ScanCtx did not return promptly after cancel; it waited for the stuck shard")
+	}
+	close(release) // let the detached goroutine drain
+}
+
+// TestFanOutCtxMidFlightCancelStopsWork: once ctx is done, workers stop
+// picking up groups — a 1000-group fan-out cancelled at the first group
+// must leave most groups unvisited.
+func TestFanOutCtxMidFlightCancelStopsWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	first := make(chan struct{})
+	var once sync.Once
+	err := FanOutCtx(ctx, 2, 1000, func(i int, cancelled func() bool) error {
+		started.Add(1)
+		once.Do(func() {
+			close(first)
+			cancel()
+		})
+		<-first // after the first group, every group sees a done ctx
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Workers poll cancelled() before dispatching each group, so at most
+	// one more group per worker can slip in after the cancel.
+	if n := started.Load(); n > 4 {
+		t.Fatalf("%d groups ran after a cancel at the first; want the workers to stop", n)
+	}
+}
+
+// TestCtxCancelStressNoLeaks: hammer cancel/timeout cycles through the
+// sharded entry points under -race and assert the goroutine count returns
+// to baseline — detached shards must all drain.
+func TestCtxCancelStressNoLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for iter := 0; iter < 500; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel() // race the cancel against the scan
+		ScanCtx(ctx, 4, 64, func(i int, r Range, cancelled func() bool) error {
+			return nil
+		})
+		cancel()
+		ctx2, cancel2 := context.WithTimeout(context.Background(), time.Duration(iter%3)*time.Microsecond)
+		FanOutCtx(ctx2, 4, 64, func(i int, cancelled func() bool) error {
+			return nil
+		})
+		cancel2()
+	}
+	// Detached goroutines exit as their (non-blocking) work returns; give
+	// them a moment before comparing counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

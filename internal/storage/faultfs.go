@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // OpSync is the fsync operation. It is only observable through FaultFS:
@@ -59,6 +60,11 @@ type FaultFS struct {
 	ops     int64
 	failAt  int64 // one-shot ErrInjected on the Nth counted op (0 = disarmed)
 	lossAt  int64 // sticky ErrCrashed from the Nth counted op on (0 = disarmed)
+	delayAt int64 // one-shot sleep before the Nth counted op (0 = disarmed)
+	delay   time.Duration
+	stallAt int64         // one-shot park on the Nth counted op (0 = disarmed)
+	stallCh chan struct{} // release signal for the parked op
+	parkCh  chan struct{} // closed when the op actually parks
 	crashed bool
 	hook    func(op Op, name string)
 	rots    []RotEvent
@@ -144,6 +150,33 @@ func (f *FaultFS) PowerLossAt(n int64) {
 	f.mu.Unlock()
 }
 
+// DelayAt arms a one-shot latency fault: the nth counted operation
+// (1-based) sleeps d before proceeding, later ones run at full speed. It
+// models a transiently slow device (a contended disk, a degraded RAID
+// member) rather than a failed one: the operation still succeeds.
+func (f *FaultFS) DelayAt(n int64, d time.Duration) {
+	f.mu.Lock()
+	f.delayAt, f.delay = n, d
+	f.mu.Unlock()
+}
+
+// StallAt arms a one-shot stall: the nth counted operation (1-based) parks
+// indefinitely until release is called. release is idempotent and safe
+// from any goroutine — pair it with context.AfterFunc(ctx, release) for a
+// context-aware unblock, or call it from test cleanup so abandoned
+// goroutines drain. The returned parked channel closes the moment the
+// victim operation actually parks, letting tests sequence "request is now
+// stuck" before cancelling or shutting down.
+func (f *FaultFS) StallAt(n int64) (release func(), parked <-chan struct{}) {
+	rel := make(chan struct{})
+	prk := make(chan struct{})
+	f.mu.Lock()
+	f.stallAt, f.stallCh, f.parkCh = n, rel, prk
+	f.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { close(rel) }) }, prk
+}
+
 // Crash cuts power immediately: every subsequent operation fails with
 // ErrCrashed.
 func (f *FaultFS) Crash() {
@@ -192,7 +225,9 @@ func (f *FaultFS) Recover(torn int) *MemFS {
 }
 
 // gate runs the hook, then applies crash state and fault triggers for one
-// operation.
+// operation. Latency faults (DelayAt/StallAt) are applied outside the
+// lock, so a delayed or stalled operation never serializes unrelated I/O —
+// exactly like a real device with one slow platter region.
 func (f *FaultFS) gate(op Op, name string) error {
 	f.mu.Lock()
 	hook := f.hook
@@ -201,21 +236,42 @@ func (f *FaultFS) gate(op Op, name string) error {
 		hook(op, name)
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.crashed {
+		f.mu.Unlock()
 		return ErrCrashed
 	}
 	if !f.counted[op] {
+		f.mu.Unlock()
 		return nil
 	}
 	f.ops++
 	if f.lossAt > 0 && f.ops >= f.lossAt {
 		f.crashed = true
+		f.mu.Unlock()
 		return ErrCrashed
 	}
 	if f.failAt > 0 && f.ops == f.failAt {
 		f.failAt = 0
+		f.mu.Unlock()
 		return ErrInjected
+	}
+	var sleep time.Duration
+	if f.delayAt > 0 && f.ops == f.delayAt {
+		f.delayAt = 0
+		sleep = f.delay
+	}
+	var release, parked chan struct{}
+	if f.stallAt > 0 && f.ops == f.stallAt {
+		f.stallAt = 0
+		release, parked = f.stallCh, f.parkCh
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if release != nil {
+		close(parked)
+		<-release
 	}
 	return nil
 }

@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 )
 
 // writeAll creates name holding data on fs, without syncing.
@@ -200,4 +202,141 @@ func TestFaultFSHook(t *testing.T) {
 	if got := ffs.OpCount(); got != 1 {
 		t.Fatalf("with only sync counted, op count = %d, want 1", got)
 	}
+}
+
+// TestFaultFSDelayAt: the armed operation sleeps the configured duration
+// and still succeeds; later operations run at full speed.
+func TestFaultFSDelayAt(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	const d = 50 * time.Millisecond
+	ffs.DelayAt(2, d) // the WriteAt of writeAll
+	start := time.Now()
+	f := writeAll(t, ffs, "x", []byte("data"))
+	if got := time.Since(start); got < d {
+		t.Fatalf("delayed write finished in %v, want >= %v", got, d)
+	}
+	// One-shot: a second write must not sleep again.
+	start = time.Now()
+	if _, err := f.WriteAt([]byte("more"), 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got >= d {
+		t.Fatalf("second write took %v, delay should have disarmed", got)
+	}
+	f.Close()
+}
+
+// TestFaultFSStallAt: the armed operation parks (signalled via the parked
+// channel), stays parked until release, then completes successfully.
+// release is idempotent.
+func TestFaultFSStallAt(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	release, parked := ffs.StallAt(2)
+	done := make(chan error, 1)
+	go func() {
+		f, err := ffs.Create("x") // op 1
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = f.WriteAt([]byte("data"), 0) // op 2: parks here
+		f.Close()
+		done <- err
+	}()
+	select {
+	case <-parked:
+	case err := <-done:
+		t.Fatalf("operation finished (%v) before parking", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled operation never parked")
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("operation finished (%v) while parked", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	release() // idempotent
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released operation failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("released operation never finished")
+	}
+	got, err := ReadFileAll(ffs, "x")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("after release, file = %q, %v; want %q", got, err, "data")
+	}
+}
+
+// TestFaultFSStallAtContextRelease: context.AfterFunc(ctx, release) is the
+// documented context-aware unblock — cancelling the context frees the
+// parked operation.
+func TestFaultFSStallAtContextRelease(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	release, parked := ffs.StallAt(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer context.AfterFunc(ctx, release)()
+	done := make(chan error, 1)
+	go func() {
+		f, err := ffs.Create("x")
+		if err == nil {
+			f.Close()
+		}
+		done <- err
+	}()
+	<-parked
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released operation failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not release the parked operation")
+	}
+}
+
+// TestFaultFSStallAtUncountedReads: reads are uncounted by default, so a
+// stall armed on the op counter must not trigger on query I/O — tests that
+// want to stall a read opt in with SetCounted(OpRead).
+func TestFaultFSStallAtUncountedReads(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f := writeAll(t, ffs, "x", []byte("data"))
+	f.Close()
+	release, parked := ffs.StallAt(3) // ops 1,2 already consumed by writeAll
+	defer release()
+	rf, err := ffs.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := rf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	rf.Close()
+	select {
+	case <-parked:
+		t.Fatal("uncounted read triggered the stall")
+	default:
+	}
+	ffs.SetCounted(OpRead)
+	// With reads counted, the next read is the next counted op and parks.
+	release2, parked2 := ffs.StallAt(ffs.OpCount() + 1)
+	go func() {
+		rf2, err := ffs.Open("x")
+		if err != nil {
+			return
+		}
+		rf2.ReadAt(buf, 0)
+		rf2.Close()
+	}()
+	select {
+	case <-parked2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("counted read never parked")
+	}
+	release2()
 }

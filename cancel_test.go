@@ -111,6 +111,12 @@ func cancelQueries(t *testing.T) []Series {
 // where a blocked ReadAt is uninterruptible by design.)
 func armStallAtLastRead(t *testing.T, ffs *storage.FaultFS, v ctxVariant, q Series) (release func(), parked <-chan struct{}) {
 	t.Helper()
+	// Warm the block cache first: a cold LSM query decodes run blocks from
+	// storage that later identical queries hit in cache, so only the
+	// warm-query read count is stable across repetitions.
+	if _, err := v.search(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
 	ffs.SetCounted(storage.OpRead)
 	before := ffs.OpCount()
 	if _, err := v.search(context.Background(), q); err != nil {

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/coconut-db/coconut/internal/dataset"
 	"github.com/coconut-db/coconut/internal/experiments"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	workersFlag := flag.Int("workers", 1, "construction workers (0 = all CPUs; >1 makes I/O traces machine-dependent)")
 	queryWorkersFlag := flag.Int("query-workers", 1, "per-query fan-out (0 = all CPUs; answers are identical for any value, but >1 makes visited counts machine-dependent)")
 	compactionWorkersFlag := flag.Int("compaction-workers", 2, "LSM background compaction pool size for the IngestLatency figure")
+	datasetFlag := flag.String("dataset", "", "dataset family for the generic figures: randomwalk, seismic, astronomy, or skewed (default randomwalk; figures pinned to a specific dataset are unaffected)")
 	jsonFlag := flag.String("json", "", "also write the regenerated tables to this file as JSON")
 	flag.Parse()
 
@@ -62,6 +64,13 @@ func main() {
 	sc.Workers = *workersFlag
 	sc.QueryWorkers = *queryWorkersFlag
 	sc.CompactionWorkers = *compactionWorkersFlag
+	if *datasetFlag != "" {
+		if _, err := dataset.ByName(*datasetFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sc.Dataset = *datasetFlag
+	}
 
 	type figure struct {
 		id  string
@@ -99,6 +108,7 @@ func main() {
 		{"WALThroughput", experiments.WALThroughput},
 		{"ChecksumOverhead", experiments.ChecksumOverhead},
 		{"LatencyUnderConcurrency", experiments.LatencyUnderConcurrency},
+		{"CompressedRuns", experiments.CompressedRuns},
 	}
 
 	want := map[string]bool{}

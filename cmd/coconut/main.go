@@ -64,6 +64,7 @@ import (
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/server"
 	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
@@ -87,6 +88,8 @@ type config struct {
 	timeout           time.Duration
 	dirPath           string
 	addr              string
+	noCompression     bool
+	cacheBytes        int64
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -118,6 +121,8 @@ func parseFlags(args []string) (*config, error) {
 	timeout := fl.Duration("timeout", 30*time.Second, "per-query deadline (query command) / per-request deadline (serve command)")
 	addr := fl.String("addr", ":7737", "listen address (serve command)")
 	noChecksums := fl.Bool("no-checksums", false, "build in the legacy unchecksummed block format (build command; reads are not verified)")
+	noCompression := fl.Bool("no-compression", false, "build LSM runs as flat uncompressed record arrays (build/stream commands; query/info adopt the stored layout)")
+	cacheBytes := fl.Int64("cache-bytes", 0, "decoded-block cache budget in bytes for compressed LSM runs (0 = 128MiB default)")
 	if err := fl.Parse(args); err != nil {
 		return nil, err
 	}
@@ -132,6 +137,9 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if *timeout <= 0 {
 		return nil, fmt.Errorf("-timeout must be positive, got %v", *timeout)
+	}
+	if *cacheBytes < 0 {
+		return nil, fmt.Errorf("-cache-bytes must not be negative, got %d (0 selects the default)", *cacheBytes)
 	}
 	fs, err := storage.NewOSFS(*dir)
 	if err != nil {
@@ -174,6 +182,8 @@ func parseFlags(args []string) (*config, error) {
 		timeout:           *timeout,
 		dirPath:           *dir,
 		addr:              *addr,
+		noCompression:     *noCompression,
+		cacheBytes:        *cacheBytes,
 	}, nil
 }
 
@@ -328,6 +338,11 @@ func (cfg *config) lsmOptions() lsm.Options {
 		DisableWAL:           cfg.disableWAL,
 		WALGroupWindow:       cfg.walWindow,
 		Checksums:            cfg.opt.Checksums,
+		Compressed:           !cfg.noCompression,
+		// One cache per lsmOptions call: partitioned children copy the
+		// option struct, so every partition of one index shares this cache
+		// (open adopts the stored layout and ignores it for legacy runs).
+		Cache: blockcache.New(cfg.cacheBytes),
 	}
 }
 
@@ -401,7 +416,11 @@ func runInfo(cfg *config) error {
 		fmt.Printf("  leaves:    %d\n  leaf fill: %.0f%%\n  size:      %s\n",
 			ix.NumLeaves(), ix.AvgLeafFill()*100, byteSize(ix.SizeBytes()))
 	case manifest.VariantLSM:
-		fmt.Printf("  runs:      %d\n", len(m.LSM.Runs))
+		layout := "flat records"
+		if m.Compressed {
+			layout = "block-compressed"
+		}
+		fmt.Printf("  run layout: %s\n  runs:      %d\n", layout, len(m.LSM.Runs))
 		for _, r := range m.LSM.Runs {
 			tier := fmt.Sprintf("%d", r.Tier)
 			if r.Tier == lsm.BulkTier {
@@ -761,6 +780,7 @@ func runServe(cfg *config) error {
 		Storage:      fs,
 		Name:         cfg.opt.Name,
 		QueryWorkers: cfg.opt.QueryWorkers,
+		CacheBytes:   cfg.cacheBytes,
 	})
 	if err != nil {
 		return err

@@ -112,6 +112,7 @@ import (
 	"github.com/coconut-db/coconut/internal/partition"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
@@ -163,6 +164,10 @@ const (
 	RandomWalk DatasetKind = "randomwalk"
 	Seismic    DatasetKind = "seismic"
 	Astronomy  DatasetKind = "astronomy"
+	// Skewed draws series as Zipf-popular recurring shapes with regime
+	// shifts — the clustered workload real collections exhibit, and the
+	// one where block-compressed runs achieve their storage ratio.
+	Skewed DatasetKind = "skewed"
 )
 
 // GenerateDataset writes count z-normalized series of length seriesLen to
@@ -264,6 +269,22 @@ type Config struct {
 	// its manifest: Open always adopts the stored format, so indexes built
 	// by earlier versions (or with this flag) keep reopening unchanged.
 	DisableChecksums bool
+	// DisableCompression builds LSM run files as flat record arrays whose
+	// keys load whole into memory at open — the pre-compression layout. By
+	// default LSM runs are block-compressed on disk (sorted invSAX keys
+	// front-coded + delta-encoded, positions delta-varint-encoded) and read
+	// through a shared bounded block cache, so resident memory is O(cache
+	// budget) rather than O(dataset) and indexes larger than RAM open and
+	// answer. Which layout an index uses is recorded in its manifest: Open
+	// always adopts the stored format, so indexes built by earlier versions
+	// (or with this flag) keep reopening unchanged. Answers are
+	// byte-identical either way. Tree/Trie indexes are unaffected.
+	DisableCompression bool
+	// CacheBytes bounds the shared decoded-block cache a compressed LSM
+	// index reads through (default 128 MiB). One cache serves all runs,
+	// partitions, and concurrent queries of the handle; CacheStats reports
+	// its hit/miss/eviction counters for sizing.
+	CacheBytes int64
 	// AllowDegraded lets Open succeed over a partially corrupt index:
 	// an unreadable LSM run or partition child is quarantined and queries
 	// answer over the healthy remainder (Degraded() reports the state,
@@ -791,7 +812,11 @@ type LSMIndex struct {
 	ix lsmBackend
 }
 
-// toLSM derives the LSM option set from the resolved core options.
+// toLSM derives the LSM option set from the resolved core options. The
+// block cache is created here — once per handle — so a partitioned index's
+// children (which copy these options) all read through the same cache, and
+// Open can adopt a stored Compressed flag that differs from the caller's
+// without losing the shared budget.
 func (c *Config) toLSM(opt core.Options) lsm.Options {
 	return lsm.Options{
 		FS:                   opt.FS,
@@ -807,6 +832,8 @@ func (c *Config) toLSM(opt core.Options) lsm.Options {
 		DisableWAL:           c.DisableWAL,
 		WALGroupWindow:       c.WALGroupWindow,
 		Checksums:            opt.Checksums,
+		Compressed:           !c.DisableCompression,
+		Cache:                blockcache.New(c.CacheBytes),
 		AllowDegraded:        c.AllowDegraded,
 	}
 }
@@ -945,6 +972,22 @@ func (l *LSMIndex) Degraded() bool { return l.ix.Degraded() }
 // manifest, and deletes the corrupt files. After a successful Repair the
 // index answers byte-identically to one that never lost the run.
 func (l *LSMIndex) Repair() error { return l.ix.RebuildQuarantined() }
+
+// CacheStats is a snapshot of the shared decoded-block cache's counters:
+// hits, misses, evictions, resident bytes, and the configured budget. An
+// uncompressed index reads no cache, so its counters stay zero.
+type CacheStats = blockcache.Stats
+
+// CacheStats reports the handle's block-cache counters — one cache serves
+// all runs and partitions, so these are whole-index numbers. Use the
+// hit/miss ratio under a representative query load to size
+// Config.CacheBytes.
+func (l *LSMIndex) CacheStats() CacheStats {
+	if c, ok := l.ix.(interface{ CacheStats() blockcache.Stats }); ok {
+		return c.CacheStats()
+	}
+	return CacheStats{}
+}
 
 // Close flushes the memtable, drains background compactions, commits the
 // manifest, and releases file handles; the index can later be reopened

@@ -11,7 +11,7 @@ import (
 )
 
 func TestGeneratorsProduceZNormalizedSeries(t *testing.T) {
-	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy()} {
+	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy(), NewSkewed()} {
 		t.Run(gen.Name(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(1))
 			s := make(series.Series, 256)
@@ -26,7 +26,7 @@ func TestGeneratorsProduceZNormalizedSeries(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy()} {
+	for _, gen := range []Generator{NewRandomWalk(), NewSeismic(), NewAstronomy(), NewSkewed()} {
 		a := Generate(gen, 5, 64, 42)
 		b := Generate(gen, 5, 64, 42)
 		for i := range a {
@@ -51,7 +51,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"randomwalk", "seismic", "astronomy"} {
+	for _, name := range []string{"randomwalk", "seismic", "astronomy", "skewed"} {
 		g, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)
@@ -195,5 +195,48 @@ func TestAstronomyIsMoreSkewed(t *testing.T) {
 	astro := math.Abs(Skewness(NewAstronomy(), 300, 128, 11))
 	if astro <= rw {
 		t.Fatalf("astronomy skew %v should exceed randomwalk %v", astro, rw)
+	}
+}
+
+// TestSkewedSeriesCluster: the skewed generator's whole point is that
+// many series are near-duplicates of a few popular shapes — measured here
+// as the fraction of series pairs closer than any random-walk pair gets.
+// This clustering is what gives sorted invSAX keys their long shared
+// prefixes (and block compression its ratio).
+func TestSkewedSeriesCluster(t *testing.T) {
+	const count, n = 200, 128
+	closePairs := func(data []series.Series, thresh float64) int {
+		pairs := 0
+		for i := 0; i < len(data); i++ {
+			for j := i + 1; j < len(data); j++ {
+				if d, _ := series.ED(data[i], data[j]); d < thresh {
+					pairs++
+				}
+			}
+		}
+		return pairs
+	}
+	sk := closePairs(Generate(NewSkewed(), count, n, 3), 2.0)
+	rw := closePairs(Generate(NewRandomWalk(), count, n, 3), 2.0)
+	if sk < 100 {
+		t.Fatalf("skewed data has only %d close pairs; shapes are not recurring", sk)
+	}
+	if sk <= 10*rw {
+		t.Fatalf("skewed close pairs (%d) should dwarf randomwalk's (%d)", sk, rw)
+	}
+}
+
+// TestSkewedSharedShapePool: two independent generator instances must
+// draw from the same shape pool — the shapes are part of the dataset
+// definition, not of a particular handle.
+func TestSkewedSharedShapePool(t *testing.T) {
+	a := Generate(NewSkewed(), 10, 64, 42)
+	b := Generate(NewSkewed(), 10, 64, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("independent instances diverge at series %d point %d", i, j)
+			}
+		}
 	}
 }

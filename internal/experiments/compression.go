@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coconut-db/coconut/internal/lsm"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
+)
+
+const (
+	// compressionRatioGate is the acceptance bar for the run codec: the
+	// flat 24-byte-record layout must shrink by at least this factor on
+	// the skewed (clustered-shapes) workload, where front-coded sorted
+	// invSAX keys show their real ratio.
+	compressionRatioGate = 3.0
+	// compressionQPSGate is the acceptance bar for the warm read path:
+	// with a cache large enough to hold every decoded block, compressed
+	// approximate-query throughput must stay within 10% of the in-memory
+	// flat layout.
+	compressionQPSGate = 0.90
+	// compressionRounds repeats the query batch inside each timed pass so
+	// the measurement stays above timer noise at the tiny CI scale.
+	compressionRounds = 4
+)
+
+// CompressedRuns measures what block compression buys and what it costs on
+// a Coconut-LSM over the skewed dataset: the on-disk key-storage ratio of
+// the front-coded run layout versus the flat 24-byte-record layout, and
+// warm approximate-query throughput as the shared block cache shrinks from
+// "everything resident" (the in-memory-speed claim) through 25% down to 5%
+// of the flat key bytes (the beyond-RAM regime — bounded memory, every
+// answer still byte-identical).
+//
+// The figure doubles as the acceptance check for the compressed read path:
+// it fails outright if the ratio is under compressionRatioGate, if the
+// unbounded-cache throughput falls below compressionQPSGate of the flat
+// baseline, or if any compressed answer differs from the flat one.
+func CompressedRuns(sc Scale) (*Table, error) {
+	t := &Table{
+		ID:     "CompressedRuns",
+		Title:  "Block-compressed LSM runs: key storage and approx-query throughput vs cache budget (skewed dataset)",
+		Header: []string{"layout", "run bytes", "ratio", "cache", "queries", "best wall", "queries/s", "hit rate", "vs flat"},
+	}
+	// The ratio gate is defined at a density where front-coding bites:
+	// enough series per skewed shape that key-adjacent records share long
+	// prefixes. Below ~8000 series the 64-shape pool is too sparse and
+	// the measured ratio says more about the collection size than the
+	// codec, so the figure floors the count (same pattern as the WAL
+	// figure's writer floor).
+	n := sc.BaseCount
+	if n < 8000 {
+		n = 8000
+	}
+	e, err := newEnv(sc, "skewed", n)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sc.summarizer()
+	if err != nil {
+		return nil, err
+	}
+	base := lsm.Options{
+		FS: e.fs, Name: "plain", S: s, RawName: rawName,
+		MemBudgetBytes: budgetFor(sc, n, 0.10),
+		Workers:        sc.Workers,
+		QueryWorkers:   sc.QueryWorkers,
+	}
+	plain, err := lsm.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	defer plain.Close()
+	flatBytes := plain.SizeBytes()
+
+	copt := base
+	copt.Name = "comp"
+	copt.Compressed = true
+	copt.Cache = blockcache.New(0)
+	comp, err := lsm.Build(copt)
+	if err != nil {
+		return nil, err
+	}
+	compBytes := comp.SizeBytes()
+	if err := comp.Close(); err != nil {
+		return nil, err
+	}
+	ratio := float64(flatBytes) / float64(compBytes)
+	if ratio < compressionRatioGate {
+		return nil, fmt.Errorf(
+			"experiments: compressed runs hold %d bytes vs %d flat — %.2fx, want >= %.1fx",
+			compBytes, flatBytes, ratio, compressionRatioGate)
+	}
+
+	// A floor on the batch keeps each timed pass well above timer noise
+	// for the 10% throughput gate at the tiny CI scale.
+	qn := sc.Queries * 2
+	if qn < 40 {
+		qn = 40
+	}
+	qs := e.queries(qn)
+	queries := compressionRounds * len(qs)
+
+	// pass runs the full query batch compressionRounds times; the first
+	// round's answers are recorded when a sink is given, so a layout's
+	// warm-up pass doubles as its answer-identity sample.
+	pass := func(ix *lsm.Index, answers *[]lsm.Result) (time.Duration, error) {
+		start := time.Now()
+		for round := 0; round < compressionRounds; round++ {
+			for _, q := range qs {
+				r, err := ix.ApproxSearch(q)
+				if err != nil {
+					return 0, err
+				}
+				if answers != nil && round == 0 {
+					*answers = append(*answers, r)
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	var want []lsm.Result
+	if _, err := pass(plain, &want); err != nil {
+		return nil, err
+	}
+	checkAnswers := func(label string, got []lsm.Result) error {
+		if len(got) != len(want) {
+			return fmt.Errorf("experiments: cache=%s answered %d queries, flat answered %d", label, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Pos != want[i].Pos || got[i].Dist != want[i].Dist {
+				return fmt.Errorf(
+					"experiments: cache=%s query %d answered (#%d, %.6f), flat answered (#%d, %.6f)",
+					label, i, got[i].Pos, got[i].Dist, want[i].Pos, want[i].Dist)
+			}
+		}
+		return nil
+	}
+	reopen := func(label string, cacheBytes int64) (*lsm.Index, error) {
+		ix, err := lsm.Open(lsm.Options{
+			FS: e.fs, Name: "comp", S: s, RawName: rawName,
+			QueryWorkers: sc.QueryWorkers,
+			Cache:        blockcache.New(cacheBytes),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: reopening compressed index (cache=%s): %w", label, err)
+		}
+		return ix, nil
+	}
+
+	// The gated comparison — warm unbounded-cache compressed vs flat
+	// in-memory — is timed as interleaved pass pairs: machine-load drift
+	// between two separate measurement windows would otherwise dominate a
+	// 10% gate, while adjacent passes see the same load and the best pass
+	// of each side samples the same quiet window. blockcache.New(0) is
+	// the 128 MiB default: every decoded block stays resident here, so
+	// the warm path is genuinely decode-free.
+	ucomp, err := reopen("unbounded", 0)
+	if err != nil {
+		return nil, err
+	}
+	var ugot []lsm.Result
+	_, uerr := pass(ucomp, &ugot)
+	if uerr == nil {
+		uerr = checkAnswers("unbounded", ugot)
+	}
+	var plainBest, compBest time.Duration
+	for rep := 0; uerr == nil && rep < 5; rep++ {
+		var fw, cw time.Duration
+		if fw, uerr = pass(plain, nil); uerr != nil {
+			break
+		}
+		if cw, uerr = pass(ucomp, nil); uerr != nil {
+			break
+		}
+		if plainBest == 0 || fw < plainBest {
+			plainBest = fw
+		}
+		if compBest == 0 || cw < compBest {
+			compBest = cw
+		}
+	}
+	ustats := ucomp.CacheStats()
+	if cerr := ucomp.Close(); uerr == nil {
+		uerr = cerr
+	}
+	if uerr != nil {
+		return nil, uerr
+	}
+
+	baseQPS := float64(queries) / plainBest.Seconds()
+	t.Add("flat (in-memory)", fmt.Sprint(flatBytes), "1.00x", "-", fmt.Sprint(queries),
+		ms(plainBest), fmt.Sprintf("%.0f", baseQPS), "-", "1.00x")
+	uqps := float64(queries) / compBest.Seconds()
+	if uqps < compressionQPSGate*baseQPS {
+		return nil, fmt.Errorf(
+			"experiments: warm compressed throughput %.0f/s is below %.0f%% of the flat %.0f/s",
+			uqps, compressionQPSGate*100, baseQPS)
+	}
+	uhit := "-"
+	if total := ustats.Hits + ustats.Misses; total > 0 {
+		uhit = pct(float64(ustats.Hits) / float64(total))
+	}
+	t.Add("compressed", fmt.Sprint(compBytes), fmt.Sprintf("%.2fx", ratio),
+		"unbounded", fmt.Sprint(queries), ms(compBest), fmt.Sprintf("%.0f", uqps),
+		uhit, fmt.Sprintf("%.2fx", uqps/baseQPS))
+
+	// The bounded rows are informational (no gate): they show throughput
+	// degrading gracefully — and answers staying byte-identical — as the
+	// cache shrinks into the beyond-RAM regime. Best of three passes each.
+	for _, c := range []struct {
+		label string
+		bytes int64
+	}{
+		{"25% of keys", flatBytes / 4},
+		{"5% of keys", flatBytes / 20},
+	} {
+		ix, err := reopen(c.label, c.bytes)
+		if err != nil {
+			return nil, err
+		}
+		var got []lsm.Result
+		_, err = pass(ix, &got)
+		if err == nil {
+			err = checkAnswers(c.label, got)
+		}
+		var best time.Duration
+		for rep := 0; err == nil && rep < 3; rep++ {
+			var wall time.Duration
+			if wall, err = pass(ix, nil); err != nil {
+				break
+			}
+			if best == 0 || wall < best {
+				best = wall
+			}
+		}
+		stats := ix.CacheStats()
+		if cerr := ix.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		qps := float64(queries) / best.Seconds()
+		hitRate := "-"
+		if total := stats.Hits + stats.Misses; total > 0 {
+			hitRate = pct(float64(stats.Hits) / float64(total))
+		}
+		t.Add("compressed", fmt.Sprint(compBytes), fmt.Sprintf("%.2fx", ratio),
+			c.label, fmt.Sprint(queries), ms(best), fmt.Sprintf("%.0f", qps),
+			hitRate, fmt.Sprintf("%.2fx", qps/baseQPS))
+	}
+	return t, nil
+}

@@ -61,6 +61,12 @@ type Scale struct {
 	// ingest-latency experiment (cmd/benchrunner -compaction-workers);
 	// 0 takes the lsm default.
 	CompactionWorkers int
+	// Dataset overrides the generic random-walk workload with another
+	// generator family (cmd/benchrunner -dataset). Figures that pin a
+	// specific dataset — the Fig7 histograms, the astronomy/seismic
+	// figures, the skewed compression figure — keep their pin; empty
+	// means randomwalk.
+	Dataset string
 }
 
 // DefaultScale is sized for `go test -bench` runs (seconds per figure).
@@ -186,6 +192,12 @@ type env struct {
 const rawName = "raw.bin"
 
 func newEnv(sc Scale, kind string, count int) (*env, error) {
+	// "randomwalk" marks the generic synthetic workload; Scale.Dataset
+	// redirects it fleet-wide without touching figures that pin a
+	// specific dataset family.
+	if kind == "randomwalk" && sc.Dataset != "" {
+		kind = sc.Dataset
+	}
 	gen, err := dataset.ByName(kind)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,240 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/dataset"
+	"github.com/coconut-db/coconut/internal/series"
+	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
+)
+
+// buildPair builds the same dataset twice — once uncompressed, once
+// block-compressed behind a deliberately tiny cache (a handful of blocks:
+// the key arrays cannot fit, so every query decodes on demand) — and
+// returns both handles plus the compressed side's FS for reopen tests.
+func buildPair(t *testing.T, checksums bool, memBudget int64) (plain, comp *Index, compFS *storage.MemFS, data []series.Series) {
+	t.Helper()
+	gen := dataset.NewRandomWalk()
+	data = dataset.Generate(gen, tCount, tLen, 42)
+	mk := func(compressed bool) (*Index, *storage.MemFS) {
+		fs := storage.NewMemFS()
+		if _, err := dataset.WriteFile(fs, "raw", gen, tCount, tLen, 42); err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{
+			FS:             fs,
+			Name:           "lsm",
+			S:              tSummarizer(t),
+			RawName:        "raw",
+			MemBudgetBytes: memBudget,
+			Fanout:         3,
+			Window:         40,
+			Checksums:      checksums,
+			Compressed:     compressed,
+		}
+		if compressed {
+			// ~2 decoded blocks resident: far below the full key set.
+			opt.Cache = blockcache.New(64 << 10)
+		}
+		ix, err := Build(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix, fs
+	}
+	plain, _ = mk(false)
+	comp, compFS = mk(true)
+	return plain, comp, compFS, data
+}
+
+// requireSameAnswers runs approximate, exact, and window queries against
+// both handles and requires byte-identical results.
+func requireSameAnswers(t *testing.T, plain, comp *Index) {
+	t.Helper()
+	qs := dataset.Queries(dataset.NewRandomWalk(), 10, tLen, 9)
+	for qi, q := range qs {
+		ar1, err1 := plain.ApproxSearch(q)
+		ar2, err2 := comp.ApproxSearch(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d approx: %v / %v", qi, err1, err2)
+		}
+		if ar1.Pos != ar2.Pos || ar1.Dist != ar2.Dist {
+			t.Fatalf("query %d approx diverges: (%d, %v) vs (%d, %v)",
+				qi, ar1.Pos, ar1.Dist, ar2.Pos, ar2.Dist)
+		}
+		er1, err1 := plain.ExactSearch(q)
+		er2, err2 := comp.ExactSearch(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d exact: %v / %v", qi, err1, err2)
+		}
+		if er1.Pos != er2.Pos || er1.Dist != er2.Dist {
+			t.Fatalf("query %d exact diverges: (%d, %v) vs (%d, %v)",
+				qi, er1.Pos, er1.Dist, er2.Pos, er2.Dist)
+		}
+		w1, err1 := plain.ApproxWindowCands(q)
+		w2, err2 := comp.ApproxWindowCands(q)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d window: %v / %v", qi, err1, err2)
+		}
+		if len(w1.Below) != len(w2.Below) || len(w1.Above) != len(w2.Above) {
+			t.Fatalf("query %d window sizes diverge: %d/%d vs %d/%d",
+				qi, len(w1.Below), len(w1.Above), len(w2.Below), len(w2.Above))
+		}
+		for i := range w1.Below {
+			if w1.Below[i].Key != w2.Below[i].Key || w1.Below[i].Pos != w2.Below[i].Pos {
+				t.Fatalf("query %d window below[%d] diverges", qi, i)
+			}
+		}
+		for i := range w1.Above {
+			if w1.Above[i].Key != w2.Above[i].Key || w1.Above[i].Pos != w2.Above[i].Pos {
+				t.Fatalf("query %d window above[%d] diverges", qi, i)
+			}
+		}
+	}
+}
+
+// TestCompressedConformance: every query answer from a block-compressed
+// index — bulk-built, then grown through append/flush/compaction — must be
+// byte-identical to the in-memory layout's, with and without the checksum
+// layer underneath, with the cache too small to hold the key set.
+func TestCompressedConformance(t *testing.T) {
+	for _, checksums := range []bool{false, true} {
+		t.Run(fmt.Sprintf("checksums=%v", checksums), func(t *testing.T) {
+			plain, comp, _, data := buildPair(t, checksums, 1<<20)
+			defer plain.Close()
+			defer comp.Close()
+			if comp.Count() != tCount {
+				t.Fatalf("Count = %d", comp.Count())
+			}
+			// No run key array may be resident on the compressed side.
+			for _, r := range comp.runs {
+				if !r.compressed() || r.keys != nil || r.positions != nil {
+					t.Fatal("compressed index materialized a run key array")
+				}
+			}
+			requireSameAnswers(t, plain, comp)
+
+			// Grow both through the memtable → flush → compaction path.
+			extra := dataset.Generate(dataset.NewRandomWalk(), 200, tLen, 77)
+			for _, ix := range []*Index{plain, comp} {
+				for i := 0; i < len(extra); i += 20 {
+					if err := ix.Append(extra[i : i+20]); err != nil {
+						t.Fatal(err)
+					}
+					if err := ix.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := ix.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_ = data
+			requireSameAnswers(t, plain, comp)
+			if st := comp.CacheStats(); st.Hits+st.Misses == 0 {
+				t.Fatal("compressed queries never touched the block cache")
+			}
+			if st := plain.CacheStats(); st != (blockcache.Stats{}) {
+				t.Fatalf("uncompressed index reports cache stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestCompressedReopen: closing and reopening a compressed index adopts
+// the manifest's Compressed flag (the caller does not pass it) and keeps
+// answers byte-identical; the reopened runs stay block-backed.
+func TestCompressedReopen(t *testing.T) {
+	plain, comp, compFS, _ := buildPair(t, true, 1<<20)
+	defer plain.Close()
+	extra := dataset.Generate(dataset.NewRandomWalk(), 100, tLen, 77)
+	// Grow the plain side identically before comparing post-reopen.
+	growth := func(ix *Index) {
+		for i := 0; i < len(extra); i += 20 {
+			if err := ix.Append(extra[i : i+20]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ix.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growth(plain)
+	growth(comp)
+	if err := comp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(Options{
+		FS:             compFS,
+		Name:           "lsm",
+		S:              tSummarizer(t),
+		MemBudgetBytes: 1 << 20,
+		Window:         40,
+		Cache:          blockcache.New(64 << 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if !reopened.opt.Compressed {
+		t.Fatal("reopen did not adopt the Compressed flag")
+	}
+	for _, r := range reopened.runs {
+		if !r.compressed() || r.keys != nil {
+			t.Fatal("reopened run materialized its key array")
+		}
+	}
+	requireSameAnswers(t, plain, reopened)
+}
+
+// TestCompressedRebuildQuarantined: corrupt one compressed run file; a
+// degraded reopen quarantines it, and RebuildQuarantined re-derives the
+// lost records from the raw dataset into a fresh compressed run with
+// byte-identical answers.
+func TestCompressedRebuildQuarantined(t *testing.T) {
+	plain, comp, compFS, _ := buildPair(t, true, 1<<14) // small memtable: several runs
+	defer plain.Close()
+	if err := comp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the first run file's payload.
+	name := "lsm.run.000000"
+	b, err := storage.ReadFileAll(compFS, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := storage.WriteFileAtomic(compFS, name, b); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(Options{
+		FS:             compFS,
+		Name:           "lsm",
+		S:              tSummarizer(t),
+		MemBudgetBytes: 1 << 14,
+		Window:         40,
+		AllowDegraded:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if !reopened.Degraded() {
+		t.Fatal("corrupt compressed run not quarantined")
+	}
+	if err := reopened.RebuildQuarantined(); err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Degraded() {
+		t.Fatal("still degraded after rebuild")
+	}
+	if reopened.Count() != tCount {
+		t.Fatalf("Count = %d after rebuild", reopened.Count())
+	}
+	requireSameAnswers(t, plain, reopened)
+}

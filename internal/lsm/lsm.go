@@ -34,9 +34,11 @@ import (
 	"github.com/coconut-db/coconut/internal/core"
 	"github.com/coconut-db/coconut/internal/extsort"
 	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/runblock"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
 	"github.com/coconut-db/coconut/internal/summary"
 	"github.com/coconut-db/coconut/internal/window"
 )
@@ -139,6 +141,19 @@ type Options struct {
 	// a reconstruction would re-index every sibling's records too. Nil
 	// means the index owns every raw record.
 	Owns func(summary.Key) bool
+	// Compressed writes run files in the block-compressed layout
+	// (internal/runblock) and reads them through the shared block cache
+	// instead of materializing whole-run key arrays in memory — the
+	// beyond-RAM mode: resident key memory is bounded by the cache budget
+	// regardless of index size. Like Checksums it is a property of the
+	// stored bytes, recorded in the manifest and adopted by Open. Answers
+	// are byte-identical to the in-memory layout.
+	Compressed bool
+	// Cache is the shared decoded-block cache for compressed runs. The
+	// partition layer passes one cache to every child so the budget bounds
+	// the whole index; nil with Compressed set creates a private cache of
+	// blockcache.DefaultBytes.
+	Cache *blockcache.Cache
 }
 
 // runBlockPayload is the checksummed-block payload size for run files.
@@ -193,13 +208,20 @@ type Result struct {
 // consumers of manifest run listings (cmd/coconut info).
 const BulkTier = 1 << 30
 
-// run is one immutable sorted run.
+// run is one immutable sorted run, backed either by in-memory key arrays
+// (legacy layout) or by a block-compressed on-disk reader (rb non-nil);
+// the accessor methods in runio.go hide the difference from every query
+// and maintenance path.
 type run struct {
 	name      string
 	tier      int
 	count     int64
 	keys      []summary.Key
 	positions []int64
+	// rb is the block-compressed backend: a directory-only reader over
+	// the run file, decoding blocks on demand through the shared cache.
+	// When rb is set, keys and positions stay nil.
+	rb *runblock.Reader
 	// seq is the run's global age: flush runs take consecutive ordinals and
 	// a compacted run inherits the seq of its oldest input, so ix.runs stays
 	// sorted oldest-first no matter how compactions interleave.
@@ -325,6 +347,7 @@ func Build(opt Options) (*Index, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	opt.ensureCache()
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
 		return nil, err
@@ -335,9 +358,11 @@ func Build(opt Options) (*Index, error) {
 	ix.cond = sync.NewCond(&ix.mu)
 
 	// Summarize + sort the existing data into run 0 (tier determined by
-	// later compactions; the initial bulk run sits at a high tier). The
-	// in-memory key array is captured by teeing the sort's final pass, so
-	// the run is not read back after being written.
+	// later compactions; the initial bulk run sits at a high tier). With
+	// the in-memory layout the key array is captured by teeing the sort's
+	// final pass, so the run is not read back after being written; the
+	// compressed layout skips the tee (there is no array to build) and
+	// reopens the file's block directory afterward.
 	name := ix.runName()
 	r := &run{name: name, tier: BulkTier, seq: ix.nextSeq}
 	cfg := extsort.Config{
@@ -347,8 +372,10 @@ func Build(opt Options) (*Index, error) {
 		MemBudget:  opt.MemBudgetBytes,
 		TempPrefix: opt.Name + ".sort",
 		Workers:    opt.Workers,
-		Tee:        r.capture,
 		WrapOut:    ix.wrapOut(),
+	}
+	if !opt.Compressed {
+		cfg.Tee = r.capture
 	}
 	var n int64
 	if opt.RecordsName != "" {
@@ -384,13 +411,21 @@ func Build(opt Options) (*Index, error) {
 			raw.Close()
 			return nil, err
 		}
-		r.count = int64(len(r.keys))
+		if opt.Compressed {
+			if r, err = ix.openCompressedRun(name, BulkTier, r.seq, 0, n); err != nil {
+				raw.Close()
+				return nil, err
+			}
+		} else {
+			r.count = int64(len(r.keys))
+		}
 		ix.runs = append(ix.runs, r)
 	} else {
 		_ = opt.FS.Remove(name)
 	}
 	ix.count = n
 	if err := ix.attachRawSums(true); err != nil {
+		_ = ix.closeRunsLocked()
 		raw.Close()
 		return nil, err
 	}
@@ -400,6 +435,7 @@ func Build(opt Options) (*Index, error) {
 	if !opt.DisableWAL {
 		f, size, err := createWALSegment(opt.FS, opt.Name, 0, 0)
 		if err != nil {
+			_ = ix.closeRunsLocked()
 			raw.Close()
 			return nil, err
 		}
@@ -415,6 +451,7 @@ func Build(opt Options) (*Index, error) {
 		if ix.wal != nil {
 			_ = ix.wal.close()
 		}
+		_ = ix.closeRunsLocked()
 		raw.Close()
 		return nil, err
 	}
@@ -442,15 +479,96 @@ func (ix *Index) runName() string {
 	return name
 }
 
-// wrapOut returns the extsort final-output wrapper that writes run files in
-// the checksummed-block format, or nil when checksums are off.
+// ensureCache materializes the shared block cache a compressed index
+// reads through. A caller-supplied cache (the partition layer's, shared
+// across children) wins; otherwise the index gets a private default.
+func (o *Options) ensureCache() {
+	if o.Compressed && o.Cache == nil {
+		o.Cache = blockcache.New(0)
+	}
+}
+
+// wrapOut returns the extsort final-output wrapper that writes run files
+// in the configured physical layout — the checksummed-block layer under
+// the block compressor, each independently optional — or nil when the
+// output is a flat record file.
 func (ix *Index) wrapOut() func(storage.File) (storage.File, error) {
-	if !ix.opt.Checksums {
+	checksums, compressed := ix.opt.Checksums, ix.opt.Compressed
+	if !checksums && !compressed {
 		return nil
 	}
 	return func(f storage.File) (storage.File, error) {
-		return storage.CreateChecksumFile(f, runBlockPayload)
+		out := f
+		if checksums {
+			cf, err := storage.CreateChecksumFile(f, runBlockPayload)
+			if err != nil {
+				return nil, err
+			}
+			out = cf
+		}
+		if compressed {
+			return runblock.NewFileWriter(out, 0), nil
+		}
+		return out, nil
 	}
+}
+
+// wrapIn returns the extsort merge-input wrapper that reads existing run
+// files through the configured physical layout (the inverse of wrapOut),
+// or nil for flat record files. Compressed inputs are opened with their
+// own block decoding, bypassing the shared cache: one-shot merge traffic
+// must never evict the hot query working set.
+func (ix *Index) wrapIn() func(storage.File) (storage.File, error) {
+	checksums, compressed := ix.opt.Checksums, ix.opt.Compressed
+	if !checksums && !compressed {
+		return nil
+	}
+	return func(f storage.File) (storage.File, error) {
+		in := f
+		if checksums {
+			// Reading through the verifying layer means a compaction can
+			// never launder rotted records into a fresh (correctly
+			// checksummed) run.
+			cf, err := storage.OpenChecksumFile(f)
+			if err != nil {
+				return nil, err
+			}
+			in = cf
+		}
+		if compressed {
+			return runblock.NewFileReader(in)
+		}
+		return in, nil
+	}
+}
+
+// openCompressedRun opens a just-written block-compressed run file and
+// returns its run handle: a footer + directory read only — no key data is
+// materialized. The record count is cross-checked against what the writer
+// produced; the full streaming Verify is reserved for reopen (loadRun),
+// where the bytes' provenance is unknown.
+func (ix *Index) openCompressedRun(name string, tier int, seq int64, tierSeq int, count int64) (*run, error) {
+	inner, err := ix.opt.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	f := storage.File(inner)
+	if ix.opt.Checksums {
+		if f, err = storage.OpenChecksumFile(inner); err != nil {
+			inner.Close()
+			return nil, err
+		}
+	}
+	rb, err := runblock.OpenReader(f, ix.opt.Cache)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if rb.Count() != count {
+		rb.Close()
+		return nil, fmt.Errorf("lsm: compressed run %s holds %d records, wrote %d", name, rb.Count(), count)
+	}
+	return &run{name: name, tier: tier, count: count, seq: seq, tierSeq: tierSeq, rb: rb}, nil
 }
 
 // attachRawSums attaches the raw-dataset CRC sidecar: the externally owned
@@ -538,8 +656,14 @@ func (ix *Index) RebuildQuarantined() error {
 	}
 	covered := make(map[int64]bool, ix.count)
 	for _, r := range ix.runs {
-		for _, p := range r.positions {
-			covered[p] = true
+		err := r.eachBlock(func(_ []summary.Key, positions []int64) error {
+			for _, p := range positions {
+				covered[p] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	for _, e := range ix.mem {
@@ -943,6 +1067,27 @@ func (ix *Index) writeRunFile(name string, entries []memEntry, tier int, seq int
 			return nil, err
 		}
 	}
+	if ix.opt.Compressed {
+		bw := runblock.NewWriter(f, 0)
+		for _, e := range entries {
+			if err := bw.Add(e.key, e.pos); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if err := bw.Finish(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		return ix.openCompressedRun(name, tier, seq, tierSeq, int64(len(entries)))
+	}
 	w := storage.NewSequentialWriter(f, 0, 0)
 	rec := make([]byte, recordSize)
 	r := &run{name: name, tier: tier, count: int64(len(entries)), seq: seq, tierSeq: tierSeq}
@@ -1109,10 +1254,13 @@ func (ix *Index) landLocked(job *compactJob, newRun *run) error {
 
 // runCompaction merge-sorts a claimed group via the parallel sorter's merge
 // machinery — strictly sequential reads and writes, memory budget and
-// worker pool shared with the bulk-load path. The in-memory key array is
-// captured by teeing the final merge pass, so compaction reads each input
-// byte exactly once. No lock is held: the inputs are immutable files, and
-// extsort.Merge removes its temporaries (and a partial output) on error.
+// worker pool shared with the bulk-load path. With in-memory runs the key
+// array is captured by teeing the final merge pass, so compaction reads
+// each input byte exactly once; with compressed runs the output is
+// re-encoded through the write adapter and reopened as a block directory
+// (no key array ever materializes). No lock is held: the inputs are
+// immutable files, and extsort.Merge removes its temporaries (and a
+// partial output) on error.
 func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 	names := make([]string, len(job.inputs))
 	for i, r := range job.inputs {
@@ -1127,16 +1275,11 @@ func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 		MemBudget:  ix.opt.MemBudgetBytes,
 		TempPrefix: job.outName + ".compact",
 		Workers:    ix.opt.Workers,
-		Tee:        newRun.capture,
 		WrapOut:    ix.wrapOut(),
+		WrapIn:     ix.wrapIn(),
 	}
-	if ix.opt.Checksums {
-		// Input runs are in the checksummed layout; reading them through
-		// the verifying layer means a compaction can never launder rotted
-		// records into a fresh (correctly checksummed) run.
-		cfg.WrapIn = func(f storage.File) (storage.File, error) {
-			return storage.OpenChecksumFile(f)
-		}
+	if !ix.opt.Compressed {
+		cfg.Tee = newRun.capture
 	}
 	err := extsort.Merge(cfg, names, job.outName)
 	if err != nil {
@@ -1144,6 +1287,13 @@ func (ix *Index) runCompaction(job *compactJob) (*run, error) {
 	}
 	if err := syncFile(ix.opt.FS, job.outName); err != nil {
 		return nil, err
+	}
+	if ix.opt.Compressed {
+		var want int64
+		for _, r := range job.inputs {
+			want += r.count
+		}
+		return ix.openCompressedRun(job.outName, job.outTier, job.outSeq, job.group, want)
 	}
 	newRun.count = int64(len(newRun.keys))
 	return newRun, nil
@@ -1198,6 +1348,7 @@ func (ix *Index) swapLocked(job *compactJob, newRun *run) error {
 		return err
 	}
 	for _, r := range job.inputs {
+		_ = r.close()
 		_ = ix.opt.FS.Remove(r.name)
 	}
 	return nil
@@ -1322,6 +1473,15 @@ func (ix *Index) NumRuns() int {
 	return len(ix.runs)
 }
 
+// CacheStats returns the shared block cache's counters, or zeros when the
+// index reads no cache (uncompressed layout).
+func (ix *Index) CacheStats() blockcache.Stats {
+	if ix.opt.Cache == nil {
+		return blockcache.Stats{}
+	}
+	return ix.opt.Cache.Stats()
+}
+
 // SizeBytes returns the total size of all run files.
 func (ix *Index) SizeBytes() int64 {
 	ix.mu.RLock()
@@ -1369,6 +1529,7 @@ func (ix *Index) Close() error {
 	if ix.wal != nil {
 		walErr = ix.wal.close()
 	}
+	runsErr := ix.closeRunsLocked()
 	closeErr := ix.rawFile.Close()
 	if flushErr != nil {
 		return flushErr
@@ -1378,6 +1539,9 @@ func (ix *Index) Close() error {
 	}
 	if walErr != nil {
 		return walErr
+	}
+	if runsErr != nil {
+		return runsErr
 	}
 	return closeErr
 }
@@ -1451,9 +1615,9 @@ func (ix *Index) manifestLocked() *manifest.Manifest {
 			Seq:     r.seq,
 			Count:   r.count,
 		}
-		if len(r.keys) > 0 {
-			ri.MinKey = r.keys[0]
-			ri.MaxKey = r.keys[len(r.keys)-1]
+		if r.count > 0 {
+			ri.MinKey = r.minKey()
+			ri.MaxKey = r.maxKey()
 		}
 		runs[i] = ri
 		total += r.count
@@ -1479,13 +1643,14 @@ func (ix *Index) manifestLocked() *manifest.Manifest {
 		}
 	}
 	m := &manifest.Manifest{
-		Variant:   manifest.VariantLSM,
-		SeriesLen: p.SeriesLen,
-		Segments:  p.Segments,
-		CardBits:  p.CardBits,
-		RawName:   ix.opt.RawName,
-		Count:     total,
-		Checksums: ix.opt.Checksums,
+		Variant:    manifest.VariantLSM,
+		SeriesLen:  p.SeriesLen,
+		Segments:   p.Segments,
+		CardBits:   p.CardBits,
+		RawName:    ix.opt.RawName,
+		Count:      total,
+		Checksums:  ix.opt.Checksums,
+		Compressed: ix.opt.Compressed,
 		LSM: &manifest.LSMLayout{
 			Fanout:      ix.opt.Fanout,
 			NextRun:     ix.nextRun,
@@ -1582,19 +1747,24 @@ func (ix *Index) windowCandsLocked(q series.Series) (below, above []window.Cand,
 	tbl := ix.opt.S.BuildMinDistTable(qPAA, nil)
 	half := ix.opt.Window / 2
 	for _, r := range ix.runs {
-		idx := sort.Search(len(r.keys), func(i int) bool { return !r.keys[i].Less(key) })
-		lo, hi := idx-half, idx+half
-		if lo < 0 {
-			lo = 0
+		idx, serr := r.searchKey(key)
+		if serr != nil {
+			return nil, nil, 0, serr
 		}
-		if hi > len(r.keys) {
-			hi = len(r.keys)
+		lo, hi := idx-int64(half), idx+int64(half)
+		err := r.each(lo, idx, func(k summary.Key, pos int64) error {
+			below = append(below, window.Cand{Key: k, Pos: pos, LB: tbl.Key(k)})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, 0, err
 		}
-		for i := lo; i < idx; i++ {
-			below = append(below, window.Cand{Key: r.keys[i], Pos: r.positions[i], LB: tbl.Key(r.keys[i])})
-		}
-		for i := idx; i < hi; i++ {
-			above = append(above, window.Cand{Key: r.keys[i], Pos: r.positions[i], LB: tbl.Key(r.keys[i])})
+		err = r.each(idx, hi, func(k summary.Key, pos int64) error {
+			above = append(above, window.Cand{Key: k, Pos: pos, LB: tbl.Key(k)})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, 0, err
 		}
 		runs++
 	}
@@ -1734,13 +1904,25 @@ func (ix *Index) exactVerifyLocked(ctx context.Context, q series.Series, res Res
 					return nil
 				}
 				r := ix.runs[i]
-				lbs := make([]float64, len(r.keys))
-				tbl.KeysInto(r.keys, lbs, innerWorkers)
 				var cs []cand
-				for j, lb := range lbs {
-					if lb < res.Dist && !bound.Prunes(lb) {
-						cs = append(cs, cand{r.positions[j], lb})
+				var lbs []float64
+				// Block-at-a-time: with compressed runs the working set is
+				// one decoded block plus its lower bounds, never the run.
+				berr := r.eachBlock(func(keys []summary.Key, positions []int64) error {
+					if cap(lbs) < len(keys) {
+						lbs = make([]float64, len(keys))
 					}
+					lbs = lbs[:len(keys)]
+					tbl.KeysInto(keys, lbs, innerWorkers)
+					for j, lb := range lbs {
+						if lb < res.Dist && !bound.Prunes(lb) {
+							cs = append(cs, cand{positions[j], lb})
+						}
+					}
+					return nil
+				})
+				if berr != nil {
+					return berr
 				}
 				perRun[i] = cs
 			}

@@ -8,8 +8,10 @@ import (
 	"sync"
 
 	"github.com/coconut-db/coconut/internal/manifest"
+	"github.com/coconut-db/coconut/internal/runblock"
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
@@ -58,9 +60,13 @@ func Open(opt Options) (*Index, error) {
 		return nil, fmt.Errorf("lsm: %w: fanout %d, stored index was built with %d",
 			manifest.ErrConfigMismatch, opt.Fanout, m.LSM.Fanout)
 	}
-	// The checksummed-block layout is a property of the stored bytes, not
-	// of this process's configuration; adopt the manifest's flag.
+	// The checksummed-block and block-compressed layouts are properties of
+	// the stored bytes, not of this process's configuration; adopt the
+	// manifest's flags (and materialize the block cache a compressed index
+	// reads through).
 	opt.Checksums = m.Checksums
+	opt.Compressed = m.Compressed
+	opt.ensureCache()
 
 	raw, err := opt.FS.Open(opt.RawName)
 	if err != nil {
@@ -79,7 +85,12 @@ func Open(opt Options) (*Index, error) {
 			return nil, fmt.Errorf("lsm: %w: runs out of age order", manifest.ErrCorruptManifest)
 		}
 		lastSeq = ri.Seq
-		r, err := loadRun(opt.FS, ri, opt.Checksums)
+		var r *run
+		if opt.Compressed {
+			r, err = loadCompressedRun(opt.FS, ri, opt.Checksums, opt.Cache)
+		} else {
+			r, err = loadRun(opt.FS, ri, opt.Checksums)
+		}
 		if err != nil {
 			if opt.AllowDegraded && (errors.Is(err, storage.ErrCorruptData) ||
 				errors.Is(err, manifest.ErrCorruptManifest) || errors.Is(err, storage.ErrNotExist)) {
@@ -91,6 +102,7 @@ func Open(opt Options) (*Index, error) {
 				quarantinedCount += ri.Count
 				continue
 			}
+			_ = ix.closeRunsLocked()
 			raw.Close()
 			return nil, fmt.Errorf("lsm: reloading run %d (%s): %w", i, ri.Name, err)
 		}
@@ -98,11 +110,13 @@ func Open(opt Options) (*Index, error) {
 		ix.count += r.count
 	}
 	if ix.count+quarantinedCount != m.Count {
+		_ = ix.closeRunsLocked()
 		raw.Close()
 		return nil, fmt.Errorf("lsm: %w: runs hold %d records, manifest says %d",
 			manifest.ErrCorruptManifest, ix.count+quarantinedCount, m.Count)
 	}
 	if err := ix.attachRawSums(false); err != nil {
+		_ = ix.closeRunsLocked()
 		raw.Close()
 		return nil, err
 	}
@@ -116,6 +130,7 @@ func Open(opt Options) (*Index, error) {
 		ix.committedGroups[c.Tier] = c.Groups
 	}
 	if err := ix.recoverWAL(m); err != nil {
+		_ = ix.closeRunsLocked()
 		raw.Close()
 		return nil, err
 	}
@@ -130,6 +145,9 @@ func Open(opt Options) (*Index, error) {
 		err := ix.compactPendingLocked()
 		ix.mu.Unlock()
 		if err != nil {
+			ix.mu.Lock()
+			_ = ix.closeRunsLocked()
+			ix.mu.Unlock()
 			ix.rawFile.Close()
 			return nil, err
 		}
@@ -187,8 +205,14 @@ func (ix *Index) recoverWAL(m *manifest.Manifest) error {
 		replayed = replayed[:0]
 		covered := make(map[int64]bool, ix.count)
 		for _, r := range ix.runs {
-			for _, p := range r.positions {
-				covered[p] = true
+			err := r.eachBlock(func(_ []summary.Key, positions []int64) error {
+				for _, p := range positions {
+					covered[p] = true
+				}
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 		}
 		s := make(series.Series, opt.S.Params().SeriesLen)
@@ -372,4 +396,58 @@ func loadRun(fs storage.FS, ri manifest.RunInfo, checksums bool) (*run, error) {
 		return nil, fmt.Errorf("%w: run records out of order", errCorruptRun)
 	}
 	return r, nil
+}
+
+// loadCompressedRun reopens one immutable block-compressed run: the footer
+// and block directory come into memory (a few bytes per block); the key
+// data stays on disk, decoded block by block through the shared cache.
+// Reopen-time integrity matches loadRun's: a full streaming Verify decodes
+// every block once — checking per-block CRCs, in-block and cross-block
+// refined order, and the directory's promises — in O(one block) memory,
+// and the manifest's count and key range are cross-checked against the
+// footer. Any disagreement surfaces as errCorruptRun.
+func loadCompressedRun(fs storage.FS, ri manifest.RunInfo, checksums bool, cache *blockcache.Cache) (*run, error) {
+	inner, err := fs.Open(ri.Name)
+	if err != nil {
+		return nil, err
+	}
+	f := storage.File(inner)
+	if checksums {
+		if f, err = storage.OpenChecksumFile(inner); err != nil {
+			inner.Close()
+			if errors.Is(err, storage.ErrCorruptData) {
+				return nil, fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, err)
+			}
+			return nil, err
+		}
+	}
+	rb, err := runblock.OpenReader(f, cache)
+	if err != nil {
+		f.Close()
+		if errors.Is(err, storage.ErrCorruptData) {
+			return nil, fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, err)
+		}
+		return nil, err
+	}
+	fail := func(err error) (*run, error) {
+		rb.Close()
+		return nil, err
+	}
+	if rb.Count() != ri.Count {
+		return fail(fmt.Errorf("%w: run file holds %d records, manifest says %d",
+			errCorruptRun, rb.Count(), ri.Count))
+	}
+	if rb.Count() == 0 {
+		return fail(fmt.Errorf("%w: empty run", errCorruptRun))
+	}
+	if rb.MinKey() != ri.MinKey || rb.MaxKey() != ri.MaxKey {
+		return fail(fmt.Errorf("%w: run key range does not match manifest", errCorruptRun))
+	}
+	if err := rb.Verify(); err != nil {
+		if errors.Is(err, storage.ErrCorruptData) {
+			return fail(fmt.Errorf("%w: %w", manifest.ErrCorruptManifest, err))
+		}
+		return fail(err)
+	}
+	return &run{name: ri.Name, tier: ri.Tier, count: ri.Count, seq: ri.Seq, tierSeq: ri.TierSeq, rb: rb}, nil
 }

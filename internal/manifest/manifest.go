@@ -58,10 +58,10 @@ const (
 	magic uint32 = 0x464D4343 // "CCMF" little-endian
 	// version is the newest format this build writes. Version 2 added the
 	// LSM write-ahead-log cursor fields; version 3 added the Checksums
-	// format flag. Version 1 and 2 manifests (pre-WAL, pre-checksum)
-	// still decode, with those fields zero — an index without the flag is
-	// read through the legacy unchecksummed paths.
-	version    uint32 = 3
+	// format flag; version 4 added the Compressed format flag. Older
+	// manifests still decode, with those fields zero — an index without a
+	// flag is read through the corresponding legacy path.
+	version    uint32 = 4
 	minVersion uint32 = 1
 	// headerSize is magic + version + payload length + CRC32-C.
 	headerSize = 16
@@ -185,6 +185,13 @@ type Manifest struct {
 	// reopen adopts it. Format version 3; false in older manifests, whose
 	// indexes keep their legacy unchecksummed layout.
 	Checksums bool
+	// Compressed records whether LSM run files use the block-compressed
+	// physical layout (internal/runblock: front-coded keys, delta-varint
+	// positions, a block directory read through the shared block cache)
+	// instead of flat 24-byte record arrays. Like Checksums it is a
+	// property of the stored bytes adopted on reopen. Format version 4;
+	// false in older manifests, whose runs keep the flat layout.
+	Compressed bool
 
 	// ver is the format version this manifest was decoded from (0 for a
 	// freshly built manifest). Encode re-emits the same version so that
@@ -218,6 +225,10 @@ func (m *Manifest) Encode() ([]byte, error) {
 		// An older-format manifest cannot express the checksum flag.
 		encVer = version
 	}
+	if encVer < 4 && m.Compressed {
+		// An older-format manifest cannot express the compression flag.
+		encVer = version
+	}
 	switch m.Variant {
 	case VariantTree, VariantTrie, VariantLSM, VariantPartitioned:
 	default:
@@ -246,6 +257,9 @@ func (m *Manifest) Encode() ([]byte, error) {
 	w.u64(uint64(m.Count))
 	if encVer >= 3 {
 		w.bool(m.Checksums)
+	}
+	if encVer >= 4 {
+		w.bool(m.Compressed)
 	}
 	switch m.Variant {
 	case VariantTree:
@@ -368,6 +382,9 @@ func Decode(data []byte) (*Manifest, error) {
 	m.Count = int64(r.u64())
 	if v >= 3 {
 		m.Checksums = r.bool()
+	}
+	if v >= 4 {
+		m.Compressed = r.bool()
 	}
 	switch m.Variant {
 	case VariantTree:

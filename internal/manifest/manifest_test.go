@@ -222,19 +222,20 @@ func TestCheckParams(t *testing.T) {
 	}
 }
 
-// TestChecksumFlagVersioning: the format-3 Checksums flag round-trips, and
-// older-format manifests keep encoding bit-exactly at their own version
-// with the flag reading as false — the legacy-compatibility contract.
+// TestChecksumFlagVersioning: the format-flag fields (Checksums, format 3;
+// Compressed, format 4) round-trip, and older-format manifests keep
+// encoding bit-exactly at their own version with the flags reading as
+// false — the legacy-compatibility contract.
 func TestChecksumFlagVersioning(t *testing.T) {
-	// A fresh manifest carries the flag at version 3.
+	// A fresh manifest carries the flags at the newest version.
 	m := sampleTree()
 	m.Checksums = true
 	data, err := m.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != 3 {
-		t.Fatalf("fresh manifest encoded at version %d, want 3", v)
+	if v := binary.LittleEndian.Uint32(data[4:]); v != 4 {
+		t.Fatalf("fresh manifest encoded at version %d, want 4", v)
 	}
 	got, err := Decode(data)
 	if err != nil {
@@ -243,12 +244,15 @@ func TestChecksumFlagVersioning(t *testing.T) {
 	if !got.Checksums {
 		t.Fatal("Checksums flag lost in round trip")
 	}
+	if got.Compressed {
+		t.Fatal("Compressed flag set without being written")
+	}
 	re, err := got.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(re) != string(data) {
-		t.Fatal("v3 re-encode is not bit-exact")
+		t.Fatal("v4 re-encode is not bit-exact")
 	}
 	// A version-2 manifest (no flag field) still round-trips bit-exactly.
 	m2 := sampleLSM()
@@ -274,20 +278,67 @@ func TestChecksumFlagVersioning(t *testing.T) {
 	if string(re2) != string(data2) {
 		t.Fatal("v2 re-encode is not bit-exact")
 	}
-	// A legacy manifest that gains the flag is promoted to version 3.
+	// A legacy manifest that gains a flag is promoted to the newest
+	// version and keeps it.
 	got2.Checksums = true
+	got2.Compressed = true
 	data3, err := got2.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := binary.LittleEndian.Uint32(data3[4:]); v != 3 {
-		t.Fatalf("flag-carrying manifest encoded at version %d, want 3", v)
+	if v := binary.LittleEndian.Uint32(data3[4:]); v != 4 {
+		t.Fatalf("flag-carrying manifest encoded at version %d, want 4", v)
 	}
 	got3, err := Decode(data3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !got3.Checksums {
-		t.Fatal("promoted manifest lost the Checksums flag")
+	if !got3.Checksums || !got3.Compressed {
+		t.Fatal("promoted manifest lost a format flag")
+	}
+}
+
+// TestCompressedFlagVersioning: a version-3 manifest (Checksums era, no
+// Compressed field) still round-trips bit-exactly with Compressed false.
+func TestCompressedFlagVersioning(t *testing.T) {
+	m := sampleLSM()
+	m.Checksums = true
+	m.ver = 3
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != 3 {
+		t.Fatalf("v3 manifest re-encoded at version %d, want 3", v)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Checksums || got.Compressed {
+		t.Fatalf("v3 decode: Checksums=%v Compressed=%v", got.Checksums, got.Compressed)
+	}
+	re, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re) != string(data) {
+		t.Fatal("v3 re-encode is not bit-exact")
+	}
+	// Gaining the Compressed flag promotes it to version 4.
+	got.Compressed = true
+	data4, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(data4[4:]); v != 4 {
+		t.Fatalf("promoted manifest encoded at version %d, want 4", v)
+	}
+	got4, err := Decode(data4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got4.Compressed || !got4.Checksums {
+		t.Fatal("promotion lost a flag")
 	}
 }

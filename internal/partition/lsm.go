@@ -12,6 +12,7 @@ import (
 	"github.com/coconut-db/coconut/internal/series"
 	"github.com/coconut-db/coconut/internal/shard"
 	"github.com/coconut-db/coconut/internal/storage"
+	"github.com/coconut-db/coconut/internal/storage/blockcache"
 	"github.com/coconut-db/coconut/internal/summary"
 )
 
@@ -33,6 +34,10 @@ type LSM struct {
 	// quarantined whole at open (manifest unreadable).
 	rawSums  *storage.RecordSums
 	degraded []string
+
+	// cache is the decoded-block cache every child reads through (one
+	// shared budget across partitions); nil for uncompressed children.
+	cache *blockcache.Cache
 
 	// mu serializes appends: raw-file writes assign global arrival-order
 	// positions before entries route to their owning partition's memtable.
@@ -204,6 +209,7 @@ func newLSM(opt lsm.Options, bounds []summary.Key, kids []*lsm.Index, rawFile st
 		kids:     kids,
 		rawFile:  rawFile,
 		rawSums:  opt.RawSums,
+		cache:    opt.Cache,
 		degraded: degraded,
 	}
 	sks := make([]searcher, len(kids))
@@ -454,6 +460,30 @@ func (l *LSM) RebuildQuarantined() error {
 			len(l.degraded), l.degraded)
 	}
 	return nil
+}
+
+// CacheStats returns the shared block cache's counters — whole-index
+// numbers, since one cache serves every partition. Zeros when the children
+// are uncompressed.
+func (l *LSM) CacheStats() blockcache.Stats {
+	// A child may have materialized a private cache at open (adopted
+	// Compressed flag with no caller-supplied cache); prefer the shared one.
+	if l.cache == nil {
+		var agg blockcache.Stats
+		for _, k := range l.kids {
+			if k == nil {
+				continue
+			}
+			st := k.CacheStats()
+			agg.Hits += st.Hits
+			agg.Misses += st.Misses
+			agg.Evictions += st.Evictions
+			agg.Bytes += st.Bytes
+			agg.Budget += st.Budget
+		}
+		return agg
+	}
+	return l.cache.Stats()
 }
 
 // Partitions returns the partition count.

@@ -1,0 +1,170 @@
+package runblock
+
+import (
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/coconut-db/coconut/internal/storage"
+)
+
+// TestAdapterRoundTrip pushes a record stream through the extsort-facing
+// write adapter with unaligned chunk boundaries, then reads it back
+// through the read adapter with a different unaligned chunking, and
+// requires the byte streams to match exactly.
+func TestAdapterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	recs := genRecords(t, rng, 777)
+	logical := make([]byte, 0, len(recs)*RecordSize)
+	for _, r := range recs {
+		logical = append(logical, r.key[:]...)
+		logical = binary.LittleEndian.AppendUint64(logical, uint64(r.pos))
+	}
+
+	fs := storage.NewMemFS()
+	inner, err := fs.Create("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFileWriter(inner, 16)
+	// Unaligned sequential writes, as extsort's buffered writer produces.
+	w := storage.NewSequentialWriter(fw, 0, 1000) // 1000 % 24 != 0
+	if _, err := w.Write(logical); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fw.Count() != int64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", fw.Count(), len(recs))
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := fs.Open("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	if sz, _ := fr.Size(); sz != int64(len(logical)) {
+		t.Fatalf("Size = %d, want %d", sz, len(logical))
+	}
+	got, err := io.ReadAll(storage.NewSequentialReader(fr, 0, -1, 700)) // 700 % 24 != 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(logical) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(logical))
+	}
+	for i := range got {
+		if got[i] != logical[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+}
+
+func TestFileWriterRejectsTornTail(t *testing.T) {
+	fs := storage.NewMemFS()
+	inner, err := fs.Create("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFileWriter(inner, 8)
+	var rec [RecordSize]byte
+	if _, err := fw.WriteAt(rec[:], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.WriteAt(rec[:10], RecordSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err == nil {
+		t.Fatal("torn tail accepted at Close")
+	}
+}
+
+func TestFileWriterRejectsNonSequential(t *testing.T) {
+	fs := storage.NewMemFS()
+	inner, _ := fs.Create("run")
+	fw := NewFileWriter(inner, 8)
+	var rec [RecordSize]byte
+	if _, err := fw.WriteAt(rec[:], RecordSize); err == nil {
+		t.Fatal("gap write accepted")
+	}
+}
+
+func TestFileWriterEmptyStream(t *testing.T) {
+	// extsort creates the wrapped output and closes it even when the
+	// input is empty: the result must be a valid zero-record run.
+	fs := storage.NewMemFS()
+	inner, err := fs.Create("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := NewFileWriter(inner, 8)
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, err := fs.Open("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Count() != 0 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestFileReaderRandomAccessOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	recs := genRecords(t, rng, 100)
+	fs := storage.NewMemFS()
+	writeRun(t, fs, "run", recs, 8)
+	in, err := fs.Open("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFileReader(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	logical := make([]byte, 0, len(recs)*RecordSize)
+	for _, r := range recs {
+		logical = append(logical, r.key[:]...)
+		logical = binary.LittleEndian.AppendUint64(logical, uint64(r.pos))
+	}
+	for trial := 0; trial < 300; trial++ {
+		off := rng.Intn(len(logical) + 10)
+		ln := rng.Intn(100)
+		p := make([]byte, ln)
+		n, err := fr.ReadAt(p, int64(off))
+		want := len(logical) - off
+		if want < 0 {
+			want = 0
+		}
+		if want > ln {
+			want = ln
+		}
+		if n != want {
+			t.Fatalf("ReadAt(%d bytes at %d) = %d, want %d", ln, off, n, want)
+		}
+		if n < ln && err != io.EOF {
+			t.Fatalf("short read error = %v, want io.EOF", err)
+		}
+		for i := 0; i < n; i++ {
+			if p[i] != logical[off+i] {
+				t.Fatalf("byte %d of read at %d differs", i, off)
+			}
+		}
+	}
+}

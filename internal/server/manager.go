@@ -36,14 +36,15 @@ type Handle struct {
 	// against it.
 	SeriesLen int
 
-	search   func(ctx context.Context, q coconut.Series) (coconut.Result, error)
-	approx   func(ctx context.Context, q coconut.Series, radius int) (coconut.Result, error)
-	knn      func(ctx context.Context, q coconut.Series, k int) ([]coconut.Neighbor, error)
-	insert   func(ctx context.Context, batch []coconut.Series) error
-	sync     func() error
-	close    func() error
-	count    func() int64
-	degraded func() bool
+	search     func(ctx context.Context, q coconut.Series) (coconut.Result, error)
+	approx     func(ctx context.Context, q coconut.Series, radius int) (coconut.Result, error)
+	knn        func(ctx context.Context, q coconut.Series, k int) ([]coconut.Neighbor, error)
+	insert     func(ctx context.Context, batch []coconut.Series) error
+	sync       func() error
+	close      func() error
+	count      func() int64
+	degraded   func() bool
+	cacheStats func() coconut.CacheStats
 }
 
 // Count returns the number of series the handle serves.
@@ -52,6 +53,15 @@ func (h *Handle) Count() int64 { return h.count() }
 // Degraded reports whether the handle was opened over quarantined
 // artifacts and answers cover only the healthy remainder.
 func (h *Handle) Degraded() bool { return h.degraded() }
+
+// CacheStats returns the handle's block-cache counters; zeros for
+// variants (or layouts) that read no block cache.
+func (h *Handle) CacheStats() coconut.CacheStats {
+	if h.cacheStats == nil {
+		return coconut.CacheStats{}
+	}
+	return h.cacheStats()
+}
 
 func newUUID() string {
 	var b [16]byte
@@ -108,11 +118,12 @@ func NewLSMHandle(name string, ix *coconut.LSMIndex, seriesLen int) *Handle {
 		approx: func(ctx context.Context, q coconut.Series, _ int) (coconut.Result, error) {
 			return ix.SearchApproxCtx(ctx, q)
 		},
-		insert:   ix.InsertCtx,
-		sync:     ix.Sync,
-		close:    ix.Close,
-		count:    ix.Count,
-		degraded: ix.Degraded,
+		insert:     ix.InsertCtx,
+		sync:       ix.Sync,
+		close:      ix.Close,
+		count:      ix.Count,
+		degraded:   ix.Degraded,
+		cacheStats: ix.CacheStats,
 	}
 }
 

@@ -209,14 +209,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// IndexInfo is one /indexes (and /stats) entry.
+// IndexInfo is one /indexes (and /stats) entry. BlockCache reports the
+// index's shared decoded-block cache counters (all-zero for uncompressed
+// layouts and variants that read no cache) so operators can size
+// Config.CacheBytes from the live hit/miss ratio.
 type IndexInfo struct {
-	Name      string `json:"name"`
-	UUID      string `json:"uuid"`
-	Variant   string `json:"variant"`
-	SeriesLen int    `json:"series_len"`
-	Count     int64  `json:"count"`
-	Degraded  bool   `json:"degraded"`
+	Name       string             `json:"name"`
+	UUID       string             `json:"uuid"`
+	Variant    string             `json:"variant"`
+	SeriesLen  int                `json:"series_len"`
+	Count      int64              `json:"count"`
+	Degraded   bool               `json:"degraded"`
+	BlockCache coconut.CacheStats `json:"block_cache"`
 }
 
 func (s *Server) indexInfos() []IndexInfo {
@@ -226,6 +230,7 @@ func (s *Server) indexInfos() []IndexInfo {
 		out[i] = IndexInfo{
 			Name: h.Name, UUID: h.UUID, Variant: h.Variant,
 			SeriesLen: h.SeriesLen, Count: h.Count(), Degraded: h.Degraded(),
+			BlockCache: h.CacheStats(),
 		}
 	}
 	return out

@@ -452,3 +452,51 @@ func TestTimeoutFor(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsExposeBlockCache: serving a (compressed-by-default) LSM index,
+// /stats reports the index's block-cache counters — after queries, hits
+// plus misses are non-zero and the budget reflects Config.CacheBytes.
+func TestStatsExposeBlockCache(t *testing.T) {
+	fs := storage.NewMemFS()
+	if err := coconut.GenerateDataset(fs, "data.bin", coconut.RandomWalk, testSeries, testLen, 3); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 1 << 20
+	ix, err := coconut.BuildLSMIndex(coconut.Config{
+		Storage:    fs,
+		Name:       "lx",
+		DataFile:   "data.bin",
+		SeriesLen:  testLen,
+		CacheBytes: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager()
+	mgr.Add(NewLSMHandle("lx", ix, testLen))
+	s := New(mgr, Options{})
+	defer mgr.CloseAll()
+	ts := startServer(t, s)
+
+	qs, err := coconut.GenerateQueries(coconut.RandomWalk, 3, testLen, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		st, body, _ := postJSON(t, ts.URL+"/query", QueryRequest{Index: "lx", Series: q})
+		if st != http.StatusOK {
+			t.Fatalf("query: %d %s", st, body)
+		}
+	}
+	var stats Stats
+	if st := getJSON(t, ts.URL+"/stats", &stats); st != http.StatusOK {
+		t.Fatalf("/stats: %d", st)
+	}
+	bc := stats.Indexes[0].BlockCache
+	if bc.Hits+bc.Misses == 0 {
+		t.Fatalf("block cache never touched: %+v", bc)
+	}
+	if bc.Budget != budget {
+		t.Fatalf("budget = %d, want %d", bc.Budget, budget)
+	}
+}

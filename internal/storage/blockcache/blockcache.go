@@ -1,0 +1,185 @@
+// Package blockcache provides the shared, byte-budgeted block cache behind
+// block-compressed run storage: a sharded LRU keyed by (file, block) holding
+// decoded blocks. One cache instance is shared by every run of every
+// partition child of an index (and by every query shard touching them), so
+// the budget bounds the whole index's resident decoded-key memory — the
+// mechanism that lets an index whose key arrays dwarf RAM answer queries
+// with a fixed footprint.
+//
+// Values are opaque (any): the cache accounts them by the byte size the
+// caller declares, which keeps this package free of a dependency on the
+// codec whose blocks it holds.
+package blockcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBytes is the cache budget used when a caller passes no explicit
+// budget (Config.CacheBytes == 0 at the public API).
+const DefaultBytes = 128 << 20
+
+// numShards spreads lock contention across query shards. Power of two.
+const numShards = 16
+
+// Key identifies one cached block: File is a process-unique file handle id
+// (NewFileID), not a name — names are reused across rebuilds and crashes,
+// ids never are, so a stale entry can never serve bytes for a newer file.
+type Key struct {
+	File  uint64
+	Block int64
+}
+
+// Stats is a point-in-time counter snapshot, the operator's signal for
+// sizing the budget: a high miss rate with Bytes pinned at Budget means the
+// working set does not fit.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Bytes is the resident decoded-block total; Budget is the configured
+	// ceiling it is kept under.
+	Bytes  int64 `json:"bytes"`
+	Budget int64 `json:"budget"`
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[Key]*list.Element
+	lru   *list.List // front = most recent
+	bytes int64
+}
+
+// Cache is a sharded LRU over decoded blocks. Safe for concurrent use.
+type Cache struct {
+	shards      [numShards]shard
+	shardBudget int64
+	budget      int64
+	nextID      atomic.Uint64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+}
+
+// New returns a cache bounded at budget bytes (DefaultBytes when <= 0).
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		budget = DefaultBytes
+	}
+	c := &Cache{budget: budget, shardBudget: budget / numShards}
+	if c.shardBudget < 1 {
+		c.shardBudget = 1
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// NewFileID issues a process-unique id for one open file's blocks.
+func (c *Cache) NewFileID() uint64 { return c.nextID.Add(1) }
+
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.File*0x9e3779b97f4a7c15 ^ uint64(k.Block)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached value for (file, block), if resident.
+func (c *Cache) Get(file uint64, block int64) (any, bool) {
+	k := Key{File: file, Block: block}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*entry).val, true
+}
+
+// Put inserts (or refreshes) a decoded block of the given byte size,
+// evicting least-recently-used entries until the shard is back under
+// budget. A value larger than the whole shard budget is not retained —
+// callers still hold the decoded block they passed in, so correctness
+// never depends on residency.
+func (c *Cache) Put(file uint64, block int64, val any, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	k := Key{File: file, Block: block}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.val, e.size = val, size
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[k] = s.lru.PushFront(&entry{key: k, val: val, size: size})
+		s.bytes += size
+	}
+	evicted := int64(0)
+	for s.bytes > c.shardBudget && s.lru.Len() > 0 {
+		el := s.lru.Back()
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+	}
+}
+
+// DropFile removes every resident block of one file — called when a run
+// file is closed or deleted (compaction swap, index close), so the budget
+// is not held by blocks that can never be requested again.
+func (c *Cache) DropFile(file uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, el := range s.items {
+			if k.File != file {
+				continue
+			}
+			s.bytes -= el.Value.(*entry).size
+			s.lru.Remove(el)
+			delete(s.items, k)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Budget:    c.budget,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,159 @@
+package blockcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 0, "a", 100)
+	v, ok := c.Get(1, 0)
+	if !ok || v.(string) != "a" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	c.Put(1, 0, "b", 200) // refresh same key
+	v, _ = c.Get(1, 0)
+	if v.(string) != "b" {
+		t.Fatalf("refresh lost: %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Bytes != 200 || st.Budget != 1<<20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	// numShards shards × 64-byte shard budget. All entries for one file
+	// block sequence spread over shards; overfill a single (file, block)
+	// shard by reusing one key's shard via identical keys.
+	c := New(numShards * 64)
+	for i := int64(0); i < 1000; i++ {
+		c.Put(7, i, i, 48)
+	}
+	st := c.Stats()
+	if st.Bytes > c.budget {
+		t.Fatalf("resident %d exceeds budget %d", st.Bytes, c.budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after overfill")
+	}
+	// LRU: the most recently inserted block of some shard must survive.
+	if _, ok := c.Get(7, 999); !ok {
+		t.Fatal("most recent insert evicted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Shard budget 130: holds two 60-byte entries, a third evicts one.
+	c := New(numShards * 130)
+	// Find two blocks in the same shard.
+	s0 := c.shardFor(Key{File: 1, Block: 0})
+	var b1 int64 = -1
+	for i := int64(1); i < 1000; i++ {
+		if c.shardFor(Key{File: 1, Block: i}) == s0 {
+			b1 = i
+			break
+		}
+	}
+	if b1 < 0 {
+		t.Fatal("no shard collision found")
+	}
+	c.Put(1, 0, "old", 60)
+	c.Put(1, b1, "new", 60)
+	c.Get(1, 0) // touch old → b1 becomes LRU
+	// Third entry in the same shard forces one eviction.
+	var b2 int64 = -1
+	for i := b1 + 1; i < 5000; i++ {
+		if c.shardFor(Key{File: 1, Block: i}) == s0 {
+			b2 = i
+			break
+		}
+	}
+	if b2 < 0 {
+		t.Fatal("no second collision found")
+	}
+	c.Put(1, b2, "third", 60)
+	if _, ok := c.Get(1, 0); !ok {
+		t.Fatal("recently touched entry evicted")
+	}
+	if _, ok := c.Get(1, b1); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestOversizedNotRetained(t *testing.T) {
+	c := New(numShards * 10)
+	c.Put(1, 0, "huge", 1<<20)
+	if _, ok := c.Get(1, 0); ok {
+		t.Fatal("oversized value retained")
+	}
+	if st := c.Stats(); st.Bytes != 0 {
+		t.Fatalf("resident bytes after oversized put: %+v", st)
+	}
+}
+
+func TestDropFile(t *testing.T) {
+	c := New(1 << 20)
+	for i := int64(0); i < 100; i++ {
+		c.Put(1, i, i, 10)
+		c.Put(2, i, i, 10)
+	}
+	c.DropFile(1)
+	for i := int64(0); i < 100; i++ {
+		if _, ok := c.Get(1, i); ok {
+			t.Fatalf("file 1 block %d survived DropFile", i)
+		}
+		if _, ok := c.Get(2, i); !ok {
+			t.Fatalf("file 2 block %d dropped collaterally", i)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 1000 {
+		t.Fatalf("resident after drop: %+v", st)
+	}
+}
+
+func TestNewFileIDUnique(t *testing.T) {
+	c := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := c.NewFileID()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(numShards * 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			file := uint64(g % 3)
+			for i := int64(0); i < 2000; i++ {
+				switch i % 4 {
+				case 0:
+					c.Put(file, i%64, i, 32)
+				case 1:
+					c.Get(file, i%64)
+				case 2:
+					c.Stats()
+				case 3:
+					if i%512 == 3 {
+						c.DropFile(file)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes < 0 || st.Bytes > c.budget {
+		t.Fatalf("bytes accounting broken: %+v", st)
+	}
+}
